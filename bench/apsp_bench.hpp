@@ -1,0 +1,16 @@
+#pragma once
+
+#include "algos/apsp.hpp"
+#include "algos/reference.hpp"
+
+// Shared APSP measurement helper for the figure benches.
+
+namespace pcm::bench {
+
+inline sim::Micros time_apsp(machines::Machine& m, int n,
+                             algos::ApspVariant v, std::uint64_t seed = 9) {
+  const auto d0 = algos::ref::random_digraph(n, 0.05, seed);
+  return algos::run_apsp(m, d0, n, v).time;
+}
+
+}  // namespace pcm::bench

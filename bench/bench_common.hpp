@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/series.hpp"
+#include "core/validation.hpp"
+#include "report/table.hpp"
+#include "sim/stats.hpp"
+
+// Shared scaffolding for the figure/table reproduction binaries. Every bench
+// prints: the experiment banner (with the paper's headline claim), a
+// fixed-width table of measured (min/mean/max over trials) vs. each model's
+// prediction with relative errors, an ASCII rendering of the figure, and —
+// when PCM_RESULTS_DIR is set — a CSV dump.
+//
+// Flags: --quick (smaller sweeps), --trials=K.
+
+namespace pcm::bench {
+
+struct Env {
+  bool quick = false;
+  int trials = 0;  ///< 0 = use the bench's default.
+};
+
+inline Env parse_env(int argc, char** argv) {
+  Env env;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) env.quick = true;
+    if (std::strncmp(argv[i], "--trials=", 9) == 0) env.trials = std::atoi(argv[i] + 9);
+  }
+  return env;
+}
+
+struct Predictor {
+  std::string model;
+  std::function<double(double)> fn;  ///< x -> predicted µs
+};
+
+struct SweepSpec {
+  std::string experiment;  ///< Registry id, e.g. "fig12".
+  std::string x_label;
+  std::string y_label = "time";
+  std::vector<double> xs;
+  int trials = 1;
+  std::function<double(double, int)> measure;  ///< (x, trial) -> µs
+  std::vector<Predictor> predictors;
+};
+
+inline core::ValidationSeries run_sweep(const SweepSpec& spec) {
+  core::ValidationSeries s;
+  s.experiment = spec.experiment;
+  s.x_label = spec.x_label;
+  s.y_label = spec.y_label;
+  for (const auto& p : spec.predictors) {
+    s.predictions.push_back({p.model, {}});
+  }
+  for (const double x : spec.xs) {
+    sim::Accumulator acc;
+    for (int t = 0; t < spec.trials; ++t) acc.add(spec.measure(x, t));
+    s.points.push_back({x, acc.summary()});
+    for (std::size_t i = 0; i < spec.predictors.size(); ++i) {
+      s.predictions[i].ys.push_back(spec.predictors[i].fn(x));
+    }
+    std::cerr << "  [" << spec.experiment << "] " << spec.x_label << "=" << x
+              << " done\n";
+  }
+  return s;
+}
+
+/// Print everything for one experiment. `scale` converts µs to the unit in
+/// y_label (e.g. 1e-3 for ms).
+inline void report(const core::ValidationSeries& s, double scale = 1.0,
+                   bool log_x = false, bool log_y = false, int precision = 1) {
+  const auto* exp = core::find_experiment(s.experiment);
+  if (exp != nullptr) {
+    report::banner(std::cout, exp->id + ": " + exp->title + " [" + exp->platform + "]",
+                   "paper: " + exp->headline);
+  } else {
+    report::banner(std::cout, s.experiment);
+  }
+  core::print_series(std::cout, s, scale, precision);
+  core::plot_series(std::cout, s, log_x, log_y);
+  core::csv_series(s);
+}
+
+}  // namespace pcm::bench

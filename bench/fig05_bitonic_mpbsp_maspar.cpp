@@ -1,0 +1,56 @@
+// Fig 5: measured and predicted times per key of bitonic sort (MP-BSP
+// version) on the MasPar. The model overestimates by roughly a factor of
+// two because the bit-flip exchange pattern routes conflict-free through the
+// delta network (~590 µs) while the model charges a general 1-relation
+// (g + L ~ 1430 µs).
+
+#include <iostream>
+
+#include "algos/bitonic.hpp"
+#include "bench_common.hpp"
+#include "calibrate/calibrate.hpp"
+#include "machines/machine.hpp"
+#include "predict/bitonic_predict.hpp"
+#include "sim/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pcm;
+  const auto env = bench::parse_env(argc, argv);
+  auto m = machines::make_maspar(1105);
+
+  calibrate::CalibrationOptions copts;
+  copts.trials = env.quick ? 5 : 20;
+  copts.fit_t_unb = false;
+  copts.fit_mscat = false;
+  const auto params = calibrate::calibrate(*m, copts);
+
+  bench::SweepSpec spec;
+  spec.experiment = "fig05";
+  spec.x_label = "keys per PE (M)";
+  spec.y_label = "time/key (ms)";
+  spec.xs = env.quick ? std::vector<double>{16, 64} : std::vector<double>{16, 64, 256, 1024};
+  spec.trials = 1;
+  spec.measure = [&](double mk, int trial) {
+    sim::Rng rng(500 + trial);
+    std::vector<std::uint32_t> keys(static_cast<std::size_t>(mk) * 1024);
+    for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_u64());
+    return algos::run_bitonic(*m, keys, algos::BitonicVariant::MpBsp).time_per_key;
+  };
+  spec.predictors = {{"MP-BSP", [&](double mk) {
+    return predict::bitonic_mp_bsp(params.bsp, m->compute(),
+                                   static_cast<long>(mk)) /
+           mk;
+  }}};
+
+  const auto s = bench::run_sweep(spec);
+  bench::report(s, 1e-3, false, false, 1);
+  const auto err = core::evaluate(s, "MP-BSP");
+  std::cout << "\nmodel/measured factor at the largest M: "
+            << report::Table::num(
+                   1.0 + err.signed_at_worst >= 1.0
+                       ? s.predictions[0].ys.back() / s.points.back().measured.mean
+                       : 0.0,
+                   2)
+            << " (paper: ~2.0)\n";
+  return 0;
+}

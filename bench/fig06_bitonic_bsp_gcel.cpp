@@ -1,0 +1,56 @@
+// Fig 6: measured and predicted times per key of bitonic sort on the GCel.
+// The unsynchronised word-by-word version drifts far above the prediction
+// (receiver buffers fill, processors drift out of sync); adding a barrier
+// after every 256 messages — the paper's fix — restores the close match.
+
+#include <iostream>
+
+#include "algos/bitonic.hpp"
+#include "bench_common.hpp"
+#include "calibrate/calibrate.hpp"
+#include "machines/machine.hpp"
+#include "predict/bitonic_predict.hpp"
+#include "sim/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pcm;
+  const auto env = bench::parse_env(argc, argv);
+  auto m = machines::make_gcel(1106);
+
+  calibrate::CalibrationOptions copts;
+  copts.trials = env.quick ? 3 : 10;
+  copts.fit_t_unb = false;
+  copts.fit_mscat = false;
+  const auto params = calibrate::calibrate(*m, copts);
+
+  const std::vector<double> xs =
+      env.quick ? std::vector<double>{256, 1024} : std::vector<double>{256, 1024, 4096};
+
+  for (const bool synchronized : {false, true}) {
+    bench::SweepSpec spec;
+    spec.experiment = "fig06";
+    spec.x_label = "keys per node (M)";
+    spec.y_label = synchronized ? "time/key (ms, synchronized)"
+                                : "time/key (ms, unsynchronized)";
+    spec.xs = xs;
+    spec.trials = 1;
+    spec.measure = [&](double mk, int trial) {
+      sim::Rng rng(600 + trial);
+      std::vector<std::uint32_t> keys(static_cast<std::size_t>(mk) * 64);
+      for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_u64());
+      return algos::run_bitonic(*m, keys,
+                                synchronized
+                                    ? algos::BitonicVariant::BspSynchronized
+                                    : algos::BitonicVariant::Bsp)
+          .time_per_key;
+    };
+    spec.predictors = {{"BSP", [&](double mk) {
+      return predict::bitonic_bsp(params.bsp, m->compute(),
+                                  static_cast<long>(mk)) /
+             mk;
+    }}};
+    const auto s = bench::run_sweep(spec);
+    bench::report(s, 1e-3, false, false, 1);
+  }
+  return 0;
+}

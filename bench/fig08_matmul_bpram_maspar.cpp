@@ -1,0 +1,45 @@
+// Fig 8: measured performance of the MP-BPRAM (block transfer) matrix
+// multiplication on the MasPar vs. the model prediction — the paper reports
+// all errors below 3%.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "calibrate/calibrate.hpp"
+#include "machines/machine.hpp"
+#include "matmul_bench.hpp"
+#include "predict/matmul_predict.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pcm;
+  const auto env = bench::parse_env(argc, argv);
+  auto m = machines::make_maspar(1108);
+  const int q = algos::matmul_q(*m);
+
+  calibrate::CalibrationOptions copts;
+  copts.trials = env.quick ? 5 : 20;
+  copts.fit_t_unb = false;
+  copts.fit_mscat = false;
+  const auto params = calibrate::calibrate(*m, copts);
+
+  bench::SweepSpec spec;
+  spec.experiment = "fig08";
+  spec.x_label = "N";
+  spec.y_label = "time (s)";
+  spec.xs = env.quick ? std::vector<double>{100, 300}
+                      : std::vector<double>{100, 200, 300, 400, 500, 600, 700};
+  spec.trials = 1;
+  spec.measure = [&](double n, int) {
+    return bench::time_matmul<float>(*m, static_cast<int>(n),
+                                     algos::MatmulVariant::Bpram)
+        .time;
+  };
+  spec.predictors = {{"MP-BPRAM", [&](double n) {
+    return predict::matmul_bpram(params.bpram, m->compute(),
+                                 static_cast<long>(n), q, m->word_bytes());
+  }}};
+
+  const auto s = bench::run_sweep(spec);
+  bench::report(s, 1e-6, false, false, 2);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig 10: measured and predicted times per key of the MP-BPRAM bitonic sort
+// on the MasPar. The model still overestimates (the router is less
+// pattern-sensitive for long messages, so less than MP-BSP does in Fig 5).
+
+#include <iostream>
+
+#include "algos/bitonic.hpp"
+#include "bench_common.hpp"
+#include "calibrate/calibrate.hpp"
+#include "machines/machine.hpp"
+#include "predict/bitonic_predict.hpp"
+#include "sim/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pcm;
+  const auto env = bench::parse_env(argc, argv);
+  auto m = machines::make_maspar(1110);
+
+  calibrate::CalibrationOptions copts;
+  copts.trials = env.quick ? 5 : 20;
+  copts.fit_t_unb = false;
+  copts.fit_mscat = false;
+  const auto params = calibrate::calibrate(*m, copts);
+
+  bench::SweepSpec spec;
+  spec.experiment = "fig10";
+  spec.x_label = "keys per PE (M)";
+  spec.y_label = "time/key (ms)";
+  spec.xs = env.quick ? std::vector<double>{64, 512}
+                      : std::vector<double>{16, 64, 256, 1024, 4096};
+  spec.trials = 1;
+  spec.measure = [&](double mk, int trial) {
+    sim::Rng rng(700 + trial);
+    std::vector<std::uint32_t> keys(static_cast<std::size_t>(mk) * 1024);
+    for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_u64());
+    return algos::run_bitonic(*m, keys, algos::BitonicVariant::Bpram).time_per_key;
+  };
+  spec.predictors = {{"MP-BPRAM", [&](double mk) {
+    return predict::bitonic_bpram(params.bpram, m->compute(),
+                                  static_cast<long>(mk), m->word_bytes(),
+                                  m->procs()) /
+           mk;
+  }}};
+
+  const auto s = bench::run_sweep(spec);
+  bench::report(s, 1e-3, false, false, 2);
+  return 0;
+}

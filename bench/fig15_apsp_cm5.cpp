@@ -1,0 +1,41 @@
+// Fig 15: predicted and measured execution times of APSP on the CM-5 — with
+// its large bisection bandwidth the plain BSP prediction is accurate
+// (scatter patterns cost about the same per message as full relations).
+
+#include <iostream>
+
+#include "apsp_bench.hpp"
+#include "bench_common.hpp"
+#include "calibrate/calibrate.hpp"
+#include "machines/machine.hpp"
+#include "predict/apsp_predict.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pcm;
+  const auto env = bench::parse_env(argc, argv);
+  auto m = machines::make_cm5(1115);
+
+  calibrate::CalibrationOptions copts;
+  copts.trials = env.quick ? 3 : 10;
+  copts.fit_t_unb = false;
+  copts.fit_mscat = false;
+  const auto params = calibrate::calibrate(*m, copts);
+
+  bench::SweepSpec spec;
+  spec.experiment = "fig15";
+  spec.x_label = "N";
+  spec.y_label = "time (ms)";
+  spec.xs = env.quick ? std::vector<double>{64, 256}
+                      : std::vector<double>{64, 128, 256, 512};
+  spec.trials = 1;
+  spec.measure = [&](double n, int) {
+    return bench::time_apsp(*m, static_cast<int>(n), algos::ApspVariant::Bsp);
+  };
+  spec.predictors = {{"BSP", [&](double n) {
+    return predict::apsp_bsp(params.bsp, m->compute(), static_cast<long>(n));
+  }}};
+
+  const auto s = bench::run_sweep(spec);
+  bench::report(s, 1e-3, false, false, 1);
+  return 0;
+}

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "algos/matmul.hpp"
+#include "sim/rng.hpp"
+
+// Shared matmul measurement helper for the figure benches.
+
+namespace pcm::bench {
+
+template <typename T>
+std::vector<T> random_square(int n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<T> m(static_cast<std::size_t>(n) * n);
+  for (auto& v : m) v = static_cast<T>(rng.next_double() * 2.0 - 1.0);
+  return m;
+}
+
+template <typename T>
+algos::MatmulResult<T> time_matmul(machines::Machine& m, int n,
+                                   algos::MatmulVariant v,
+                                   std::uint64_t seed = 7) {
+  const auto a = random_square<T>(n, seed);
+  const auto b = random_square<T>(n, seed + 1);
+  return algos::run_matmul<T>(m, a, b, n, v);
+}
+
+inline double mflops_of(double n, sim::Micros time) {
+  return 2.0 * n * n * n / time;
+}
+
+}  // namespace pcm::bench

@@ -1,0 +1,285 @@
+// pcmtool — command-line driver for the library. A downstream user's entry
+// point: list the paper's experiments, calibrate a simulated machine, or run
+// an algorithm with measured-vs-predicted output and an optional
+// compute/communication breakdown.
+//
+//   pcmtool list
+//   pcmtool params
+//   pcmtool calibrate <maspar|gcel|cm5> [--trials=K]
+//   pcmtool matmul    <machine> [--n=256] [--variant=bpram|bsp|bsp-unstag|mp-bsp] [--breakdown]
+//   pcmtool sort      <machine> [--keys-per-node=1024] [--algo=bitonic|samplesort]
+//                     [--variant=word|word-sync|block|packed] [--breakdown]
+//   pcmtool apsp      <machine> [--n=128] [--breakdown]
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "algos/apsp.hpp"
+#include "algos/bitonic.hpp"
+#include "algos/matmul.hpp"
+#include "algos/reference.hpp"
+#include "algos/samplesort.hpp"
+#include "calibrate/calibrate.hpp"
+#include "core/registry.hpp"
+#include "machines/machine.hpp"
+#include "predict/apsp_predict.hpp"
+#include "predict/bitonic_predict.hpp"
+#include "predict/matmul_predict.hpp"
+#include "report/table.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace pcm;
+
+struct Options {
+  std::string command;
+  std::string machine;
+  std::map<std::string, std::string> flags;
+
+  [[nodiscard]] long get(const std::string& key, long fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atol(it->second.c_str());
+  }
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return flags.count(key) > 0;
+  }
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        o.flags[arg.substr(2)] = "1";
+      } else {
+        o.flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else if (positional == 0) {
+      o.command = arg;
+      ++positional;
+    } else if (positional == 1) {
+      o.machine = arg;
+      ++positional;
+    }
+  }
+  return o;
+}
+
+std::unique_ptr<machines::Machine> make_machine_named(const std::string& name,
+                                                      std::uint64_t seed) {
+  if (name == "maspar") return machines::make_maspar(seed);
+  if (name == "gcel") return machines::make_gcel(seed);
+  if (name == "cm5") return machines::make_cm5(seed);
+  return nullptr;
+}
+
+int usage() {
+  std::cout
+      << "usage: pcmtool <command> [machine] [--flags]\n"
+         "  list                         the paper's experiments and benches\n"
+         "  params                       published Table 1 parameters\n"
+         "  calibrate <machine>          fit g/L/sigma/ell on the simulator\n"
+         "  matmul <machine> [--n= --variant= --breakdown]\n"
+         "  sort   <machine> [--keys-per-node= --algo= --variant= --breakdown]\n"
+         "  apsp   <machine> [--n= --breakdown]\n"
+         "machines: maspar, gcel, cm5\n";
+  return 2;
+}
+
+void breakdown(machines::Machine& m) {
+  const auto& t = m.trace();
+  // Compute charges are recorded per processor; communication and barrier
+  // records are wall-clock phases. Average the compute over the processors
+  // to put everything in wall-clock terms (balanced SPMD assumption).
+  const double comp =
+      t.total(sim::PhaseKind::Compute) / static_cast<double>(m.procs());
+  const double comm = t.total(sim::PhaseKind::Communicate);
+  const double barr = t.total(sim::PhaseKind::Barrier);
+  const double total = comp + comm + barr;
+  if (total <= 0.0) return;
+  std::cout << "breakdown: compute " << report::Table::num(100.0 * comp / total, 1)
+            << "%, communication " << report::Table::num(100.0 * comm / total, 1)
+            << "%, barriers " << report::Table::num(100.0 * barr / total, 1)
+            << "%  (" << t.total_messages() << " messages, "
+            << t.total_bytes() << " payload bytes)\n";
+}
+
+int cmd_list() {
+  report::Table t({"id", "title", "platform", "bench binary"});
+  for (const auto& e : core::experiments()) {
+    t.add_row({e.id, e.title, e.platform, e.bench});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_params() {
+  report::Table t({"machine", "P", "g", "L", "sigma", "ell"});
+  for (const auto& p : {models::table1::maspar(), models::table1::gcel(),
+                        models::table1::cm5()}) {
+    t.add_row({p.machine, report::Table::num(p.bsp.P, 0),
+               report::Table::num(p.bsp.g, 1), report::Table::num(p.bsp.L, 0),
+               report::Table::num(p.bpram.sigma, 2),
+               report::Table::num(p.bpram.ell, 0)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_calibrate(machines::Machine& m, const Options& o) {
+  calibrate::CalibrationOptions opts;
+  opts.trials = static_cast<int>(o.get("trials", 10));
+  const auto p = calibrate::calibrate(m, opts);
+  std::cout << p.machine << ": g = " << report::Table::num(p.bsp.g, 1)
+            << " us, L = " << report::Table::num(p.bsp.L, 0)
+            << " us, sigma = " << report::Table::num(p.bpram.sigma, 2)
+            << " us/B, ell = " << report::Table::num(p.bpram.ell, 0) << " us\n";
+  if (p.ebsp.t_unb.a != 0.0) {
+    std::cout << "T_unb(P') = " << report::Table::num(p.ebsp.t_unb.a, 2)
+              << "*P' + " << report::Table::num(p.ebsp.t_unb.b, 1)
+              << "*sqrt(P') + " << report::Table::num(p.ebsp.t_unb.c, 1) << "\n";
+  }
+  if (p.ebsp.g_mscat > 0.0) {
+    std::cout << "g_mscat = " << report::Table::num(p.ebsp.g_mscat, 0)
+              << " us (factor " << report::Table::num(p.bsp.g / p.ebsp.g_mscat, 1)
+              << " below g)\n";
+  }
+  return 0;
+}
+
+int cmd_matmul(machines::Machine& m, const Options& o) {
+  const int n = algos::matmul_round_n(m, static_cast<int>(o.get("n", 256)));
+  const std::string vname = o.get("variant", std::string("bpram"));
+  algos::MatmulVariant v = algos::MatmulVariant::Bpram;
+  if (vname == "bsp") v = algos::MatmulVariant::BspStaggered;
+  if (vname == "bsp-unstag") v = algos::MatmulVariant::BspUnstaggered;
+  if (vname == "mp-bsp") v = algos::MatmulVariant::MpBsp;
+
+  sim::Rng rng(1);
+  std::vector<double> a(static_cast<std::size_t>(n) * n), b(a.size());
+  for (auto& x : a) x = rng.next_double();
+  for (auto& x : b) x = rng.next_double();
+
+  if (o.has("breakdown")) m.trace().set_enabled(true);
+  const auto r = algos::run_matmul<double>(m, a, b, n, v);
+  const auto ok = algos::ref::matmul(a, b, n);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < ok.size(); ++i) diff = std::max(diff, std::abs(ok[i] - r.c[i]));
+
+  calibrate::CalibrationOptions copts;
+  copts.trials = 5;
+  copts.fit_t_unb = false;
+  copts.fit_mscat = false;
+  m.trace().set_enabled(false);
+  const auto params = calibrate::calibrate(m, copts);
+  const int q = algos::matmul_q(m);
+  double pred = 0.0;
+  if (v == algos::MatmulVariant::Bpram) {
+    pred = predict::matmul_bpram(params.bpram, m.compute(), n, q, m.word_bytes());
+  } else if (v == algos::MatmulVariant::MpBsp) {
+    pred = predict::matmul_mp_bsp(params.bsp, m.compute(), n, q);
+  } else {
+    pred = predict::matmul_bsp(params.bsp, m.compute(), n, q);
+  }
+
+  std::cout << "matmul " << vname << " N=" << n << " on " << m.name() << ":\n"
+            << "  measured  " << report::Table::num(r.time / 1e3, 1) << " ms ("
+            << report::Table::num(r.mflops, 1) << " Mflops), max|diff| = "
+            << diff << "\n  predicted " << report::Table::num(pred / 1e3, 1)
+            << " ms (" << report::Table::num(100.0 * (pred - r.time) / r.time, 1)
+            << "% error)\n";
+  return 0;
+}
+
+int cmd_sort(machines::Machine& m, const Options& o) {
+  const long per_node = o.get("keys-per-node", 1024);
+  const std::string algo = o.get("algo", std::string("bitonic"));
+  const std::string vname = o.get("variant", std::string("block"));
+
+  sim::Rng rng(2);
+  std::vector<std::uint32_t> keys(static_cast<std::size_t>(per_node) *
+                                  static_cast<std::size_t>(m.procs()));
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_u64());
+
+  if (o.has("breakdown")) m.trace().set_enabled(true);
+  double time = 0.0, per_key = 0.0;
+  bool sorted = false;
+  if (algo == "samplesort") {
+    const auto v = (vname == "packed") ? algos::SampleSortVariant::StaggeredPacked
+                                       : algos::SampleSortVariant::Bpram;
+    const auto r = algos::run_samplesort(m, keys, 64, v);
+    time = r.time;
+    per_key = r.time_per_key;
+    sorted = algos::ref::is_sorted_keys(r.keys);
+  } else {
+    algos::BitonicVariant v = algos::BitonicVariant::Bpram;
+    if (vname == "word") {
+      v = (m.name().find("MasPar") != std::string_view::npos)
+              ? algos::BitonicVariant::MpBsp
+              : algos::BitonicVariant::Bsp;
+    }
+    if (vname == "word-sync") v = algos::BitonicVariant::BspSynchronized;
+    const auto r = algos::run_bitonic(m, keys, v);
+    time = r.time;
+    per_key = r.time_per_key;
+    sorted = algos::ref::is_sorted_keys(r.keys);
+  }
+  std::cout << algo << " (" << vname << ") with " << per_node
+            << " keys/node on " << m.name() << ":\n  "
+            << report::Table::num(time / 1e3, 1) << " ms total, "
+            << report::Table::num(per_key, 1) << " us/key, "
+            << (sorted ? "output sorted" : "OUTPUT NOT SORTED!") << "\n";
+  breakdown(m);
+  return sorted ? 0 : 1;
+}
+
+int cmd_apsp(machines::Machine& m, const Options& o) {
+  const int s = algos::apsp_grid_side(m);
+  int n = static_cast<int>(o.get("n", 128));
+  n = ((n + s - 1) / s) * s;
+  const auto d0 = algos::ref::random_digraph(n, 0.05, 3);
+  if (o.has("breakdown")) m.trace().set_enabled(true);
+  const auto v = (m.name().find("MasPar") != std::string_view::npos)
+                     ? algos::ApspVariant::MpBsp
+                     : algos::ApspVariant::Bsp;
+  const auto r = algos::run_apsp(m, d0, n, v);
+  const auto want = algos::ref::floyd(d0, n);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    diff = std::max(diff, static_cast<double>(std::abs(want[i] - r.dist[i])));
+  }
+  std::cout << "apsp N=" << n << " on " << m.name() << ": "
+            << report::Table::num(r.time / 1e3, 1)
+            << " ms, max|diff vs Floyd| = " << diff << "\n";
+  breakdown(m);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto o = parse(argc, argv);
+  if (o.command == "list") return cmd_list();
+  if (o.command == "params") return cmd_params();
+
+  if (o.command.empty()) return usage();
+  auto m = make_machine_named(o.machine, 2026);
+  if (m == nullptr) return usage();
+
+  if (o.command == "calibrate") return cmd_calibrate(*m, o);
+  if (o.command == "matmul") return cmd_matmul(*m, o);
+  if (o.command == "sort") return cmd_sort(*m, o);
+  if (o.command == "apsp") return cmd_apsp(*m, o);
+  return usage();
+}

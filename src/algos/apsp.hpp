@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "machines/machine.hpp"
+#include "sim/time.hpp"
+
+// All pairs shortest path by parallel Floyd (paper Section 4.4): the N x N
+// distance matrix is partitioned into P blocks of M x M (M = N/sqrt(P)) on a
+// sqrt(P) x sqrt(P) processor grid. Every iteration k broadcasts the active
+// column segment across each processor row and the active row segment down
+// each processor column, then relaxes the local block.
+//
+// The broadcast is the two-phase scheme of Section 4.4: scatter the
+// M-element segment over the group, then all-gather (T_bcast = 2(gM + L));
+// when M < sqrt(P) an extra doubling phase replicates the items
+// ((g+L) * log(sqrt(P)/M) in the model). The first phase is the unbalanced
+// (N, N/sqrt(P), N/P)-relation that breaks plain BSP on the MasPar (Fig 12,
+// fixed by E-BSP's T_unb) and on the GCel (Fig 13, fixed by g_mscat).
+//
+// Variants:
+//   - Bsp:   one word-mode superstep per phase (GCel, CM-5);
+//   - MpBsp: MasPar style, one message per PE per communication step.
+
+namespace pcm::algos {
+
+enum class ApspVariant { Bsp, MpBsp };
+
+[[nodiscard]] std::string_view to_string(ApspVariant v);
+
+struct ApspResult {
+  std::vector<float> dist;  ///< N x N row-major shortest path lengths.
+  sim::Micros time = 0;
+};
+
+/// Side of the processor grid the machine supports (sqrt(P) rounded down).
+[[nodiscard]] int apsp_grid_side(const machines::Machine& m);
+
+/// Run Floyd APSP on the machine. Requires n % sqrt(P) == 0. `d0` uses
+/// ref::kApspInf for missing edges. The machine is reset first.
+ApspResult run_apsp(machines::Machine& m, const std::vector<float>& d0, int n,
+                    ApspVariant v);
+
+}  // namespace pcm::algos

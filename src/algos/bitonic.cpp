@@ -1,0 +1,157 @@
+#include "algos/bitonic.hpp"
+
+#include <cassert>
+
+#include "algos/local/merge.hpp"
+#include "algos/local/radix_sort.hpp"
+#include "runtime/dist.hpp"
+#include "runtime/exchange.hpp"
+
+namespace pcm::algos {
+
+std::string_view to_string(BitonicVariant v) {
+  switch (v) {
+    case BitonicVariant::MpBsp: return "mp-bsp";
+    case BitonicVariant::Bsp: return "bsp";
+    case BitonicVariant::BspSynchronized: return "bsp-sync";
+    case BitonicVariant::Bpram: return "mp-bpram";
+  }
+  return "?";
+}
+
+namespace {
+
+int ilog2(int v) {
+  int b = 0;
+  while ((1 << (b + 1)) <= v) ++b;
+  return b;
+}
+
+}  // namespace
+
+void bitonic_core(machines::Machine& m,
+                  std::vector<std::vector<std::uint32_t>>& runs,
+                  BitonicVariant v) {
+  const int P = m.procs();
+  assert((P & (P - 1)) == 0 && "bitonic needs a power-of-two machine");
+  assert(static_cast<int>(runs.size()) == P);
+  const long M = static_cast<long>(runs.front().size());
+  for (const auto& r : runs) {
+    assert(static_cast<long>(r.size()) == M);
+    (void)r;
+  }
+  const int logp = ilog2(P);
+
+  // Local sort (8-bit radix, paper Section 4.2.1).
+  for (int p = 0; p < P; ++p) {
+    m.charge(p, radix_sort_charged(runs[static_cast<std::size_t>(p)], m.compute()));
+  }
+  m.barrier();
+
+  long sent_since_barrier = 0;
+  std::vector<std::vector<std::uint32_t>> partner_buf(
+      static_cast<std::size_t>(P));
+
+  auto merge_step = [&](int bit) {
+    if (v == BitonicVariant::MpBsp) {
+      // One key per PE per communication step: M bit-flip permutations.
+      for (long e = 0; e < M; ++e) {
+        runtime::Exchange<std::uint32_t> ex(m, runtime::TransferMode::Word);
+        for (int p = 0; p < P; ++p) {
+          ex.send_value(p, p ^ (1 << bit),
+                        runs[static_cast<std::size_t>(p)][static_cast<std::size_t>(e)],
+                        static_cast<int>(e));
+        }
+        auto box = ex.run();
+        for (int p = 0; p < P; ++p) {
+          auto& incoming = partner_buf[static_cast<std::size_t>(p)];
+          for (const auto& parcel : box.at(p)) {
+            incoming[static_cast<std::size_t>(parcel.tag)] = parcel.data.front();
+          }
+        }
+      }
+    } else if (v == BitonicVariant::BspSynchronized) {
+      // The paper's fix: a barrier after each node has sent and received 256
+      // messages — i.e. the M-message stream is chunked *within* the step.
+      for (long lo = 0; lo < M; lo += 256) {
+        const long hi = std::min<long>(M, lo + 256);
+        runtime::Exchange<std::uint32_t> ex(m, runtime::TransferMode::Word);
+        for (int p = 0; p < P; ++p) {
+          const auto& run = runs[static_cast<std::size_t>(p)];
+          ex.send(p, p ^ (1 << bit),
+                  std::span<const std::uint32_t>(run.data() + lo,
+                                                 static_cast<std::size_t>(hi - lo)),
+                  static_cast<int>(lo));
+        }
+        auto box = ex.run();
+        for (int p = 0; p < P; ++p) {
+          auto& incoming = partner_buf[static_cast<std::size_t>(p)];
+          for (const auto& parcel : box.at(p)) {
+            std::copy(parcel.data.begin(), parcel.data.end(),
+                      incoming.begin() + parcel.tag);
+          }
+        }
+        sent_since_barrier += hi - lo;
+        if (sent_since_barrier >= 256) {
+          m.barrier();
+          sent_since_barrier = 0;
+        }
+      }
+    } else {
+      const auto mode = (v == BitonicVariant::Bpram)
+                            ? runtime::TransferMode::Block
+                            : runtime::TransferMode::Word;
+      runtime::Exchange<std::uint32_t> ex(m, mode);
+      for (int p = 0; p < P; ++p) {
+        ex.send(p, p ^ (1 << bit),
+                std::span<const std::uint32_t>(runs[static_cast<std::size_t>(p)]));
+      }
+      auto box = ex.run();
+      for (int p = 0; p < P; ++p) {
+        partner_buf[static_cast<std::size_t>(p)] = box.at(p).front().data;
+      }
+      if (v == BitonicVariant::Bpram) {
+        m.barrier();  // The MP-BPRAM step is synchronous by definition.
+      }
+    }
+  };
+
+  for (int d = 1; d <= logp; ++d) {
+    for (int j = d - 1; j >= 0; --j) {
+      partner_buf.assign(static_cast<std::size_t>(P),
+                         std::vector<std::uint32_t>(static_cast<std::size_t>(M)));
+      merge_step(j);
+      for (int p = 0; p < P; ++p) {
+        const int partner = p ^ (1 << j);
+        const bool ascending = ((p >> d) & 1) == 0;
+        const bool lower_side = p < partner;
+        auto& mine = runs[static_cast<std::size_t>(p)];
+        const auto& theirs = partner_buf[static_cast<std::size_t>(p)];
+        mine = (lower_side == ascending) ? merge_keep_low(mine, theirs)
+                                         : merge_keep_high(mine, theirs);
+        m.charge(p, m.compute().merge_time(M));
+      }
+    }
+  }
+  m.barrier();
+}
+
+BitonicResult run_bitonic(machines::Machine& m,
+                          const std::vector<std::uint32_t>& keys,
+                          BitonicVariant v) {
+  const int P = m.procs();
+  assert(keys.size() % static_cast<std::size_t>(P) == 0);
+  const long M = static_cast<long>(keys.size()) / P;
+
+  m.reset();
+  auto runs = runtime::block_scatter(keys, P);
+  bitonic_core(m, runs, v);
+
+  BitonicResult out;
+  out.time = m.now();
+  out.time_per_key = (M > 0) ? out.time / static_cast<double>(M) : 0.0;
+  out.keys = runtime::block_gather(runs);
+  return out;
+}
+
+}  // namespace pcm::algos

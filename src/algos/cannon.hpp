@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "machines/maspar_xnet.hpp"
+#include "sim/time.hpp"
+
+// Cannon's matrix multiplication on the MasPar xnet (extension beyond the
+// paper): an s x s processor grid holds M x M blocks (M = N/s); after an
+// initial skew (row i of A rotated left by i, column j of B rotated up by
+// j), the algorithm performs s iterations of {local multiply-accumulate,
+// rotate A left by one, rotate B up by one}. All communication is
+// nearest-neighbour — exactly what the xnet is good at and what the BSP /
+// MP-BPRAM formalisms cannot reward.
+//
+//   T_cannon = alpha * N^3/s^2                             (compute)
+//            + 2 * sum_{2^k < s} shift(2^k, w*M^2)          (skew)
+//            + 2 * (s-1) * shift(1, w*M^2)                  (rotations)
+
+namespace pcm::algos {
+
+template <typename T>
+struct CannonResult {
+  std::vector<T> c;
+  sim::Micros time = 0;
+  double mflops = 0.0;
+};
+
+/// Grid side used by Cannon on this machine (the full PE grid width).
+[[nodiscard]] int cannon_side(const machines::MasParXnetMachine& m);
+
+/// Run C = A * B with Cannon's algorithm on the xnet. Requires
+/// n % cannon_side(m) == 0. The machine is reset first.
+template <typename T>
+CannonResult<T> run_cannon(machines::MasParXnetMachine& m,
+                           const std::vector<T>& a, const std::vector<T>& b,
+                           int n);
+
+extern template CannonResult<float> run_cannon<float>(
+    machines::MasParXnetMachine&, const std::vector<float>&,
+    const std::vector<float>&, int);
+
+/// The closed-form prediction above (alpha from the machine's compute
+/// model, shift costs from its xnet).
+sim::Micros predict_cannon(const machines::MasParXnetMachine& m, long n,
+                           int word_bytes);
+
+}  // namespace pcm::algos

@@ -1,0 +1,15 @@
+#include "algos/local/matmul_kernel.hpp"
+
+// Explicit instantiations for the element types the library uses: float on
+// the single-precision MasPar/GCel (w = 4) and double on the CM-5 (w = 8).
+
+namespace pcm::algos {
+
+template void matmul_accumulate<float>(std::span<const float>,
+                                       std::span<const float>,
+                                       std::span<float>, long, long, long);
+template void matmul_accumulate<double>(std::span<const double>,
+                                        std::span<const double>,
+                                        std::span<double>, long, long, long);
+
+}  // namespace pcm::algos

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "machines/local_compute.hpp"
+
+// The tuned local matrix multiply (Section 4.1.1): on the MasPar a
+// register-blocked inner-product kernel, on the CM-5 a cache-conscious
+// assembly kernel. The numerical work runs for real (row-major, C += A*B);
+// the simulated cost comes from LocalCompute::matmul_time, which carries the
+// small-size and cache penalties the paper measures.
+
+namespace pcm::algos {
+
+/// C(rows x cols) += A(rows x k) * B(k x cols), row-major, ld = logical dims.
+template <typename T>
+void matmul_accumulate(std::span<const T> a, std::span<const T> b,
+                       std::span<T> c, long rows, long k, long cols) {
+  // i-k-j loop order: streams B rows, accumulates into C rows.
+  for (long i = 0; i < rows; ++i) {
+    T* crow = c.data() + i * cols;
+    const T* arow = a.data() + i * k;
+    for (long kk = 0; kk < k; ++kk) {
+      const T av = arow[kk];
+      const T* brow = b.data() + kk * cols;
+      for (long j = 0; j < cols; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// Run the kernel and return its simulated cost on `lc`.
+template <typename T>
+sim::Micros matmul_charged(std::span<const T> a, std::span<const T> b,
+                           std::span<T> c, long rows, long k, long cols,
+                           const machines::LocalCompute& lc) {
+  matmul_accumulate(a, b, c, rows, k, cols);
+  return lc.matmul_time(rows, k, cols);
+}
+
+}  // namespace pcm::algos

@@ -1,0 +1,40 @@
+#include "algos/local/merge.hpp"
+
+#include <cassert>
+
+namespace pcm::algos {
+
+std::vector<std::uint32_t> merge_keep_low(std::span<const std::uint32_t> a,
+                                          std::span<const std::uint32_t> b) {
+  const std::size_t m = a.size();
+  assert(b.size() == m);
+  std::vector<std::uint32_t> out;
+  out.reserve(m);
+  std::size_t i = 0, j = 0;
+  while (out.size() < m) {
+    if (j >= b.size() || (i < a.size() && a[i] <= b[j])) {
+      out.push_back(a[i++]);
+    } else {
+      out.push_back(b[j++]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> merge_keep_high(std::span<const std::uint32_t> a,
+                                           std::span<const std::uint32_t> b) {
+  const std::size_t m = a.size();
+  assert(b.size() == m);
+  std::vector<std::uint32_t> out(m);
+  std::size_t i = a.size(), j = b.size();
+  for (std::size_t k = m; k-- > 0;) {
+    if (j == 0 || (i > 0 && a[i - 1] >= b[j - 1])) {
+      out[k] = a[--i];
+    } else {
+      out[k] = b[--j];
+    }
+  }
+  return out;
+}
+
+}  // namespace pcm::algos

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+// The linear-time sequential merge step of bitonic sort with multiple keys
+// per processor (Section 4.2): each processor merges its sorted run with the
+// partner's and keeps either the lower or the upper half.
+
+namespace pcm::algos {
+
+/// Merge two sorted runs of equal length m and return the lowest m keys.
+std::vector<std::uint32_t> merge_keep_low(std::span<const std::uint32_t> a,
+                                          std::span<const std::uint32_t> b);
+
+/// Merge two sorted runs of equal length m and return the highest m keys
+/// (in ascending order).
+std::vector<std::uint32_t> merge_keep_high(std::span<const std::uint32_t> a,
+                                           std::span<const std::uint32_t> b);
+
+}  // namespace pcm::algos

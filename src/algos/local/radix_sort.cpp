@@ -1,0 +1,36 @@
+#include "algos/local/radix_sort.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace pcm::algos {
+
+void radix_sort(std::vector<std::uint32_t>& keys, int radix_bits) {
+  assert(radix_bits > 0 && radix_bits <= 16);
+  if (keys.size() <= 1) return;
+  const std::uint32_t radix = 1u << radix_bits;
+  const std::uint32_t mask = radix - 1;
+  std::vector<std::uint32_t> tmp(keys.size());
+  std::vector<std::size_t> count(radix);
+
+  for (int shift = 0; shift < 32; shift += radix_bits) {
+    std::fill(count.begin(), count.end(), 0);
+    for (const std::uint32_t k : keys) ++count[(k >> shift) & mask];
+    std::size_t acc = 0;
+    for (std::uint32_t b = 0; b < radix; ++b) {
+      const std::size_t c = count[b];
+      count[b] = acc;
+      acc += c;
+    }
+    for (const std::uint32_t k : keys) tmp[count[(k >> shift) & mask]++] = k;
+    keys.swap(tmp);
+  }
+}
+
+sim::Micros radix_sort_charged(std::vector<std::uint32_t>& keys,
+                               const machines::LocalCompute& lc, int bits) {
+  radix_sort(keys, lc.radix_bits);
+  return lc.radix_sort_time(static_cast<long>(keys.size()), bits);
+}
+
+}  // namespace pcm::algos

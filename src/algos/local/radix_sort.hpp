@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "machines/local_compute.hpp"
+
+// The 8-bit LSD radix sort the paper uses as the local sort inside bitonic
+// and sample sort (Section 4.2.1): T = (b/r) * (beta * 2^r + gamma * n).
+// The sort actually runs (tests check the output); the simulated cost comes
+// from the machine's LocalCompute coefficients.
+
+namespace pcm::algos {
+
+/// In-place LSD radix sort of 32-bit keys, radix 2^radix_bits.
+void radix_sort(std::vector<std::uint32_t>& keys, int radix_bits = 8);
+
+/// Sort and return the simulated cost on `lc`.
+sim::Micros radix_sort_charged(std::vector<std::uint32_t>& keys,
+                               const machines::LocalCompute& lc,
+                               int bits = 32);
+
+}  // namespace pcm::algos

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machines/machine.hpp"
+#include "sim/time.hpp"
+
+// EXTENSION: fully parallel LSD radix sort (after Blelloch et al. / Culler
+// et al., the CM-2/CM-5 sorting studies the paper builds on [7, 11]). The
+// paper uses radix sort only as the *local* sort inside bitonic and sample
+// sort; this is the distributed version, a third sorting algorithm for the
+// Fig 18 comparison:
+//
+// per 8-bit digit pass:
+//   1. local histogram over the 256 digit values;
+//   2. global ranking: histograms are transposed to per-digit owners
+//      (256/P digits per processor), owners compute per-processor offsets
+//      and digit totals, totals are all-gathered so every processor knows
+//      every digit's global base;
+//   3. every key moves to the processor that owns its global rank —
+//      per-destination packed block sends (staggered), the same pipelined
+//      style as the "staggered packed" sample sort.
+//
+// Keys end exactly sorted after the 4 passes (stable per pass).
+
+namespace pcm::algos {
+
+struct ParallelRadixResult {
+  std::vector<std::uint32_t> keys;
+  sim::Micros time = 0;
+  sim::Micros time_per_key = 0;
+};
+
+/// Sort `keys` (size must be a multiple of P; 256 % P == 0 or P % 256 == 0).
+/// The machine is reset first.
+ParallelRadixResult run_parallel_radix(machines::Machine& m,
+                                       const std::vector<std::uint32_t>& keys,
+                                       int radix_bits = 8);
+
+}  // namespace pcm::algos

@@ -1,0 +1,93 @@
+#include "algos/reference.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "sim/rng.hpp"
+
+namespace pcm::algos::ref {
+
+template <typename T>
+std::vector<T> matmul(const std::vector<T>& a, const std::vector<T>& b, int n) {
+  assert(static_cast<int>(a.size()) == n * n);
+  assert(static_cast<int>(b.size()) == n * n);
+  std::vector<T> c(static_cast<std::size_t>(n) * n, T{});
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < n; ++k) {
+      const T av = a[static_cast<std::size_t>(i) * n + k];
+      if (av == T{}) continue;
+      const T* brow = &b[static_cast<std::size_t>(k) * n];
+      T* crow = &c[static_cast<std::size_t>(i) * n];
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+template std::vector<float> matmul<float>(const std::vector<float>&,
+                                          const std::vector<float>&, int);
+template std::vector<double> matmul<double>(const std::vector<double>&,
+                                            const std::vector<double>&, int);
+
+std::vector<float> floyd(std::vector<float> d, int n) {
+  assert(static_cast<int>(d.size()) == n * n);
+  for (int k = 0; k < n; ++k) {
+    const float* dk = &d[static_cast<std::size_t>(k) * n];
+    for (int i = 0; i < n; ++i) {
+      const float dik = d[static_cast<std::size_t>(i) * n + k];
+      if (dik >= kApspInf) continue;
+      float* di = &d[static_cast<std::size_t>(i) * n];
+      for (int j = 0; j < n; ++j) di[j] = std::min(di[j], dik + dk[j]);
+    }
+  }
+  return d;
+}
+
+std::vector<float> dijkstra_apsp(const std::vector<float>& d, int n) {
+  std::vector<float> out(static_cast<std::size_t>(n) * n, kApspInf);
+  using Item = std::pair<float, int>;
+  for (int s = 0; s < n; ++s) {
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    float* dist = &out[static_cast<std::size_t>(s) * n];
+    dist[s] = 0.0f;
+    pq.emplace(0.0f, s);
+    while (!pq.empty()) {
+      const auto [du, u] = pq.top();
+      pq.pop();
+      if (du > dist[u]) continue;
+      const float* row = &d[static_cast<std::size_t>(u) * n];
+      for (int v = 0; v < n; ++v) {
+        if (row[v] >= kApspInf) continue;
+        const float nd = du + row[v];
+        if (nd < dist[v]) {
+          dist[v] = nd;
+          pq.emplace(nd, v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool is_sorted_keys(const std::vector<std::uint32_t>& keys) {
+  return std::is_sorted(keys.begin(), keys.end());
+}
+
+std::vector<float> random_digraph(int n, double density, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<float> d(static_cast<std::size_t>(n) * n, kApspInf);
+  for (int i = 0; i < n; ++i) {
+    d[static_cast<std::size_t>(i) * n + i] = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (rng.next_double() < density) {
+        d[static_cast<std::size_t>(i) * n + j] =
+            static_cast<float>(1.0 + 99.0 * rng.next_double());
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace pcm::algos::ref

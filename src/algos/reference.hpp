@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+// Serial reference implementations used by the tests (and by the examples
+// to demonstrate correctness): plain O(N^3) matrix multiply, Floyd-Warshall,
+// Dijkstra (as an independent APSP cross-check) and sortedness helpers.
+
+namespace pcm::algos::ref {
+
+/// Row-major C = A * B for N x N matrices.
+template <typename T>
+std::vector<T> matmul(const std::vector<T>& a, const std::vector<T>& b, int n);
+
+extern template std::vector<float> matmul<float>(const std::vector<float>&,
+                                                 const std::vector<float>&, int);
+extern template std::vector<double> matmul<double>(const std::vector<double>&,
+                                                   const std::vector<double>&,
+                                                   int);
+
+inline constexpr float kApspInf = 1e30f;
+
+/// Floyd-Warshall over an N x N adjacency/length matrix (kApspInf = no edge).
+std::vector<float> floyd(std::vector<float> d, int n);
+
+/// Dijkstra from every source (independent APSP oracle; non-negative edges).
+std::vector<float> dijkstra_apsp(const std::vector<float>& d, int n);
+
+[[nodiscard]] bool is_sorted_keys(const std::vector<std::uint32_t>& keys);
+
+/// A random weighted digraph length matrix with edge density `density`.
+std::vector<float> random_digraph(int n, double density, std::uint64_t seed);
+
+}  // namespace pcm::algos::ref

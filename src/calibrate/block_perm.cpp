@@ -1,0 +1,27 @@
+#include "calibrate/block_perm.hpp"
+
+namespace pcm::calibrate {
+
+Sweep run_block_permutations(machines::Machine& m,
+                             std::span<const int> msg_bytes, int trials) {
+  Sweep sweep;
+  sweep.name = "block permutations";
+  sweep.x_label = "message bytes";
+  for (const int mb : msg_bytes) {
+    sim::Accumulator acc;
+    for (int t = 0; t < trials; ++t) {
+      const auto pat = block_permutation(m.rng(), m.procs(), mb);
+      acc.add(time_pattern(m, pat, /*with_barrier=*/true));
+    }
+    sweep.points.push_back({static_cast<double>(mb), acc.summary()});
+  }
+  return sweep;
+}
+
+sim::LineFit fit_sigma_and_ell(const Sweep& sweep) {
+  const auto xs = sweep.xs();
+  const auto ys = sweep.means();
+  return sim::fit_line(xs, ys);
+}
+
+}  // namespace pcm::calibrate

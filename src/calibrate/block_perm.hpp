@@ -1,0 +1,20 @@
+#pragma once
+
+#include <span>
+
+#include "calibrate/microbench.hpp"
+#include "sim/fit.hpp"
+
+// Full block permutations (Section 3): the MP-BPRAM sigma (per byte) and
+// ell (startup) of Table 1 are the straight-line fit to these timings as a
+// function of the message length in bytes.
+
+namespace pcm::calibrate {
+
+Sweep run_block_permutations(machines::Machine& m,
+                             std::span<const int> msg_bytes, int trials);
+
+/// Fit sigma (slope, per byte) and ell (intercept).
+sim::LineFit fit_sigma_and_ell(const Sweep& sweep);
+
+}  // namespace pcm::calibrate

@@ -1,0 +1,37 @@
+#include "calibrate/h_relation.hpp"
+
+namespace pcm::calibrate {
+
+Sweep run_full_h_relations(machines::Machine& m, std::span<const int> hs,
+                           int trials, int bytes) {
+  Sweep sweep;
+  sweep.name = "full h-relations";
+  sweep.x_label = "h";
+  for (const int h : hs) {
+    sim::Accumulator acc;
+    for (int t = 0; t < trials; ++t) {
+      const auto pat = full_h_relation(m.rng(), m.procs(), h, bytes);
+      acc.add(time_pattern(m, pat, /*with_barrier=*/true));
+    }
+    sweep.points.push_back({static_cast<double>(h), acc.summary()});
+  }
+  return sweep;
+}
+
+Sweep run_random_relations(machines::Machine& m, std::span<const int> hs,
+                           int trials, int bytes) {
+  Sweep sweep;
+  sweep.name = "random h-relations";
+  sweep.x_label = "h";
+  for (const int h : hs) {
+    sim::Accumulator acc;
+    for (int t = 0; t < trials; ++t) {
+      const auto pat = random_destination_relation(m.rng(), m.procs(), h, bytes);
+      acc.add(time_pattern(m, pat, /*with_barrier=*/true));
+    }
+    sweep.points.push_back({static_cast<double>(h), acc.summary()});
+  }
+  return sweep;
+}
+
+}  // namespace pcm::calibrate

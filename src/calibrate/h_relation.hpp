@@ -1,0 +1,24 @@
+#pragma once
+
+#include <span>
+
+#include "calibrate/microbench.hpp"
+#include "sim/fit.hpp"
+
+// Randomly generated full h-relations (Section 3.2/3.3): the g and L of
+// Table 1 are the straight-line fit to these timings (barrier included — L
+// represents both latency and synchronisation cost).
+
+namespace pcm::calibrate {
+
+Sweep run_full_h_relations(machines::Machine& m, std::span<const int> hs,
+                           int trials, int bytes);
+
+/// Random-destination variant (receive load h only in expectation) — what
+/// Fig 7 contrasts against h-h permutations.
+Sweep run_random_relations(machines::Machine& m, std::span<const int> hs,
+                           int trials, int bytes);
+
+sim::LineFit fit_g_and_l(const Sweep& sweep);
+
+}  // namespace pcm::calibrate

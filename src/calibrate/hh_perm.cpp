@@ -1,0 +1,29 @@
+#include "calibrate/hh_perm.hpp"
+
+namespace pcm::calibrate {
+
+Sweep run_hh_permutations(machines::Machine& m, std::span<const int> hs,
+                          int trials, int barrier_every, int bytes) {
+  Sweep sweep;
+  sweep.name = (barrier_every > 0) ? "h-h permutations (synchronized)"
+                                   : "h-h permutations";
+  sweep.x_label = "h";
+  for (const int h : hs) {
+    sim::Accumulator acc;
+    for (int t = 0; t < trials; ++t) {
+      m.reset();
+      const auto perm = m.rng().permutation(m.procs());
+      const auto pat = net::patterns::from_permutation(perm, bytes);
+      for (int i = 0; i < h; ++i) {
+        m.exchange(pat);
+        if (barrier_every > 0 && (i + 1) % barrier_every == 0) m.barrier();
+      }
+      m.barrier();
+      acc.add(m.now());
+    }
+    sweep.points.push_back({static_cast<double>(h), acc.summary()});
+  }
+  return sweep;
+}
+
+}  // namespace pcm::calibrate

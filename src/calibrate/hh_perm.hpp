@@ -1,0 +1,20 @@
+#pragma once
+
+#include <span>
+
+#include "calibrate/microbench.hpp"
+
+// Fig 7: h-h permutations (the same random permutation executed h times as
+// chained communication steps) versus randomly generated h-relations on the
+// GCel. Without barriers the processors drift out of sync and the timings
+// become noisy and keep elevating; resynchronising every `barrier_every`
+// messages (the paper uses 256) restores the straight line.
+
+namespace pcm::calibrate {
+
+/// Total time for h chained permutation steps. barrier_every = 0 disables
+/// resynchronisation.
+Sweep run_hh_permutations(machines::Machine& m, std::span<const int> hs,
+                          int trials, int barrier_every, int bytes = 4);
+
+}  // namespace pcm::calibrate

@@ -1,0 +1,54 @@
+#include "calibrate/local_perm.hpp"
+
+#include <cassert>
+
+namespace pcm::calibrate {
+
+net::CommPattern local_permutation(sim::Rng& rng, int procs, int active,
+                                   int locality, int bytes) {
+  assert(locality > 0 && procs % locality == 0);
+  assert(active <= procs);
+  net::CommPattern pat(procs);
+  // Spread the active processors evenly over the blocks, then permute
+  // within each block.
+  const int blocks = procs / locality;
+  const int per_block = (active + blocks - 1) / blocks;
+  int remaining = active;
+  for (int b = 0; b < blocks && remaining > 0; ++b) {
+    const int k = std::min(per_block, remaining);
+    remaining -= k;
+    const auto members = rng.sample_without_replacement(locality, k);
+    auto targets = members;
+    rng.shuffle(std::span<int>(targets));
+    for (int i = 0; i < k; ++i) {
+      pat.add(b * locality + members[static_cast<std::size_t>(i)],
+              b * locality + targets[static_cast<std::size_t>(i)], bytes);
+    }
+  }
+  return pat;
+}
+
+Sweep run_local_permutations(machines::Machine& m, std::span<const int> actives,
+                             int locality, int trials, int bytes) {
+  Sweep sweep;
+  sweep.name = "block-local permutations";
+  sweep.x_label = "active PEs";
+  for (const int a : actives) {
+    sim::Accumulator acc;
+    for (int t = 0; t < trials; ++t) {
+      const auto pat = local_permutation(m.rng(), m.procs(), a, locality, bytes);
+      acc.add(time_pattern(m, pat, /*with_barrier=*/true));
+    }
+    sweep.points.push_back({static_cast<double>(a), acc.summary()});
+  }
+  return sweep;
+}
+
+models::UnbalancedCost fit_t_unb_local(const Sweep& sweep) {
+  const auto xs = sweep.xs();
+  const auto ys = sweep.means();
+  const auto fit = sim::fit_sqrt_poly(xs, ys);
+  return models::UnbalancedCost{fit.a, fit.b, fit.c};
+}
+
+}  // namespace pcm::calibrate

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <span>
+
+#include "calibrate/microbench.hpp"
+#include "models/params.hpp"
+#include "sim/fit.hpp"
+
+// EXTENSION (E-BSP's "general locality", the second half of the tech
+// report's title [17]): permutations restricted to PE neighbourhoods route
+// through far fewer delta-network resources than global random permutations.
+// This micro-benchmark measures permutations confined to blocks of
+// `locality` consecutive PEs and fits the locality-aware analogue of T_unb,
+// which the improved APSP prediction (Fig 12) uses for its row-local
+// all-gather phase.
+
+namespace pcm::calibrate {
+
+/// A random permutation in which every message stays within its block of
+/// `locality` consecutive processors; `active` of the P processors take part.
+net::CommPattern local_permutation(sim::Rng& rng, int procs, int active,
+                                   int locality, int bytes);
+
+/// Sweep the active-processor count at fixed locality.
+Sweep run_local_permutations(machines::Machine& m, std::span<const int> actives,
+                             int locality, int trials, int bytes = 4);
+
+/// Fit T_unb_local(P') = a*P' + b*sqrt(P') + c from the sweep.
+models::UnbalancedCost fit_t_unb_local(const Sweep& sweep);
+
+}  // namespace pcm::calibrate

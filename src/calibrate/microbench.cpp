@@ -1,0 +1,106 @@
+#include "calibrate/microbench.hpp"
+
+#include <cassert>
+
+namespace pcm::calibrate {
+
+std::vector<double> Sweep::xs() const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const auto& p : points) out.push_back(p.x);
+  return out;
+}
+
+std::vector<double> Sweep::means() const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const auto& p : points) out.push_back(p.stats.mean);
+  return out;
+}
+
+sim::Micros time_pattern(machines::Machine& m, const net::CommPattern& pat,
+                         bool with_barrier) {
+  m.reset();
+  m.exchange(pat);
+  if (with_barrier) m.barrier();
+  return m.now();
+}
+
+net::CommPattern full_h_relation(sim::Rng& rng, int procs, int h, int bytes) {
+  net::CommPattern pat(procs);
+  std::vector<std::vector<int>> dests(static_cast<std::size_t>(procs));
+  for (int i = 0; i < h; ++i) {
+    const auto perm = rng.permutation(procs);
+    for (int p = 0; p < procs; ++p) {
+      dests[static_cast<std::size_t>(p)].push_back(perm[static_cast<std::size_t>(p)]);
+    }
+  }
+  for (int p = 0; p < procs; ++p) {
+    for (const int d : dests[static_cast<std::size_t>(p)]) pat.add(p, d, bytes);
+  }
+  return pat;
+}
+
+net::CommPattern random_destination_relation(sim::Rng& rng, int procs, int h,
+                                             int bytes) {
+  net::CommPattern pat(procs);
+  for (int i = 0; i < h; ++i) {
+    for (int p = 0; p < procs; ++p) {
+      pat.add(p, static_cast<int>(rng.next_below(static_cast<std::uint64_t>(procs))),
+              bytes);
+    }
+  }
+  return pat;
+}
+
+net::CommPattern one_h_relation(sim::Rng& rng, int procs, int h, int bytes) {
+  assert(h >= 1);
+  const int ndst = (procs + h - 1) / h;
+  const auto dsts = rng.sample_without_replacement(procs, ndst);
+  // Shuffle the senders so destination loads are h (the last one fewer).
+  auto senders = rng.permutation(procs);
+  net::CommPattern pat(procs);
+  for (int i = 0; i < procs; ++i) {
+    pat.add(senders[static_cast<std::size_t>(i)],
+            dsts[static_cast<std::size_t>(i / h)], bytes);
+  }
+  return pat;
+}
+
+net::CommPattern partial_permutation(sim::Rng& rng, int procs, int active,
+                                     int bytes) {
+  const auto snd = rng.sample_without_replacement(procs, active);
+  const auto rcv = rng.sample_without_replacement(procs, active);
+  net::CommPattern pat(procs);
+  for (int i = 0; i < active; ++i) {
+    pat.add(snd[static_cast<std::size_t>(i)], rcv[static_cast<std::size_t>(i)], bytes);
+  }
+  return pat;
+}
+
+net::CommPattern block_permutation(sim::Rng& rng, int procs, int m_bytes) {
+  const auto perm = rng.permutation(procs);
+  return net::patterns::from_permutation(perm, m_bytes);
+}
+
+net::CommPattern multinode_scatter(int procs, int h, int bytes) {
+  int s = 1;
+  while ((s + 1) * (s + 1) <= procs) ++s;
+  net::CommPattern pat(procs);
+  std::vector<int> receivers;
+  std::vector<char> is_sender(static_cast<std::size_t>(procs), 0);
+  for (int i = 0; i < s; ++i) is_sender[static_cast<std::size_t>(i * s)] = 1;
+  for (int p = 0; p < procs; ++p) {
+    if (!is_sender[static_cast<std::size_t>(p)]) receivers.push_back(p);
+  }
+  long r = 0;
+  for (int i = 0; i < s; ++i) {
+    for (int k = 0; k < h; ++k) {
+      pat.add(i * s, receivers[static_cast<std::size_t>(r % receivers.size())], bytes);
+      ++r;
+    }
+  }
+  return pat;
+}
+
+}  // namespace pcm::calibrate

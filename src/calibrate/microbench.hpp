@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machines/machine.hpp"
+#include "net/pattern.hpp"
+#include "sim/stats.hpp"
+
+// Shared infrastructure for the Section 3 calibration micro-benchmarks:
+// pattern generators and the sweep container (x value -> min/mean/max over
+// trials, the paper's error-bar plots).
+
+namespace pcm::calibrate {
+
+struct SweepPoint {
+  double x = 0.0;
+  sim::Summary stats;
+};
+
+struct Sweep {
+  std::string name;
+  std::string x_label;
+  std::vector<SweepPoint> points;
+
+  [[nodiscard]] std::vector<double> xs() const;
+  [[nodiscard]] std::vector<double> means() const;
+};
+
+/// Time one communication step on a freshly reset machine (pattern time plus
+/// a closing barrier when `with_barrier`).
+sim::Micros time_pattern(machines::Machine& m, const net::CommPattern& pat,
+                         bool with_barrier);
+
+// ---- pattern generators (paper Section 3) ---------------------------------
+
+/// A full h-relation: h superimposed random permutations (every processor
+/// sends and receives exactly h messages).
+net::CommPattern full_h_relation(sim::Rng& rng, int procs, int h, int bytes);
+
+/// A random-destination relation: every processor sends h messages to
+/// uniformly random destinations (receive load is only h in expectation) —
+/// the pattern Fig 7 contrasts with h-h permutations.
+net::CommPattern random_destination_relation(sim::Rng& rng, int procs, int h,
+                                             int bytes);
+
+/// The MasPar 1-h relation experiment: ceil(P/h) random destinations, every
+/// processor sends one message, destination d receives ~h of them.
+net::CommPattern one_h_relation(sim::Rng& rng, int procs, int h, int bytes);
+
+/// A partial permutation with `active` random senders and receivers.
+net::CommPattern partial_permutation(sim::Rng& rng, int procs, int active,
+                                     int bytes);
+
+/// A full random block permutation with m-byte messages.
+net::CommPattern block_permutation(sim::Rng& rng, int procs, int m_bytes);
+
+/// A multinode scatter: sqrt(P) senders scatter h messages each across the
+/// remaining processors, balanced so each receives at most
+/// ceil(h*sqrt(P)/(P-sqrt(P))) messages.
+net::CommPattern multinode_scatter(int procs, int h, int bytes);
+
+}  // namespace pcm::calibrate

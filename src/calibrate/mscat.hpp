@@ -1,0 +1,21 @@
+#pragma once
+
+#include <span>
+
+#include "calibrate/microbench.hpp"
+#include "sim/fit.hpp"
+
+// Fig 14: multinode scatter versus full h-relations on the GCel. A scatter
+// of h messages per source costs g_mscat * h + L with g_mscat up to ~9x
+// cheaper than the full-relation g (Section 5.3) — the correction E-BSP
+// plugs into the APSP analysis.
+
+namespace pcm::calibrate {
+
+Sweep run_multinode_scatter(machines::Machine& m, std::span<const int> hs,
+                            int trials, int bytes = 4);
+
+/// Fit g_mscat (slope) and the intercept.
+sim::LineFit fit_g_mscat(const Sweep& sweep);
+
+}  // namespace pcm::calibrate

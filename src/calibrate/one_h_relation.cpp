@@ -1,0 +1,27 @@
+#include "calibrate/one_h_relation.hpp"
+
+namespace pcm::calibrate {
+
+Sweep run_one_h_relations(machines::Machine& m, std::span<const int> hs,
+                          int trials, int bytes) {
+  Sweep sweep;
+  sweep.name = "1-h relations";
+  sweep.x_label = "h";
+  for (const int h : hs) {
+    sim::Accumulator acc;
+    for (int t = 0; t < trials; ++t) {
+      const auto pat = one_h_relation(m.rng(), m.procs(), h, bytes);
+      acc.add(time_pattern(m, pat, /*with_barrier=*/true));
+    }
+    sweep.points.push_back({static_cast<double>(h), acc.summary()});
+  }
+  return sweep;
+}
+
+sim::LineFit fit_g_and_l(const Sweep& sweep) {
+  const auto xs = sweep.xs();
+  const auto ys = sweep.means();
+  return sim::fit_line(xs, ys);
+}
+
+}  // namespace pcm::calibrate

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <span>
+
+#include "calibrate/microbench.hpp"
+#include "sim/fit.hpp"
+
+// Fig 1: time for routing 1-h relations on the MasPar, averaged over trials
+// with min/max error bars, and the straight-line fit that yields (g, L).
+
+namespace pcm::calibrate {
+
+Sweep run_one_h_relations(machines::Machine& m, std::span<const int> hs,
+                          int trials, int bytes = 4);
+
+/// Fit g (slope) and L (intercept) from a 1-h relation sweep.
+sim::LineFit fit_g_and_l(const Sweep& sweep);
+
+}  // namespace pcm::calibrate

@@ -1,0 +1,29 @@
+#include "calibrate/partial_perm.hpp"
+
+namespace pcm::calibrate {
+
+Sweep run_partial_permutations(machines::Machine& m,
+                               std::span<const int> actives, int trials,
+                               int bytes) {
+  Sweep sweep;
+  sweep.name = "partial permutations";
+  sweep.x_label = "active PEs";
+  for (const int a : actives) {
+    sim::Accumulator acc;
+    for (int t = 0; t < trials; ++t) {
+      const auto pat = partial_permutation(m.rng(), m.procs(), a, bytes);
+      acc.add(time_pattern(m, pat, /*with_barrier=*/true));
+    }
+    sweep.points.push_back({static_cast<double>(a), acc.summary()});
+  }
+  return sweep;
+}
+
+models::UnbalancedCost fit_t_unb(const Sweep& sweep) {
+  const auto xs = sweep.xs();
+  const auto ys = sweep.means();
+  const auto fit = sim::fit_sqrt_poly(xs, ys);
+  return models::UnbalancedCost{fit.a, fit.b, fit.c};
+}
+
+}  // namespace pcm::calibrate

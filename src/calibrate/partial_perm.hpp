@@ -1,0 +1,21 @@
+#pragma once
+
+#include <span>
+
+#include "calibrate/microbench.hpp"
+#include "models/params.hpp"
+#include "sim/fit.hpp"
+
+// Fig 2: partial permutations as a function of the number of active PEs, and
+// the second-order (sqrt) polynomial fit that yields the E-BSP T_unb.
+
+namespace pcm::calibrate {
+
+Sweep run_partial_permutations(machines::Machine& m,
+                               std::span<const int> actives, int trials,
+                               int bytes = 4);
+
+/// Fit T_unb(P') = a*P' + b*sqrt(P') + c to the sweep.
+models::UnbalancedCost fit_t_unb(const Sweep& sweep);
+
+}  // namespace pcm::calibrate

@@ -1,0 +1,92 @@
+#include "core/registry.hpp"
+
+#include <array>
+
+namespace pcm::core {
+
+namespace {
+
+const std::array<Experiment, 25> kExperiments{{
+    {"table1", "(MP-)BSP and MP-BPRAM parameters", "all",
+     "full h-relations + block permutations", "table1_parameters",
+     "g/L/sigma/ell close to the published values"},
+    {"fig01", "1-h relations on the MasPar", "maspar", "h = 1..64",
+     "fig01_one_h_relations_maspar",
+     "roughly linear, g~32, L~1400, large variance from cluster collisions"},
+    {"fig02", "Partial permutations vs active PEs", "maspar", "P' = 1..1024",
+     "fig02_partial_permutations_maspar",
+     "T_unb quadratic-in-sqrt fit; 32 active PEs ~13% of a full permutation"},
+    {"fig03", "MP-BSP matrix multiply", "maspar", "N sweep",
+     "fig03_matmul_mpbsp_maspar", "prediction within ~14% (1-1 relations overcharged)"},
+    {"fig04", "BSP matrix multiply", "cm5", "N = 64..512",
+     "fig04_matmul_bsp_cm5",
+     "unstaggered measured ~21% above prediction at N=256; staggered matches"},
+    {"fig05", "MP-BSP bitonic time/key", "maspar", "M sweep",
+     "fig05_bitonic_mpbsp_maspar",
+     "model overestimates ~2x (cheap bit-flip router patterns)"},
+    {"fig06", "BSP bitonic time/key", "gcel", "M sweep",
+     "fig06_bitonic_bsp_gcel",
+     "unsynchronized far above prediction; barrier-every-256 matches"},
+    {"fig07", "h-h permutations vs random h-relations", "gcel", "h sweep",
+     "fig07_hh_permutations_gcel",
+     "h-h ~25% cheaper, drifts/elevates beyond ~300 steps; barriers fix it"},
+    {"fig08", "MP-BPRAM matrix multiply", "maspar", "N sweep",
+     "fig08_matmul_bpram_maspar", "errors below ~3-5%"},
+    {"fig09", "MP-BPRAM matrix multiply", "cm5", "N sweep",
+     "fig09_matmul_bpram_cm5",
+     "accurate once local compute is modelled cache-consciously"},
+    {"fig10", "MP-BPRAM bitonic time/key", "maspar", "M sweep",
+     "fig10_bitonic_bpram_maspar",
+     "overestimates, but less than MP-BSP"},
+    {"fig11", "MP-BPRAM bitonic time/key", "gcel", "M sweep",
+     "fig11_bitonic_bpram_gcel", "near-coincident prediction"},
+    {"fig12", "APSP", "maspar", "N sweep", "fig12_apsp_maspar",
+     "MP-BSP ~78% over at N=512; E-BSP (T_unb) close; +locality closer"},
+    {"fig13", "APSP", "gcel", "N sweep", "fig13_apsp_gcel",
+     "BSP over; g_mscat-corrected close"},
+    {"fig14", "Full h-relations vs multinode scatter", "gcel", "h sweep",
+     "fig14_mscat_gcel", "scatter up to ~9x cheaper per message"},
+    {"fig15", "APSP", "cm5", "N sweep", "fig15_apsp_cm5",
+     "BSP accurate (large bisection bandwidth)"},
+    {"fig16", "BSP vs MP-BPRAM matrix multiply", "cm5", "N sweep",
+     "fig16_matmul_models_cm5",
+     "block version ~43% faster at N=512 despite g/(w*sigma)=4.2"},
+    {"fig17", "MP-BSP vs MP-BPRAM bitonic", "maspar", "M sweep",
+     "fig17_bitonic_models_maspar",
+     "block version ~2.1x faster (max possible 3.3)"},
+    {"fig18", "Bitonic vs sample sort (MP-BPRAM)", "gcel", "M sweep",
+     "fig18_sorting_gcel",
+     "sample sort does not beat bitonic; staggered-packed ~2x faster"},
+    {"fig19", "Model matmuls vs matmul intrinsic", "maspar", "N sweep",
+     "fig19_matmul_vendor_maspar",
+     "intrinsic wins; ~35% penalty at N=700 (39.9 vs 61.7 Mflops)"},
+    {"fig20", "Model matmuls vs CMSSL gen_matrix_mult", "cm5", "N sweep",
+     "fig20_matmul_vendor_cm5",
+     "model version up to ~372 Mflops, CMSSL below ~151"},
+    {"micro", "Engine micro-benchmarks (google-benchmark)", "all",
+     "router/kernel throughput", "micro_engine_gbench",
+     "performance tracking for the simulators themselves"},
+    {"ablation", "Mechanism ablations", "all",
+     "each simulator mechanism toggled off", "ablation_mechanisms",
+     "each paper phenomenon disappears with its mechanism"},
+    {"ext-cannon", "Cannon's algorithm on the MasPar xnet (extension)",
+     "maspar", "N sweep, xnet vs router", "ext_cannon_xnet_maspar",
+     "nearest-neighbour locality beats every router-based variant"},
+    {"ext-models", "Five-model prediction gallery (extension)", "all",
+     "bitonic blocks under PRAM/BSP/MP-BSP/MP-BPRAM/LogGP",
+     "ext_model_gallery",
+     "PRAM grossly low; word models high on block workloads; MP-BPRAM=LogGP"},
+}};
+
+}  // namespace
+
+std::span<const Experiment> experiments() { return kExperiments; }
+
+const Experiment* find_experiment(const std::string& id) {
+  for (const auto& e : kExperiments) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace pcm::core

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+// The experiment registry: every table and figure of the paper mapped to
+// the workload, platform and bench binary that regenerates it. DESIGN.md's
+// per-experiment index in code form; tests assert full coverage.
+
+namespace pcm::core {
+
+struct Experiment {
+  std::string id;          ///< "table1", "fig01" ... "fig20".
+  std::string title;       ///< Paper caption, shortened.
+  std::string platform;    ///< "maspar", "gcel", "cm5" or "all".
+  std::string workload;    ///< What is swept.
+  std::string bench;       ///< Bench binary that regenerates it.
+  std::string headline;    ///< The claim the reproduction must preserve.
+};
+
+/// All 21 experiments (Table 1 and Figures 1-20).
+std::span<const Experiment> experiments();
+
+/// Lookup by id; nullptr if unknown.
+const Experiment* find_experiment(const std::string& id);
+
+}  // namespace pcm::core

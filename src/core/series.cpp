@@ -1,0 +1,27 @@
+#include "core/series.hpp"
+
+namespace pcm::core {
+
+std::vector<double> ValidationSeries::xs() const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const auto& p : points) out.push_back(p.x);
+  return out;
+}
+
+std::vector<double> ValidationSeries::measured_means() const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const auto& p : points) out.push_back(p.measured.mean);
+  return out;
+}
+
+const PredictedSeries* ValidationSeries::prediction(
+    const std::string& model) const {
+  for (const auto& s : predictions) {
+    if (s.model == model) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace pcm::core

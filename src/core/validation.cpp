@@ -1,0 +1,121 @@
+#include "core/validation.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "report/ascii_plot.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+namespace pcm::core {
+
+ModelErrors evaluate(const ValidationSeries& s, const std::string& model) {
+  ModelErrors e;
+  e.model = model;
+  const auto* pred = s.prediction(model);
+  if (pred == nullptr || s.points.empty()) return e;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < s.points.size() && i < pred->ys.size(); ++i) {
+    const double measured = s.points[i].measured.mean;
+    if (measured == 0.0) continue;
+    const double rel = (pred->ys[i] - measured) / measured;
+    sum += std::abs(rel);
+    if (std::abs(rel) > e.max_abs_rel) {
+      e.max_abs_rel = std::abs(rel);
+      e.worst_x = s.points[i].x;
+      e.signed_at_worst = rel;
+    }
+  }
+  e.mean_abs_rel = sum / static_cast<double>(s.points.size());
+  return e;
+}
+
+std::vector<ModelErrors> evaluate_all(const ValidationSeries& s) {
+  std::vector<ModelErrors> out;
+  out.reserve(s.predictions.size());
+  for (const auto& p : s.predictions) out.push_back(evaluate(s, p.model));
+  return out;
+}
+
+void print_series(std::ostream& os, const ValidationSeries& s, double scale,
+                  int precision) {
+  std::vector<std::string> headers{s.x_label, "measured " + s.y_label,
+                                   "min", "max"};
+  for (const auto& p : s.predictions) {
+    headers.push_back(p.model);
+    headers.push_back(p.model + " err%");
+  }
+  report::Table table(headers);
+  for (std::size_t i = 0; i < s.points.size(); ++i) {
+    const auto& pt = s.points[i];
+    std::vector<std::string> row{
+        report::Table::num(pt.x, 0),
+        report::Table::num(pt.measured.mean * scale, precision),
+        report::Table::num(pt.measured.min * scale, precision),
+        report::Table::num(pt.measured.max * scale, precision)};
+    for (const auto& p : s.predictions) {
+      const double y = (i < p.ys.size()) ? p.ys[i] : 0.0;
+      row.push_back(report::Table::num(y * scale, precision));
+      const double rel = (pt.measured.mean != 0.0)
+                             ? 100.0 * (y - pt.measured.mean) / pt.measured.mean
+                             : 0.0;
+      row.push_back(report::Table::num(rel, 1));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(os);
+
+  for (const auto& e : evaluate_all(s)) {
+    os << "  " << e.model << ": mean |rel err| = "
+       << report::Table::num(100.0 * e.mean_abs_rel, 1)
+       << "%, worst = " << report::Table::num(100.0 * e.signed_at_worst, 1)
+       << "% at " << s.x_label << " = " << report::Table::num(e.worst_x, 0)
+       << "\n";
+  }
+}
+
+void plot_series(std::ostream& os, const ValidationSeries& s, bool log_x,
+                 bool log_y) {
+  std::vector<report::PlotSeries> ps;
+  report::PlotSeries measured;
+  measured.label = "measured";
+  measured.glyph = '*';
+  measured.xs = s.xs();
+  measured.ys = s.measured_means();
+  ps.push_back(std::move(measured));
+  const char glyphs[] = {'o', '+', 'x', '#', '@'};
+  for (std::size_t i = 0; i < s.predictions.size(); ++i) {
+    report::PlotSeries p;
+    p.label = s.predictions[i].model + " (predicted)";
+    p.glyph = glyphs[i % sizeof(glyphs)];
+    p.xs = s.xs();
+    p.ys = s.predictions[i].ys;
+    ps.push_back(std::move(p));
+  }
+  report::PlotOptions opts;
+  opts.x_label = s.x_label;
+  opts.y_label = s.y_label;
+  opts.log_x = log_x;
+  opts.log_y = log_y;
+  report::ascii_plot(os, ps, opts);
+}
+
+void csv_series(const ValidationSeries& s) {
+  const std::string dir = report::Csv::results_dir();
+  if (dir.empty()) return;
+  std::vector<std::string> headers{s.x_label, "measured_mean", "measured_min",
+                                   "measured_max"};
+  for (const auto& p : s.predictions) headers.push_back("pred_" + p.model);
+  report::Csv csv(headers);
+  for (std::size_t i = 0; i < s.points.size(); ++i) {
+    std::vector<double> row{s.points[i].x, s.points[i].measured.mean,
+                            s.points[i].measured.min, s.points[i].measured.max};
+    for (const auto& p : s.predictions) {
+      row.push_back(i < p.ys.size() ? p.ys[i] : 0.0);
+    }
+    csv.add_row(row);
+  }
+  csv.write(dir, s.experiment);
+}
+
+}  // namespace pcm::core

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/series.hpp"
+
+// Error analysis over a ValidationSeries — the paper's evaluation method
+// (Section 5): per-point relative error of each model's prediction against
+// the measured mean, the worst and mean absolute errors, and a printable
+// report. Positive error = the model overestimates.
+
+namespace pcm::core {
+
+struct ModelErrors {
+  std::string model;
+  double mean_abs_rel = 0.0;  ///< Mean |prediction-measured|/measured.
+  double max_abs_rel = 0.0;
+  double worst_x = 0.0;       ///< Where the worst error occurs.
+  double signed_at_worst = 0.0;
+};
+
+/// Errors of one prediction series against the measured means.
+ModelErrors evaluate(const ValidationSeries& s, const std::string& model);
+
+/// Errors for every prediction series.
+std::vector<ModelErrors> evaluate_all(const ValidationSeries& s);
+
+/// Print the series as a fixed-width table: x, measured (min/mean/max), one
+/// column per model with its relative error.
+void print_series(std::ostream& os, const ValidationSeries& s,
+                  double scale = 1.0, int precision = 1);
+
+/// Print an ASCII plot of measured vs. predicted series.
+void plot_series(std::ostream& os, const ValidationSeries& s,
+                 bool log_x = false, bool log_y = false);
+
+/// Dump the series as CSV under PCM_RESULTS_DIR (no-op when unset).
+void csv_series(const ValidationSeries& s);
+
+}  // namespace pcm::core

@@ -1,0 +1,28 @@
+#include <memory>
+
+#include "machines/machine.hpp"
+#include "net/fat_tree.hpp"
+
+// TMC CM-5 (paper Section 3.3): 64 SPARC nodes, fat-tree data network plus
+// a dedicated control network for broadcast/scan/barrier — hence the very
+// small barrier cost.
+
+namespace pcm::machines {
+
+namespace {
+
+class CM5Machine final : public Machine {
+ public:
+  CM5Machine(std::uint64_t seed, int procs)
+      : Machine("TMC CM-5", procs, cm5_compute(),
+                std::make_unique<net::FatTree>(procs),
+                /*barrier_cost=*/40.0, seed) {}
+};
+
+}  // namespace
+
+std::unique_ptr<Machine> make_cm5(std::uint64_t seed, int procs) {
+  return std::make_unique<CM5Machine>(seed, procs);
+}
+
+}  // namespace pcm::machines

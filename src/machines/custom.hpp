@@ -1,0 +1,28 @@
+#pragma once
+
+#include <memory>
+
+#include "machines/machine.hpp"
+#include "net/delta_router.hpp"
+#include "net/fat_tree.hpp"
+#include "net/mesh_router.hpp"
+
+// Factories with explicit network parameters — the knobs for the ablation
+// studies (bench/ablation_mechanisms): e.g. a conflict-free "crossbar"
+// MasPar router makes the Fig 5 bitonic overestimate vanish, removing the
+// fat tree's hotspot penalty kills the Fig 4 staggering effect, and so on.
+
+namespace pcm::machines {
+
+std::unique_ptr<Machine> make_maspar_custom(const net::DeltaRouterParams& params,
+                                            std::uint64_t seed = 42,
+                                            int procs = 1024);
+
+std::unique_ptr<Machine> make_gcel_custom(const net::MeshRouterParams& params,
+                                          std::uint64_t seed = 42);
+
+std::unique_ptr<Machine> make_cm5_custom(const net::FatTreeParams& params,
+                                         std::uint64_t seed = 42,
+                                         int procs = 64);
+
+}  // namespace pcm::machines

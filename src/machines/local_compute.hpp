@@ -1,0 +1,83 @@
+#pragma once
+
+#include "sim/time.hpp"
+
+// Per-machine local computation cost models.
+//
+// The parallel computation models leave local computation unspecified
+// (paper Section 4.1.1); the paper determines empirical coefficients per
+// platform (alpha for a compound multiply-add, beta/gamma for radix sort)
+// and notes that the CM-5 local matrix multiply must be modelled
+// cache-consciously. This module is those coefficient sets, plus the
+// cache-aware matmul kernel model for the CM-5 whose Mflops curve matches
+// the quoted 6.5-7.5 Mflops (32..256), ~5.2 Mflops at the N = 512 working
+// set, against a ~9 Mflops peak.
+
+namespace pcm::machines {
+
+struct LocalCompute {
+  // -- matrix multiply ------------------------------------------------------
+  /// Nominal time of one compound (multiply + add) operation; this is the
+  /// alpha the analytic predictors use (paper: 0.29 µs on the CM-5).
+  sim::Micros alpha = 0.29;
+  /// Per-element cost of summing partial result blocks (the beta*N^2/q^2
+  /// term of T_bsp-mm).
+  sim::Micros beta_sum = 0.1;
+  /// Peak compound rate achievable by the tuned kernel (compound ops / µs);
+  /// used by the execution-time model, not by the predictors.
+  double kernel_base_rate = 1.0 / 0.29;
+  /// Row length (in elements) of the stationary operand above which the
+  /// direct-mapped cache starts thrashing (conflict misses between
+  /// successive rows); 0 disables the cache model (SIMD MasPar PEs stream
+  /// from local memory at a flat rate).
+  long cache_stride_elems = 0;
+  /// Strength of the cache penalty: rate is scaled by
+  /// (cache_stride_elems/cols)^cache_exponent once cols exceeds the stride
+  /// threshold.
+  double cache_exponent = 0.0;
+  /// Loop/startup overhead that penalises small kernels: the effective rate
+  /// is scaled by K/(K + small_k) where K is the inner dimension.
+  double small_k = 0.0;
+
+  // -- radix sort: T = (bits/r) * (beta_pass * 2^r + gamma * n) -------------
+  sim::Micros radix_beta = 0.5;   ///< Per-bucket cost per pass.
+  sim::Micros radix_gamma = 0.5;  ///< Per-key cost per pass.
+  int radix_bits = 8;             ///< r: radix of the sort (paper: 8-bit).
+
+  // -- misc kernels ---------------------------------------------------------
+  sim::Micros merge_per_key = 0.5;   ///< Linear two-way merge, per output key.
+  sim::Micros op = 0.2;              ///< Generic scalar op (compare, add, ...).
+  sim::Micros mem_per_byte = 0.02;   ///< Local copy cost per byte.
+
+  /// Word size in bytes of the machine's computational word (paper's w).
+  int word_bytes = 4;
+
+  // -- derived costs --------------------------------------------------------
+
+  /// Time for the *tuned* local kernel computing C(rows x cols) +=
+  /// A(rows x K) * B(K x cols). Includes cache / small-size effects, so
+  /// execution deviates from alpha * flops exactly where the paper reports
+  /// prediction error (Fig 4: "the primary source of error is in the local
+  /// computation").
+  [[nodiscard]] sim::Micros matmul_time(long rows, long k, long cols) const;
+
+  /// Effective compound rate (ops/µs) for a kernel with inner dimension K
+  /// and a stationary operand of row length `cols`.
+  [[nodiscard]] double matmul_rate(long k, long cols) const;
+
+  /// Radix sort of n keys of `bits` significant bits.
+  [[nodiscard]] sim::Micros radix_sort_time(long n, int bits = 32) const;
+
+  /// Merge producing n output keys.
+  [[nodiscard]] sim::Micros merge_time(long n) const { return merge_per_key * n; }
+
+  [[nodiscard]] sim::Micros ops_time(long n) const { return op * n; }
+  [[nodiscard]] sim::Micros copy_time(long bytes) const { return mem_per_byte * bytes; }
+};
+
+/// The three platforms' coefficient sets (Section 3 / Section 4.1.1).
+LocalCompute maspar_compute();
+LocalCompute gcel_compute();
+LocalCompute cm5_compute();
+
+}  // namespace pcm::machines

@@ -1,0 +1,99 @@
+#include "machines/machine.hpp"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+#include "net/delta_router.hpp"
+#include "net/fat_tree.hpp"
+#include "net/mesh_router.hpp"
+
+namespace pcm::machines {
+
+Machine::Machine(std::string name, int procs, LocalCompute compute,
+                 std::unique_ptr<net::Router> router, sim::Micros barrier_cost,
+                 std::uint64_t seed)
+    : name_(std::move(name)),
+      compute_(compute),
+      router_(std::move(router)),
+      clocks_(procs),
+      barrier_cost_(barrier_cost),
+      rng_(seed),
+      finish_(static_cast<std::size_t>(procs), 0.0) {
+  assert(router_ != nullptr);
+  assert(router_->procs() == procs);
+  router_->new_trial(rng_);
+}
+
+void Machine::charge(int p, sim::Micros us) {
+  assert(p >= 0 && p < procs());
+  assert(us >= 0.0);
+  clocks_.advance(p, us);
+  if (trace_.enabled()) {
+    trace_.record({sim::PhaseKind::Compute, "", clocks_.at(p) - us, us, 0, 0});
+  }
+}
+
+void Machine::charge_all(sim::Micros us) {
+  assert(us >= 0.0);
+  for (int p = 0; p < procs(); ++p) clocks_.advance(p, us);
+  if (trace_.enabled()) {
+    // Compute trace durations are per-processor work sums (one record per
+    // charge() call); a lock-step charge contributes us * P.
+    trace_.record({sim::PhaseKind::Compute, "all", now() - us,
+                   us * static_cast<double>(procs()), 0, 0});
+  }
+}
+
+void Machine::exchange(const net::CommPattern& pattern) {
+  assert(pattern.procs() == procs());
+  if (pattern.empty()) return;
+  const sim::Micros before = now();
+  router_->route(pattern, clocks_.raw(), finish_, rng_);
+  for (int p = 0; p < procs(); ++p) clocks_.ref(p) = finish_[static_cast<std::size_t>(p)];
+  if (trace_.enabled()) {
+    trace_.record({sim::PhaseKind::Communicate, "", before, now() - before,
+                   static_cast<long>(pattern.size()), pattern.total_bytes()});
+  }
+}
+
+void Machine::barrier() {
+  const sim::Micros before = now();
+  clocks_.barrier(barrier_cost_);
+  router_->drain(now());
+  if (trace_.enabled()) {
+    trace_.record(
+        {sim::PhaseKind::Barrier, "", before, now() - before, 0, 0});
+  }
+}
+
+void Machine::reset() {
+  clocks_.reset();
+  router_->reset();
+  router_->new_trial(rng_);
+}
+
+void Machine::reseed(std::uint64_t seed) {
+  rng_ = sim::Rng(seed);
+  reset();
+}
+
+std::string_view to_string(Platform p) {
+  switch (p) {
+    case Platform::MasPar: return "maspar";
+    case Platform::GCel: return "gcel";
+    case Platform::CM5: return "cm5";
+  }
+  return "?";
+}
+
+std::unique_ptr<Machine> make_machine(Platform p, std::uint64_t seed) {
+  switch (p) {
+    case Platform::MasPar: return make_maspar(seed);
+    case Platform::GCel: return make_gcel(seed);
+    case Platform::CM5: return make_cm5(seed);
+  }
+  return nullptr;
+}
+
+}  // namespace pcm::machines

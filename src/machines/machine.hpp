@@ -1,0 +1,105 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "machines/local_compute.hpp"
+#include "net/router.hpp"
+#include "sim/clockset.hpp"
+#include "sim/rng.hpp"
+#include "sim/trace.hpp"
+
+// A simulated parallel machine: P processors with virtual clocks, a network
+// router, a local-compute cost model and a barrier facility. Algorithms run
+// SPMD over real data (held by the runtime layer) and account time through
+// this interface:
+//
+//   charge(p, us)   - processor p spends `us` of local computation;
+//   exchange(pat)   - one communication step: the router consumes the
+//                     ordered per-sender message queues and advances the
+//                     participating processors' clocks. No implicit global
+//                     synchronisation on the MIMD machines;
+//   barrier()       - synchronise all clocks at the makespan (plus the
+//                     machine's barrier cost) and drain the network.
+//
+// The SIMD MasPar overrides exchange() semantics through its router (every
+// step begins at the global maximum and ends in lock-step) and has a free
+// barrier; the GCel and CM-5 are MIMD and genuinely drift between barriers.
+
+namespace pcm::machines {
+
+class Machine {
+ public:
+  virtual ~Machine() = default;
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] std::string_view name() const { return name_; }
+  [[nodiscard]] int procs() const { return clocks_.size(); }
+  /// The machine's computational word size in bytes (the paper's w).
+  [[nodiscard]] int word_bytes() const { return compute_.word_bytes; }
+  [[nodiscard]] const LocalCompute& compute() const { return compute_; }
+  [[nodiscard]] net::Router& router() { return *router_; }
+  [[nodiscard]] const net::Router& router() const { return *router_; }
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+  [[nodiscard]] sim::Trace& trace() { return trace_; }
+
+  /// Charge `us` microseconds of local work to processor p.
+  void charge(int p, sim::Micros us);
+  /// Charge the same local work to every processor (e.g. SIMD broadcast op).
+  void charge_all(sim::Micros us);
+
+  /// Execute one communication step.
+  void exchange(const net::CommPattern& pattern);
+
+  /// Barrier-synchronise all processors.
+  void barrier();
+
+  /// Makespan: the latest processor clock.
+  [[nodiscard]] sim::Micros now() const { return clocks_.max(); }
+  [[nodiscard]] sim::Micros now(int p) const { return clocks_.at(p); }
+  [[nodiscard]] const sim::ClockSet& clocks() const { return clocks_; }
+
+  /// Start a fresh measurement: clocks to zero, network drained and
+  /// re-randomised (per-trial biases redrawn). The RNG stream continues, so
+  /// successive trials differ but the whole sequence is seed-deterministic.
+  void reset();
+
+  /// Reseed the machine's RNG (for fully independent experiment campaigns).
+  void reseed(std::uint64_t seed);
+
+  [[nodiscard]] sim::Micros barrier_cost() const { return barrier_cost_; }
+
+ protected:
+  Machine(std::string name, int procs, LocalCompute compute,
+          std::unique_ptr<net::Router> router, sim::Micros barrier_cost,
+          std::uint64_t seed);
+
+ private:
+  std::string name_;
+  LocalCompute compute_;
+  std::unique_ptr<net::Router> router_;
+  sim::ClockSet clocks_;
+  sim::Micros barrier_cost_;
+  sim::Rng rng_;
+  sim::Trace trace_;
+  std::vector<sim::Micros> finish_;  // scratch
+};
+
+/// Factory functions for the three platforms of the paper (Table 1).
+std::unique_ptr<Machine> make_maspar(std::uint64_t seed = 42, int procs = 1024);
+std::unique_ptr<Machine> make_gcel(std::uint64_t seed = 42, int procs = 64);
+std::unique_ptr<Machine> make_cm5(std::uint64_t seed = 42, int procs = 64);
+
+/// Extension: the T800/Parix platform of the authors' earlier study [15]
+/// (estimated parameters — exploration, not reproduction; see t800.cpp).
+std::unique_ptr<Machine> make_t800(std::uint64_t seed = 42, int procs = 64);
+
+enum class Platform { MasPar, GCel, CM5 };
+
+[[nodiscard]] std::string_view to_string(Platform p);
+std::unique_ptr<Machine> make_machine(Platform p, std::uint64_t seed = 42);
+
+}  // namespace pcm::machines

@@ -1,0 +1,30 @@
+#include <memory>
+
+#include "machines/machine.hpp"
+#include "net/delta_router.hpp"
+
+// MasPar MP-1 (paper Section 3.1): 1024 SIMD processor elements, global
+// router = circuit-switched delta network with one channel per 16-PE
+// cluster. Barriers are free: the machine is SIMD, the ACU keeps everything
+// in lock-step, and the DeltaRouter already synchronises every
+// communication step.
+
+namespace pcm::machines {
+
+namespace {
+
+class MasParMachine final : public Machine {
+ public:
+  MasParMachine(std::uint64_t seed, int procs)
+      : Machine("MasPar MP-1", procs, maspar_compute(),
+                std::make_unique<net::DeltaRouter>(procs),
+                /*barrier_cost=*/0.0, seed) {}
+};
+
+}  // namespace
+
+std::unique_ptr<Machine> make_maspar(std::uint64_t seed, int procs) {
+  return std::make_unique<MasParMachine>(seed, procs);
+}
+
+}  // namespace pcm::machines

@@ -1,0 +1,43 @@
+#include "machines/maspar_xnet.hpp"
+
+#include "net/delta_router.hpp"
+
+namespace pcm::machines {
+
+namespace {
+
+net::XNetParams fitted(int procs, net::XNetParams p) {
+  // Square-ish PE grid for non-default machine sizes.
+  if (p.width * p.height != procs) {
+    int w = 1;
+    while (w * w < procs) ++w;
+    while (procs % w != 0) ++w;
+    p.width = w;
+    p.height = procs / w;
+  }
+  return p;
+}
+
+}  // namespace
+
+MasParXnetMachine::MasParXnetMachine(std::uint64_t seed, int procs,
+                                     net::XNetParams xnet_params)
+    : Machine("MasPar MP-1 (router+xnet)", procs, maspar_compute(),
+              std::make_unique<net::DeltaRouter>(procs), /*barrier_cost=*/0.0,
+              seed),
+      xnet_(procs, fitted(procs, xnet_params)) {}
+
+void MasParXnetMachine::xnet_shift(int distance, int bytes) {
+  charge_all(xnet_.shift_cost(distance, bytes));
+}
+
+void MasParXnetMachine::xnet_offset_shift(int dx, int dy, int bytes) {
+  charge_all(xnet_.offset_cost(dx, dy, bytes));
+}
+
+std::unique_ptr<MasParXnetMachine> make_maspar_xnet(std::uint64_t seed,
+                                                    int procs) {
+  return std::make_unique<MasParXnetMachine>(seed, procs);
+}
+
+}  // namespace pcm::machines

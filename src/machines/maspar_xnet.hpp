@@ -1,0 +1,38 @@
+#pragma once
+
+#include <memory>
+
+#include "machines/machine.hpp"
+#include "net/xnet.hpp"
+
+// The MasPar with BOTH of its communication systems: the global router
+// (inherited Machine::exchange) and the xnet neighbour grid. Extension
+// beyond the paper, which used the router exclusively; algorithms with
+// nearest-neighbour structure (Cannon's matrix multiply) exploit the xnet's
+// two-orders-of-magnitude cheaper hops — locality that neither BSP nor the
+// MP-BPRAM can express, the gap E-BSP's "general locality" aims at.
+
+namespace pcm::machines {
+
+class MasParXnetMachine final : public Machine {
+ public:
+  explicit MasParXnetMachine(std::uint64_t seed = 42, int procs = 1024,
+                             net::XNetParams xnet_params = {});
+
+  [[nodiscard]] const net::XNet& xnet() const { return xnet_; }
+
+  /// One SIMD xnet shift: every (active) PE moves `bytes` by `distance`
+  /// hops. Lock-step: all clocks advance together.
+  void xnet_shift(int distance, int bytes);
+
+  /// A shift by an arbitrary (dx, dy) offset (power-of-two decomposition).
+  void xnet_offset_shift(int dx, int dy, int bytes);
+
+ private:
+  net::XNet xnet_;
+};
+
+std::unique_ptr<MasParXnetMachine> make_maspar_xnet(std::uint64_t seed = 42,
+                                                    int procs = 1024);
+
+}  // namespace pcm::machines

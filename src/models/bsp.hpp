@@ -1,0 +1,43 @@
+#pragma once
+
+#include <algorithm>
+
+#include "models/params.hpp"
+#include "net/pattern.hpp"
+
+// The Bulk-Synchronous Parallel cost model (paper Section 2.1, following
+// the cost definition of Bisseling & McColl): a superstep with local
+// computation c, at most h_s messages sent and h_r received per processor
+// costs   c + g * max(h_s, h_r) + L.
+
+namespace pcm::models {
+
+class BspModel {
+ public:
+  explicit BspModel(BspParams p) : p_(p) {}
+
+  [[nodiscard]] const BspParams& params() const { return p_; }
+
+  /// Cost of one superstep.
+  [[nodiscard]] sim::Micros superstep(sim::Micros compute, long h_send,
+                                      long h_recv) const {
+    return compute + p_.g * static_cast<double>(std::max(h_send, h_recv)) + p_.L;
+  }
+
+  /// Communication-only superstep: an h-relation plus the barrier.
+  [[nodiscard]] sim::Micros h_relation(long h) const {
+    return p_.g * static_cast<double>(h) + p_.L;
+  }
+
+  /// Cost the model charges for an arbitrary pattern: it only looks at the
+  /// h-degree — this blindness to schedule and balance is exactly what the
+  /// paper's evaluation stresses.
+  [[nodiscard]] sim::Micros pattern_cost(const net::CommPattern& pat) const {
+    return h_relation(pat.h_degree());
+  }
+
+ private:
+  BspParams p_;
+};
+
+}  // namespace pcm::models

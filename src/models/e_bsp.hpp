@@ -1,0 +1,55 @@
+#pragma once
+
+#include "models/params.hpp"
+#include "net/pattern.hpp"
+
+// The E-BSP model (paper Section 2.3): extends BSP with unbalanced
+// communication by viewing each pattern as an (M, h1, h2)-relation. The
+// paper instantiates it per platform:
+//   - MasPar: the cost of a communication step with P' active PEs is the
+//     measured T_unb(P') = 0.84 P' + 11.8 sqrt(P') + 73.3 µs;
+//   - GCel: a multinode scatter is charged g_mscat * h + L instead of
+//     g * h + L (Section 5.3, Fig 13/14).
+
+namespace pcm::models {
+
+class EBspModel {
+ public:
+  explicit EBspModel(EBspParams p) : p_(p) {}
+
+  [[nodiscard]] const EBspParams& params() const { return p_; }
+
+  /// MasPar instantiation: cost of one communication step with `active`
+  /// processors participating (a partial permutation).
+  [[nodiscard]] sim::Micros unbalanced_step(double active) const {
+    return p_.t_unb(active);
+  }
+
+  /// GCel instantiation: h-relation realised as a multinode scatter.
+  [[nodiscard]] sim::Micros scatter_relation(long h) const {
+    return p_.g_mscat * static_cast<double>(h) + p_.bsp.L;
+  }
+
+  /// Plain BSP cost (the fallback for balanced patterns).
+  [[nodiscard]] sim::Micros h_relation(long h) const {
+    return p_.bsp.g * static_cast<double>(h) + p_.bsp.L;
+  }
+
+  /// Generic (M, h1, h2) charge: balanced part at full bandwidth, capped by
+  /// how much of the machine the pattern can keep busy. Used by tests and
+  /// the model-comparison example; the per-platform instantiations above are
+  /// what the paper's predictions use.
+  [[nodiscard]] sim::Micros relation_cost(const net::CommPattern& pat) const {
+    if (p_.t_unb.a != 0.0 || p_.t_unb.b != 0.0 || p_.t_unb.c != 0.0) {
+      // MasPar-style: per-step active-processor charge.
+      return unbalanced_step(pat.active_processors()) *
+             static_cast<double>(std::max(1, pat.max_sent()));
+    }
+    return h_relation(pat.h_degree());
+  }
+
+ private:
+  EBspParams p_;
+};
+
+}  // namespace pcm::models

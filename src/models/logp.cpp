@@ -1,0 +1,28 @@
+#include "models/logp.hpp"
+
+namespace pcm::models {
+
+LogPParams logp_from(const BspParams& bsp, double overhead_share) {
+  LogPParams p;
+  p.P = bsp.P;
+  // BSP's g is the end-to-end per-message cost at the busiest node of an
+  // h-relation; LogP splits it into per-message overhead (o at both ends)
+  // and gap. L_BSP covers both synchronisation and latency; LogP's L is the
+  // latency part (we attribute half).
+  p.g = bsp.g;
+  p.o = overhead_share * bsp.g / 2.0;
+  p.L = bsp.L * 0.5;
+  return p;
+}
+
+LogGPParams loggp_from(const BspParams& bsp, const BpramParams& bpram,
+                       double overhead_share) {
+  LogGPParams p;
+  p.logp = logp_from(bsp, overhead_share);
+  p.G = bpram.sigma;
+  // The MP-BPRAM startup ell corresponds to o + L + o in LogGP.
+  p.logp.L = std::max(0.0, bpram.ell - 2.0 * p.logp.o);
+  return p;
+}
+
+}  // namespace pcm::models

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <algorithm>
+
+#include "models/params.hpp"
+
+// The LogP model (Culler et al. [9]) and its long-message extension LogGP
+// (Alexandrov et al. [4]). The paper leans on both: LogP's finite network
+// capacity is cited as the aspect that would have caught the unstaggered
+// matmul stalls (Section 8), and the MP-BPRAM is noted to be essentially
+// LogGP (footnote 2). Providing them as first-class models lets the library
+// compare a fourth/fifth formalism against the measurements.
+//
+// Parameters: L (latency), o (overhead per message at sender and receiver),
+// g (gap: minimum interval between messages per processor), P; LogGP adds
+// G (gap per byte for long messages).
+
+namespace pcm::models {
+
+struct LogPParams {
+  int P = 1;
+  sim::Micros L = 0.0;  ///< Network latency.
+  sim::Micros o = 0.0;  ///< Send/receive overhead.
+  sim::Micros g = 0.0;  ///< Gap between messages (1/bandwidth).
+  /// Capacity: at most ceil(L/g) messages in flight per destination.
+  [[nodiscard]] long capacity() const {
+    return g > 0.0 ? static_cast<long>(L / g) + 1 : 1;
+  }
+};
+
+struct LogGPParams {
+  LogPParams logp;
+  sim::Micros G = 0.0;  ///< Gap per byte of a long message.
+};
+
+class LogPModel {
+ public:
+  explicit LogPModel(LogPParams p) : p_(p) {}
+
+  [[nodiscard]] const LogPParams& params() const { return p_; }
+
+  /// End-to-end time of one small message.
+  [[nodiscard]] sim::Micros message() const { return p_.L + 2.0 * p_.o; }
+
+  /// n messages injected back-to-back by one processor (pipelined).
+  [[nodiscard]] sim::Micros stream(long n) const {
+    if (n <= 0) return 0.0;
+    return std::max(p_.g, p_.o) * static_cast<double>(n - 1) + message();
+  }
+
+  /// A balanced h-relation: every processor sends and receives h messages.
+  /// The busiest resource is the per-processor gap/overhead pipeline.
+  [[nodiscard]] sim::Micros h_relation(long h) const {
+    if (h <= 0) return 0.0;
+    return std::max(p_.g, 2.0 * p_.o) * static_cast<double>(h) + p_.L;
+  }
+
+  /// k senders converging on one destination: the destination's gap
+  /// serialises the full volume — LogP's capacity constraint makes the
+  /// hotspot explicit (this is what BSP misses in Fig 4).
+  [[nodiscard]] sim::Micros hotspot(int senders, long msgs_each) const {
+    return p_.g * static_cast<double>(senders) * static_cast<double>(msgs_each) +
+           p_.L + 2.0 * p_.o;
+  }
+
+ private:
+  LogPParams p_;
+};
+
+class LogGPModel {
+ public:
+  explicit LogGPModel(LogGPParams p) : p_(p) {}
+
+  [[nodiscard]] const LogGPParams& params() const { return p_; }
+
+  /// One long message of n bytes: o + (n-1)G + L + o.
+  [[nodiscard]] sim::Micros long_message(long bytes) const {
+    return 2.0 * p_.logp.o + p_.G * static_cast<double>(std::max<long>(0, bytes - 1)) +
+           p_.logp.L;
+  }
+
+  /// A synchronous exchange of one long message per processor — the LogGP
+  /// rendering of an MP-BPRAM communication step.
+  [[nodiscard]] sim::Micros block_step(long bytes) const {
+    return long_message(bytes);
+  }
+
+ private:
+  LogGPParams p_;
+};
+
+/// Map fitted (MP-)BSP / MP-BPRAM parameters onto LogP/LogGP, following the
+/// correspondence the paper sketches: g_LogP ~ g_BSP per message,
+/// o ~ a share of the per-message software overhead, L ~ network latency,
+/// G ~ sigma.
+LogPParams logp_from(const BspParams& bsp, double overhead_share = 0.4);
+LogGPParams loggp_from(const BspParams& bsp, const BpramParams& bpram,
+                       double overhead_share = 0.4);
+
+}  // namespace pcm::models

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <algorithm>
+
+#include "models/params.hpp"
+#include "net/pattern.hpp"
+
+// The Message-Passing Block PRAM (paper Section 2.2): processors exchange
+// messages of arbitrary length; a processor may send and receive at most one
+// message per communication step; the step is synchronous and costs
+// sigma * max_m + ell, where max_m is the longest block transferred.
+
+namespace pcm::models {
+
+class MpBpramModel {
+ public:
+  explicit MpBpramModel(BpramParams p) : p_(p) {}
+
+  [[nodiscard]] const BpramParams& params() const { return p_; }
+
+  /// Cost of one communication step whose longest message is `bytes` long.
+  [[nodiscard]] sim::Micros comm_step(long bytes) const {
+    return p_.sigma * static_cast<double>(bytes) + p_.ell;
+  }
+
+  /// `steps` equal steps of `bytes`-byte blocks.
+  [[nodiscard]] sim::Micros block_steps(long steps, long bytes) const {
+    return static_cast<double>(steps) * comm_step(bytes);
+  }
+
+  /// Model cost of a pattern — valid only if it respects the single-port
+  /// restriction; returns the step cost for the longest block.
+  [[nodiscard]] sim::Micros pattern_cost(const net::CommPattern& pat) const {
+    long mx = 0;
+    for (int p = 0; p < pat.procs(); ++p) {
+      for (const auto& m : pat.sends_of(p)) mx = std::max(mx, static_cast<long>(m.bytes));
+    }
+    return comm_step(mx);
+  }
+
+  /// Whether the single-port restriction holds for this pattern.
+  [[nodiscard]] static bool admissible(const net::CommPattern& pat) {
+    return pat.max_sent() <= 1 && pat.max_received() <= 1;
+  }
+
+ private:
+  BpramParams p_;
+};
+
+}  // namespace pcm::models

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "models/params.hpp"
+#include "net/pattern.hpp"
+
+// The MP-BSP model (paper Section 3.1): a BSP variation reflecting the
+// MasPar's restriction that each PE may have only one outstanding message.
+// A computation step charges the maximum local cost; a communication step is
+// a 1-h relation (every processor sends at most one message, the busiest
+// memory module receives h) and costs   L + g * h.
+
+namespace pcm::models {
+
+class MpBspModel {
+ public:
+  explicit MpBspModel(BspParams p) : p_(p) {}
+
+  [[nodiscard]] const BspParams& params() const { return p_; }
+
+  /// Cost of one communication step in which the most-loaded destination
+  /// receives h messages.
+  [[nodiscard]] sim::Micros comm_step(long h = 1) const {
+    return p_.L + p_.g * static_cast<double>(h);
+  }
+
+  /// A sequence of `steps` permutation (1-1 relation) steps.
+  [[nodiscard]] sim::Micros permutation_steps(long steps) const {
+    return static_cast<double>(steps) * comm_step(1);
+  }
+
+  [[nodiscard]] sim::Micros pattern_cost(const net::CommPattern& pat) const {
+    return comm_step(pat.max_received());
+  }
+
+ private:
+  BspParams p_;
+};
+
+}  // namespace pcm::models

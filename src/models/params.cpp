@@ -1,0 +1,46 @@
+#include "models/params.hpp"
+
+namespace pcm::models {
+
+namespace table1 {
+
+MachineModelParams maspar() {
+  MachineModelParams m;
+  m.machine = "MasPar MP-1";
+  m.bsp = BspParams{1024, 32.2, 1400.0, 4};
+  m.bpram = BpramParams{1024, 107.0, 630.0};
+  m.ebsp.bsp = m.bsp;
+  m.ebsp.t_unb = UnbalancedCost{0.84, 11.8, 73.3};
+  m.ebsp.g_mscat = 0.0;  // Not measured on this platform.
+  return m;
+}
+
+MachineModelParams gcel() {
+  MachineModelParams m;
+  m.machine = "Parsytec GCel";
+  m.bsp = BspParams{64, 4480.0, 5100.0, 4};
+  m.bpram = BpramParams{64, 9.3, 6900.0};
+  m.ebsp.bsp = m.bsp;
+  m.ebsp.t_unb = UnbalancedCost{};  // Not measured on this platform.
+  m.ebsp.g_mscat = 492.0;
+  return m;
+}
+
+MachineModelParams cm5() {
+  MachineModelParams m;
+  m.machine = "TMC CM-5";
+  m.bsp = BspParams{64, 9.1, 45.0, 8};
+  m.bpram = BpramParams{64, 0.27, 75.0};
+  m.ebsp.bsp = m.bsp;
+  m.ebsp.t_unb = UnbalancedCost{};
+  m.ebsp.g_mscat = 0.0;
+  return m;
+}
+
+}  // namespace table1
+
+double block_gain(const BspParams& bsp, const BpramParams& bpram) {
+  return bsp.g / (bsp.word_bytes * bpram.sigma);
+}
+
+}  // namespace pcm::models

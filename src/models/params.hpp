@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "sim/time.hpp"
+
+// Model parameter sets, in the units of the paper (µs), plus the canonical
+// Table 1 values for the three platforms. The calibration module recovers
+// comparable numbers from the simulators; the predictors accept either.
+
+namespace pcm::models {
+
+/// (MP-)BSP parameters: P processors, bandwidth factor g (µs per message at
+/// the busiest node of an h-relation), synchronisation/latency L.
+struct BspParams {
+  int P = 1;
+  sim::Micros g = 0.0;
+  sim::Micros L = 0.0;
+  int word_bytes = 4;  ///< The fixed short-message size w.
+};
+
+/// MP-BPRAM parameters: a message of m bytes costs sigma*m + ell.
+struct BpramParams {
+  int P = 1;
+  sim::Micros sigma = 0.0;  ///< Per-byte transfer cost.
+  sim::Micros ell = 0.0;    ///< Message startup (latency).
+};
+
+/// The MasPar partial-permutation cost of Section 3.1:
+/// T_unb(P') = a*P' + b*sqrt(P') + c  (in µs, P' = active processors).
+struct UnbalancedCost {
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+
+  [[nodiscard]] sim::Micros operator()(double active) const {
+    return a * active + b * std::sqrt(active) + c;
+  }
+};
+
+/// E-BSP parameters: the underlying BSP machine plus the unbalanced-
+/// communication refinements measured in Section 3 (T_unb on the MasPar,
+/// the multinode-scatter bandwidth g_mscat on the GCel).
+struct EBspParams {
+  BspParams bsp;
+  UnbalancedCost t_unb;
+  sim::Micros g_mscat = 0.0;  ///< Per-message cost of a multinode scatter.
+  /// Extension — E-BSP's "general locality" half ([17]'s full title):
+  /// partial-permutation cost when every message stays within a small
+  /// neighbourhood of consecutive PEs. Zero-initialised = not fitted.
+  UnbalancedCost t_unb_local;
+  int locality = 0;  ///< Neighbourhood size t_unb_local was fitted at.
+};
+
+/// Everything Table 1 carries for one platform.
+struct MachineModelParams {
+  std::string machine;
+  BspParams bsp;
+  BpramParams bpram;
+  EBspParams ebsp;
+};
+
+/// The published Table 1 parameters (plus the Section 3/5 extras:
+/// T_unb for the MasPar, g_mscat for the GCel).
+namespace table1 {
+MachineModelParams maspar();
+MachineModelParams gcel();
+MachineModelParams cm5();
+}  // namespace table1
+
+/// The paper's bulk-transfer gain indicator g / (w * sigma) (Section 3.2).
+[[nodiscard]] double block_gain(const BspParams& bsp, const BpramParams& bpram);
+
+}  // namespace pcm::models

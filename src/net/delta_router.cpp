@@ -1,0 +1,135 @@
+#include "net/delta_router.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace pcm::net {
+
+namespace {
+
+int int_log(int value, int base) {
+  int s = 0;
+  int v = 1;
+  while (v < value) {
+    v *= base;
+    ++s;
+  }
+  assert(v == value && "cluster count must be a power of the radix");
+  return s;
+}
+
+}  // namespace
+
+DeltaRouter::DeltaRouter(int procs, DeltaRouterParams params)
+    : Router(procs), params_(params) {
+  assert(procs % params_.cluster_size == 0);
+  clusters_ = procs / params_.cluster_size;
+  stages_ = int_log(clusters_, params_.radix);
+}
+
+int DeltaRouter::link_at(int a, int b, int stage) const {
+  // Omega-style unique path: after `stage` stages the circuit sits on the
+  // address whose top (stage+1) radix-digits come from the destination and
+  // whose remaining low digits come from the source.
+  const int r = params_.radix;
+  int high = 1;
+  for (int s = 0; s <= stage; ++s) high *= r;  // r^(stage+1)
+  const int low_span = clusters_ / high;       // r^(S-stage-1)
+  const int addr = (b / low_span) * low_span + (a % low_span);
+  return stage * clusters_ + addr;
+}
+
+DeltaRouter::StepCost DeltaRouter::simulate(const CommPattern& pattern) const {
+  StepCost cost;
+  if (pattern.empty()) return cost;
+
+  // Per source-cluster FIFO of pending messages (head-of-line blocking:
+  // a channel transmits its PEs' messages in issue order).
+  std::vector<std::deque<Message>> pending(static_cast<std::size_t>(clusters_));
+  for (int p = 0; p < procs(); ++p) {
+    const int cl = p / params_.cluster_size;
+    for (const auto& m : pattern.sends_of(p)) {
+      pending[static_cast<std::size_t>(cl)].push_back(m);
+    }
+  }
+
+  std::vector<int> link_used(static_cast<std::size_t>(stages_ * clusters_), -1);
+  std::vector<int> dest_used(static_cast<std::size_t>(clusters_), -1);
+
+  std::size_t remaining = pattern.size();
+  int wave = 0;
+  while (remaining > 0) {
+    int wave_max_bytes = 0;
+    // Rotate the service order so no cluster is structurally favoured.
+    for (int k = 0; k < clusters_; ++k) {
+      const int cl = (k + wave) % clusters_;
+      auto& q = pending[static_cast<std::size_t>(cl)];
+      if (q.empty()) continue;
+      const Message& m = q.front();
+      const int dst_cl = m.dst / params_.cluster_size;
+
+      if (dest_used[static_cast<std::size_t>(dst_cl)] == wave) continue;
+      bool free = true;
+      if (!params_.ideal_crossbar) {
+        for (int s = 0; s < stages_; ++s) {
+          if (link_used[static_cast<std::size_t>(link_at(cl, dst_cl, s))] == wave) {
+            free = false;
+            break;
+          }
+        }
+      }
+      if (!free) continue;
+
+      dest_used[static_cast<std::size_t>(dst_cl)] = wave;
+      if (!params_.ideal_crossbar) {
+        for (int s = 0; s < stages_; ++s) {
+          link_used[static_cast<std::size_t>(link_at(cl, dst_cl, s))] = wave;
+        }
+      }
+      wave_max_bytes = std::max(wave_max_bytes, m.bytes);
+      q.pop_front();
+      --remaining;
+    }
+    // The first cluster probed always succeeds, so progress is guaranteed.
+    assert(wave_max_bytes > 0);
+    cost.duration += params_.t_circuit + params_.t_byte * wave_max_bytes;
+    ++wave;
+  }
+  cost.waves = wave;
+  cost.duration += params_.t_setup;
+  return cost;
+}
+
+sim::Micros DeltaRouter::step_duration(const CommPattern& pattern) {
+  const std::uint64_t key = pattern.hash();
+  if (auto it = memo_.find(key); it != memo_.end()) return it->second.duration;
+  const StepCost c = simulate(pattern);
+  if (memo_.size() >= 16384) memo_.clear();
+  memo_.emplace(key, c);
+  return c.duration;
+}
+
+int DeltaRouter::wave_count(const CommPattern& pattern) const {
+  return simulate(pattern).waves;
+}
+
+void DeltaRouter::route(const CommPattern& pattern,
+                        std::span<const sim::Micros> start,
+                        std::span<sim::Micros> finish, sim::Rng& /*rng*/) {
+  assert(static_cast<int>(start.size()) == procs());
+  assert(static_cast<int>(finish.size()) == procs());
+  // SIMD machine: the step begins when the slowest PE arrives and all PEs
+  // complete together (the ACU sequences the router operation).
+  const sim::Micros begin = *std::max_element(start.begin(), start.end());
+  const sim::Micros end = begin + step_duration(pattern);
+  std::fill(finish.begin(), finish.end(), end);
+}
+
+void DeltaRouter::drain(sim::Micros /*t*/) {
+  // Circuit-switched and SIMD-synchronous: nothing persists across steps.
+}
+
+void DeltaRouter::reset() { memo_.clear(); }
+
+}  // namespace pcm::net

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/router.hpp"
+
+// The MasPar MP-1 global router: a circuit-switched, multi-stage delta
+// network with a greedy routing scheme (paper Section 3.1). The P processor
+// elements are grouped into clusters of 16 that share a single router
+// channel; the channels are interconnected by a radix-4 delta network.
+//
+// Routing proceeds in "waves": in each wave every cluster channel may open
+// at most one circuit (head-of-line from its FIFO of pending sends), a
+// circuit needs its destination cluster channel plus one link per delta
+// stage, and conflicting circuits wait for a later wave. A wave lasts for
+// the circuit-establishment time plus the serial transmission time of the
+// largest payload it carries.
+//
+// Everything the paper observes on the MasPar falls out of this mechanism:
+//   - 1-h relations cost roughly t_setup + (waves ~ h) * t_wave, with large
+//     variance when several destinations share a cluster channel (Fig 1);
+//   - partial permutations with P' active PEs need only ~P'/64 waves, giving
+//     the T_unb(P') curve (Fig 2);
+//   - XOR/bit-flip exchange patterns (bitonic sort) are conflict-free inside
+//     the delta network and finish in exactly 16 waves, about twice as fast
+//     as a random full permutation (Figs 5/10/17);
+//   - long messages amortise circuit establishment (MP-BPRAM sigma/ell).
+//
+// The router is SIMD-synchronous: a communication step starts when the
+// slowest PE is ready and all PEs complete together.
+
+namespace pcm::net {
+
+struct DeltaRouterParams {
+  int cluster_size = 16;  ///< PEs per router channel.
+  int radix = 4;          ///< Delta network switch radix.
+  sim::Micros t_setup = 73.0;    ///< Per-step router invocation overhead.
+  sim::Micros t_circuit = 21.0;  ///< Circuit establishment per wave.
+  sim::Micros t_byte = 2.7;      ///< Serial per-byte channel time.
+  /// Ablation knob: pretend the interconnect between cluster channels is an
+  /// ideal crossbar (no internal stage conflicts). Random permutations then
+  /// cost the same as bit-flip patterns and the Fig 5/10 model overestimate
+  /// disappears.
+  bool ideal_crossbar = false;
+};
+
+class DeltaRouter final : public Router {
+ public:
+  DeltaRouter(int procs, DeltaRouterParams params = {});
+
+  void route(const CommPattern& pattern, std::span<const sim::Micros> start,
+             std::span<sim::Micros> finish, sim::Rng& rng) override;
+
+  void drain(sim::Micros t) override;
+  void reset() override;
+
+  [[nodiscard]] const DeltaRouterParams& params() const { return params_; }
+  [[nodiscard]] int clusters() const { return clusters_; }
+  [[nodiscard]] int stages() const { return stages_; }
+
+  /// Duration of routing `pattern` in isolation (what route() adds to the
+  /// common start time). Memoised by pattern hash.
+  [[nodiscard]] sim::Micros step_duration(const CommPattern& pattern);
+
+  /// Number of waves the greedy circuit allocator needs (exposed for tests).
+  [[nodiscard]] int wave_count(const CommPattern& pattern) const;
+
+ private:
+  struct StepCost {
+    int waves = 0;
+    sim::Micros duration = 0.0;
+  };
+  [[nodiscard]] StepCost simulate(const CommPattern& pattern) const;
+
+  /// Link id used by a circuit from cluster `a` to cluster `b` at `stage`.
+  [[nodiscard]] int link_at(int a, int b, int stage) const;
+
+  DeltaRouterParams params_;
+  int clusters_;
+  int stages_;
+  mutable std::unordered_map<std::uint64_t, StepCost> memo_;
+};
+
+}  // namespace pcm::net

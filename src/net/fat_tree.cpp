@@ -1,0 +1,150 @@
+#include "net/fat_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+namespace pcm::net {
+
+namespace {
+
+double clipped_jitter(sim::Rng& rng, double sigma) {
+  const double g = std::clamp(rng.next_gaussian(), -3.0, 3.0);
+  return std::max(0.5, 1.0 + sigma * g);
+}
+
+}  // namespace
+
+FatTree::FatTree(int procs, FatTreeParams params)
+    : Router(procs),
+      params_(params),
+      cpu_free_(static_cast<std::size_t>(procs), 0.0),
+      port_free_(static_cast<std::size_t>(procs), 0.0),
+      queues_(static_cast<std::size_t>(procs)) {
+  for (auto& q : queues_) q.per_sender.assign(static_cast<std::size_t>(procs), 0);
+}
+
+void FatTree::route(const CommPattern& pattern,
+                    std::span<const sim::Micros> start,
+                    std::span<sim::Micros> finish, sim::Rng& rng) {
+  const int P = procs();
+  assert(static_cast<int>(start.size()) == P);
+  assert(static_cast<int>(finish.size()) == P);
+
+  for (int p = 0; p < P; ++p) finish[p] = start[p];
+  if (pattern.empty()) return;
+
+  const auto recv_counts = pattern.receive_counts();
+
+  // Event loop: always advance the sender whose next injection completes
+  // first. Backpressure may push a sender's CPU forward, which is why the
+  // schedule cannot be precomputed per node.
+  struct Cursor {
+    std::size_t idx = 0;
+  };
+  std::vector<Cursor> cursor(static_cast<std::size_t>(P));
+  std::vector<sim::Micros> recv_free(static_cast<std::size_t>(P));
+  for (int p = 0; p < P; ++p) {
+    recv_free[static_cast<std::size_t>(p)] =
+        std::max(cpu_free_[static_cast<std::size_t>(p)], start[p]);
+  }
+
+  using Item = std::pair<sim::Micros, int>;  // (candidate injection start, src)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  for (int p = 0; p < P; ++p) {
+    if (!pattern.sends_of(p).empty()) {
+      auto& cpu = cpu_free_[static_cast<std::size_t>(p)];
+      cpu = std::max(cpu, start[p]);
+      pq.emplace(cpu, p);
+    }
+  }
+
+  while (!pq.empty()) {
+    const auto [t, src] = pq.top();
+    pq.pop();
+    auto& cur = cursor[static_cast<std::size_t>(src)];
+    const auto sends = pattern.sends_of(src);
+    const Message& m = sends[cur.idx];
+
+    // Injection.
+    auto& cpu = cpu_free_[static_cast<std::size_t>(src)];
+    cpu = std::max(cpu, t);
+    sim::Micros cost = (params_.o_send + params_.copy_send * m.bytes) *
+                       clipped_jitter(rng, params_.jitter);
+    if (m.bytes >= params_.bulk_threshold) cost += params_.bulk_setup;
+    cpu += cost;
+    const sim::Micros departure = cpu;
+    const sim::Micros arrival = departure + params_.t_lat;
+
+    // Ejection port with distinct-sender arbitration penalty.
+    auto& q = queues_[static_cast<std::size_t>(m.dst)];
+    while (!q.entries.empty() && q.entries.front().first <= arrival) {
+      const int sender = q.entries.front().second;
+      q.entries.pop_front();
+      if (--q.per_sender[static_cast<std::size_t>(sender)] == 0) --q.distinct;
+    }
+    const int others =
+        q.distinct - (q.per_sender[static_cast<std::size_t>(m.src)] > 0 ? 1 : 0);
+    const double mult = 1.0 + params_.kappa_hotspot * std::min(others, 3);
+    const sim::Micros service =
+        (params_.t_eject + params_.eject_byte * m.bytes) * mult *
+        clipped_jitter(rng, params_.jitter);
+    auto& port = port_free_[static_cast<std::size_t>(m.dst)];
+    const sim::Micros admission_begin = std::max(arrival, port);
+    const sim::Micros admission_end = admission_begin + service;
+    port = admission_end;
+    if (q.per_sender[static_cast<std::size_t>(m.src)]++ == 0) ++q.distinct;
+    q.entries.emplace_back(admission_end, m.src);
+
+    // Backpressure: excessive ejection wait stalls the sender.
+    const sim::Micros wait = admission_begin - arrival;
+    if (wait > params_.capacity_slack) {
+      cpu += wait - params_.capacity_slack;
+    }
+
+    // Receive handling on the destination CPU.
+    auto& rf = recv_free[static_cast<std::size_t>(m.dst)];
+    rf = std::max(rf, admission_end) +
+         (params_.o_recv + params_.copy_recv * m.bytes) *
+             clipped_jitter(rng, params_.jitter);
+    finish[m.dst] = std::max(finish[m.dst], rf);
+
+    ++cur.idx;
+    if (cur.idx < sends.size()) pq.emplace(cpu, src);
+  }
+
+  for (int p = 0; p < P; ++p) {
+    const bool sent = !pattern.sends_of(p).empty();
+    const bool received = recv_counts[static_cast<std::size_t>(p)] > 0;
+    if (!sent && !received) continue;
+    if (sent) finish[p] = std::max(finish[p], cpu_free_[static_cast<std::size_t>(p)]);
+    // Fold the receive-handler occupancy back into the node CPU so chained
+    // steps see it.
+    cpu_free_[static_cast<std::size_t>(p)] =
+        std::max(cpu_free_[static_cast<std::size_t>(p)], recv_free[static_cast<std::size_t>(p)]);
+    finish[p] = std::max(finish[p], start[p]);
+  }
+}
+
+void FatTree::drain(sim::Micros t) {
+  for (auto& c : cpu_free_) c = t;
+  for (auto& pf : port_free_) pf = std::min(pf, t);
+  for (auto& q : queues_) {
+    q.entries.clear();
+    std::fill(q.per_sender.begin(), q.per_sender.end(), 0);
+    q.distinct = 0;
+  }
+}
+
+void FatTree::reset() {
+  std::fill(cpu_free_.begin(), cpu_free_.end(), 0.0);
+  std::fill(port_free_.begin(), port_free_.end(), 0.0);
+  for (auto& q : queues_) {
+    q.entries.clear();
+    std::fill(q.per_sender.begin(), q.per_sender.end(), 0);
+    q.distinct = 0;
+  }
+}
+
+}  // namespace pcm::net

@@ -1,0 +1,197 @@
+#include "net/mesh_router.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pcm::net {
+
+namespace {
+
+double clipped_jitter(sim::Rng& rng, double sigma) {
+  const double g = std::clamp(rng.next_gaussian(), -3.0, 3.0);
+  return std::max(0.5, 1.0 + sigma * g);
+}
+
+}  // namespace
+
+MeshRouter::MeshRouter(int procs, MeshRouterParams params, std::uint64_t seed)
+    : Router(procs),
+      params_(params),
+      cpu_free_(static_cast<std::size_t>(procs), 0.0),
+      link_free_(static_cast<std::size_t>(procs) * 4, 0.0),
+      bias_(static_cast<std::size_t>(procs), 1.0) {
+  assert(params_.width * params_.height == procs);
+  sim::Rng r(seed);
+  redraw_biases(r);
+}
+
+int MeshRouter::hops(int a, int b) const {
+  const int ax = a % params_.width, ay = a / params_.width;
+  const int bx = b % params_.width, by = b / params_.width;
+  return std::abs(ax - bx) + std::abs(ay - by);
+}
+
+int MeshRouter::link_index(int x, int y, int dir) const {
+  return ((y * params_.width) + x) * 4 + dir;
+}
+
+void MeshRouter::redraw_biases(sim::Rng& rng) {
+  for (auto& b : bias_) {
+    b = std::max(0.8, 1.0 + params_.node_bias *
+                           std::clamp(rng.next_gaussian(), -2.5, 2.5));
+  }
+}
+
+void MeshRouter::route(const CommPattern& pattern,
+                       std::span<const sim::Micros> start,
+                       std::span<sim::Micros> finish, sim::Rng& rng) {
+  const int P = procs();
+  assert(static_cast<int>(start.size()) == P);
+  assert(static_cast<int>(finish.size()) == P);
+
+  for (int p = 0; p < P; ++p) finish[p] = start[p];
+  if (pattern.empty()) return;
+
+  // Desynchronisation spread among the processors that take part in this
+  // step. Excess over what PVM's buffering tolerates surcharges every
+  // receive below (see header comment).
+  sim::Micros lo = 0.0, hi = 0.0;
+  bool any = false;
+  const auto recv_counts = pattern.receive_counts();
+  for (int p = 0; p < P; ++p) {
+    if (pattern.sends_of(p).empty() && recv_counts[static_cast<std::size_t>(p)] == 0)
+      continue;
+    if (!any) {
+      lo = hi = start[p];
+      any = true;
+    } else {
+      lo = std::min(lo, start[p]);
+      hi = std::max(hi, start[p]);
+    }
+  }
+  const sim::Micros excess = std::max(0.0, (hi - lo) - params_.desync_tolerance);
+  const sim::Micros surcharge =
+      std::min(params_.desync_penalty * excess, params_.max_desync_surcharge);
+
+  // Phase 1: senders issue their messages in queue order (one CPU per node).
+  struct InFlight {
+    sim::Micros departure;
+    Message m;
+  };
+  std::vector<InFlight> flight;
+  flight.reserve(pattern.size());
+  for (int p = 0; p < P; ++p) {
+    const auto sends = pattern.sends_of(p);
+    if (sends.empty()) continue;
+    auto& cpu = cpu_free_[static_cast<std::size_t>(p)];
+    cpu = std::max(cpu, start[p]);
+    const double bias = bias_[static_cast<std::size_t>(p)];
+    for (const auto& m : sends) {
+      const sim::Micros cost =
+          (params_.o_send + params_.copy_send * m.bytes) * bias *
+          clipped_jitter(rng, params_.jitter);
+      cpu += cost;
+      flight.push_back(InFlight{cpu, m});
+    }
+  }
+
+  // Phase 2: store-and-forward XY transit, messages claim links in global
+  // departure order.
+  std::stable_sort(flight.begin(), flight.end(),
+                   [](const InFlight& a, const InFlight& b) {
+                     return a.departure < b.departure;
+                   });
+  arrivals_.clear();
+  arrivals_.reserve(flight.size());
+  for (const auto& f : flight) {
+    sim::Micros t = f.departure;
+    int x = f.m.src % params_.width;
+    int y = f.m.src / params_.width;
+    const int dx = f.m.dst % params_.width;
+    const int dy = f.m.dst / params_.width;
+    const sim::Micros hop_cost =
+        params_.t_hop_lat + params_.t_link_byte * f.m.bytes;
+    while (x != dx) {
+      const int dir = (dx > x) ? 0 : 1;  // 0=E, 1=W
+      auto& link = link_free_[static_cast<std::size_t>(link_index(x, y, dir))];
+      link = std::max(link, t) + hop_cost;
+      t = link;
+      x += (dx > x) ? 1 : -1;
+    }
+    while (y != dy) {
+      const int dir = (dy > y) ? 2 : 3;  // 2=S, 3=N
+      auto& link = link_free_[static_cast<std::size_t>(link_index(x, y, dir))];
+      link = std::max(link, t) + hop_cost;
+      t = link;
+      y += (dy > y) ? 1 : -1;
+    }
+    arrivals_.push_back(Arrival{t, f.m.dst, f.m.bytes});
+  }
+
+  // Phase 3: receivers process deliveries in arrival order on the same CPU
+  // that issued their sends.
+  recv_order_.resize(arrivals_.size());
+  for (std::size_t i = 0; i < arrivals_.size(); ++i)
+    recv_order_[i] = static_cast<int>(i);
+  std::stable_sort(recv_order_.begin(), recv_order_.end(), [this](int a, int b) {
+    const auto& aa = arrivals_[static_cast<std::size_t>(a)];
+    const auto& ab = arrivals_[static_cast<std::size_t>(b)];
+    if (aa.dst != ab.dst) return aa.dst < ab.dst;
+    return aa.t < ab.t;
+  });
+  // Walk each receiver's arrivals in order; `done` counts processed
+  // messages of the current receiver, `ahead` the arrivals already in the
+  // buffer when a message starts processing (backlog = ahead - done).
+  int current_dst = -1;
+  std::size_t done = 0, ahead = 0, dst_begin = 0;
+  for (std::size_t oi = 0; oi < recv_order_.size(); ++oi) {
+    const int idx = recv_order_[oi];
+    const auto& a = arrivals_[static_cast<std::size_t>(idx)];
+    if (a.dst != current_dst) {
+      current_dst = a.dst;
+      done = ahead = 0;
+      dst_begin = oi;
+    }
+    auto& cpu = cpu_free_[static_cast<std::size_t>(a.dst)];
+    const sim::Micros begin = std::max({cpu, a.t, start[a.dst]});
+    // Advance `ahead` over this receiver's arrivals that are <= begin.
+    while (dst_begin + ahead < recv_order_.size()) {
+      const auto& nxt =
+          arrivals_[static_cast<std::size_t>(recv_order_[dst_begin + ahead])];
+      if (nxt.dst != a.dst || nxt.t > begin) break;
+      ++ahead;
+    }
+    const long backlog = static_cast<long>(ahead - done) - 1;
+    const sim::Micros backlog_cost =
+        (backlog > params_.backlog_tolerance)
+            ? params_.backlog_penalty *
+                  static_cast<double>(backlog - params_.backlog_tolerance)
+            : 0.0;
+    const double bias = bias_[static_cast<std::size_t>(a.dst)];
+    const sim::Micros cost =
+        (params_.o_recv + params_.copy_recv * a.bytes) * bias *
+            clipped_jitter(rng, params_.jitter) +
+        surcharge + backlog_cost;
+    cpu = begin + cost;
+    ++done;
+  }
+
+  for (int p = 0; p < P; ++p) {
+    if (pattern.sends_of(p).empty() && recv_counts[static_cast<std::size_t>(p)] == 0)
+      continue;
+    finish[p] = std::max(start[p], cpu_free_[static_cast<std::size_t>(p)]);
+  }
+}
+
+void MeshRouter::drain(sim::Micros t) {
+  for (auto& c : cpu_free_) c = t;
+  for (auto& l : link_free_) l = std::min(l, t);
+}
+
+void MeshRouter::reset() {
+  std::fill(cpu_free_.begin(), cpu_free_.end(), 0.0);
+  std::fill(link_free_.begin(), link_free_.end(), 0.0);
+}
+
+}  // namespace pcm::net

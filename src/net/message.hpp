@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+
+// A point-to-point message as seen by the routers. `bytes` is the payload
+// size: the BSP-style algorithms send fixed w-byte words (w = 4 on the
+// MasPar/GCel, 8 on the CM-5 per the paper), the MP-BPRAM algorithms send
+// arbitrary-length blocks. Routers charge per-message and per-byte costs, so
+// the word/block distinction needs no separate mode flag.
+
+namespace pcm::net {
+
+struct Message {
+  std::int32_t src = 0;
+  std::int32_t dst = 0;
+  std::int32_t bytes = 0;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+}  // namespace pcm::net

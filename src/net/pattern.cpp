@@ -1,0 +1,146 @@
+#include "net/pattern.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pcm::net {
+
+CommPattern::CommPattern(int procs)
+    : procs_(procs), by_sender_(static_cast<std::size_t>(procs)) {
+  assert(procs > 0);
+}
+
+void CommPattern::add(int src, int dst, int bytes) {
+  assert(src >= 0 && src < procs_);
+  assert(dst >= 0 && dst < procs_);
+  assert(bytes > 0);
+  by_sender_[static_cast<std::size_t>(src)].push_back(Message{src, dst, bytes});
+  ++count_;
+}
+
+void CommPattern::add(const Message& m) { add(m.src, m.dst, m.bytes); }
+
+std::span<const Message> CommPattern::sends_of(int p) const {
+  assert(p >= 0 && p < procs_);
+  return by_sender_[static_cast<std::size_t>(p)];
+}
+
+std::vector<Message> CommPattern::flatten() const {
+  std::vector<Message> out;
+  out.reserve(count_);
+  for (const auto& q : by_sender_) out.insert(out.end(), q.begin(), q.end());
+  return out;
+}
+
+long CommPattern::total_bytes() const {
+  long acc = 0;
+  for (const auto& q : by_sender_) {
+    for (const auto& m : q) acc += m.bytes;
+  }
+  return acc;
+}
+
+void CommPattern::clear() {
+  for (auto& q : by_sender_) q.clear();
+  count_ = 0;
+}
+
+int CommPattern::max_sent() const {
+  std::size_t mx = 0;
+  for (const auto& q : by_sender_) mx = std::max(mx, q.size());
+  return static_cast<int>(mx);
+}
+
+std::vector<int> CommPattern::receive_counts() const {
+  std::vector<int> rc(static_cast<std::size_t>(procs_), 0);
+  for (const auto& q : by_sender_) {
+    for (const auto& m : q) ++rc[static_cast<std::size_t>(m.dst)];
+  }
+  return rc;
+}
+
+std::vector<int> CommPattern::send_counts() const {
+  std::vector<int> sc(static_cast<std::size_t>(procs_), 0);
+  for (std::size_t p = 0; p < by_sender_.size(); ++p) {
+    sc[p] = static_cast<int>(by_sender_[p].size());
+  }
+  return sc;
+}
+
+int CommPattern::max_received() const {
+  const auto rc = receive_counts();
+  return rc.empty() ? 0 : *std::max_element(rc.begin(), rc.end());
+}
+
+int CommPattern::h_degree() const { return std::max(max_sent(), max_received()); }
+
+int CommPattern::active_processors() const {
+  std::vector<char> active(static_cast<std::size_t>(procs_), 0);
+  for (const auto& q : by_sender_) {
+    for (const auto& m : q) {
+      active[static_cast<std::size_t>(m.src)] = 1;
+      active[static_cast<std::size_t>(m.dst)] = 1;
+    }
+  }
+  return static_cast<int>(std::count(active.begin(), active.end(), 1));
+}
+
+bool CommPattern::is_partial_permutation() const {
+  if (max_sent() > 1) return false;
+  return max_received() <= 1;
+}
+
+bool CommPattern::is_full_permutation() const {
+  return count_ == static_cast<std::size_t>(procs_) && is_partial_permutation();
+}
+
+CommPattern::Relation CommPattern::classify() const {
+  Relation r;
+  r.total = static_cast<long>(count_);
+  r.h_send = max_sent();
+  r.h_recv = max_received();
+  return r;
+}
+
+std::uint64_t CommPattern::hash() const {
+  // FNV-1a over the (src, dst, bytes) stream in sender order.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(static_cast<std::uint64_t>(procs_));
+  for (const auto& q : by_sender_) {
+    mix(q.size());
+    for (const auto& m : q) {
+      mix(static_cast<std::uint64_t>(m.src) << 40 |
+          static_cast<std::uint64_t>(m.dst) << 16 |
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.bytes)));
+    }
+  }
+  return h;
+}
+
+namespace patterns {
+
+CommPattern from_permutation(std::span<const int> perm, int bytes) {
+  CommPattern pat(static_cast<int>(perm.size()));
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] >= 0) pat.add(static_cast<int>(i), perm[i], bytes);
+  }
+  return pat;
+}
+
+CommPattern bit_flip(int procs, int bit, int msgs, int bytes) {
+  assert((procs & (procs - 1)) == 0 && "bit_flip expects power-of-two procs");
+  assert((1 << bit) < procs);
+  CommPattern pat(procs);
+  for (int m = 0; m < msgs; ++m) {
+    for (int p = 0; p < procs; ++p) pat.add(p, p ^ (1 << bit), bytes);
+  }
+  return pat;
+}
+
+}  // namespace patterns
+
+}  // namespace pcm::net

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/message.hpp"
+
+// CommPattern: one communication step's worth of messages, kept as ordered
+// per-sender queues. The order is semantically meaningful — a "staggered"
+// schedule differs from an unstaggered one only in this order, and the
+// routers consume messages round-by-round, which is how the paper's
+// staggering effects (Section 5.1, Fig 4) arise in this library.
+//
+// The analysis helpers implement the paper's vocabulary: an h-relation
+// (every processor sends and receives at most h messages), a 1-h relation
+// (Section 3.1), and the E-BSP (M, h1, h2)-relation of Section 2.3.
+
+namespace pcm::net {
+
+class CommPattern {
+ public:
+  explicit CommPattern(int procs);
+
+  [[nodiscard]] int procs() const { return procs_; }
+
+  /// Append a message to `src`'s ordered send queue.
+  void add(int src, int dst, int bytes);
+  void add(const Message& m);
+
+  /// Number of messages queued in total.
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  /// Ordered queue of messages sent by processor p.
+  [[nodiscard]] std::span<const Message> sends_of(int p) const;
+
+  /// All messages flattened in (sender, queue position) order.
+  [[nodiscard]] std::vector<Message> flatten() const;
+
+  /// Total payload bytes.
+  [[nodiscard]] long total_bytes() const;
+
+  void clear();
+
+  // --- analysis (paper Section 2) -----------------------------------------
+
+  /// h1: max messages sent by any processor.
+  [[nodiscard]] int max_sent() const;
+  /// h2: max messages received by any processor.
+  [[nodiscard]] int max_received() const;
+  /// h = max(h1, h2): the pattern is an h-relation of this degree.
+  [[nodiscard]] int h_degree() const;
+  /// Per-processor receive counts.
+  [[nodiscard]] std::vector<int> receive_counts() const;
+  /// Per-processor send counts.
+  [[nodiscard]] std::vector<int> send_counts() const;
+
+  /// Processors that send or receive at least one message.
+  [[nodiscard]] int active_processors() const;
+
+  /// True if every processor sends <= 1 and receives <= 1 message
+  /// (a partial permutation; "full" if exactly P messages).
+  [[nodiscard]] bool is_partial_permutation() const;
+  [[nodiscard]] bool is_full_permutation() const;
+
+  struct Relation {
+    long total = 0;  ///< M: total messages routed.
+    int h_send = 0;  ///< h1.
+    int h_recv = 0;  ///< h2.
+  };
+  /// The E-BSP (M, h1, h2) classification of this pattern.
+  [[nodiscard]] Relation classify() const;
+
+  /// 64-bit content hash (order-sensitive) for router memoisation.
+  [[nodiscard]] std::uint64_t hash() const;
+
+ private:
+  int procs_;
+  std::size_t count_ = 0;
+  std::vector<std::vector<Message>> by_sender_;
+};
+
+/// Convenience builders used by tests and the calibration micro-benchmarks.
+namespace patterns {
+
+/// perm[i] = destination of processor i's single message; perm[i] < 0 means
+/// processor i stays silent. Every message carries `bytes`.
+CommPattern from_permutation(std::span<const int> perm, int bytes);
+
+/// The bit-flip exchange pattern of bitonic step with partner distance
+/// 2^bit: every processor sends `msgs` messages of `bytes` to (id XOR 2^bit).
+CommPattern bit_flip(int procs, int bit, int msgs, int bytes);
+
+}  // namespace patterns
+
+}  // namespace pcm::net

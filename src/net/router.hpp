@@ -1,0 +1,54 @@
+#pragma once
+
+#include <span>
+
+#include "net/pattern.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+// Router interface implemented by the three machine networks.
+//
+// route() consumes a CommPattern given per-processor ready times (`start`)
+// and fills per-processor completion times (`finish`): finish[p] is when
+// processor p has issued all of its sends *and* finished receiving every
+// message destined to it. No global synchronisation is implied — that is the
+// machine's barrier() — so on the MIMD machines processors genuinely drift
+// when supersteps are chained without barriers (paper Fig 7).
+//
+// Routers may keep internal state between calls (link/port/CPU availability,
+// receive-queue backlogs). drain() is called by the machine's barrier and
+// must bring all internal resources to the given instant.
+
+namespace pcm::net {
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  [[nodiscard]] int procs() const { return procs_; }
+
+  virtual void route(const CommPattern& pattern,
+                     std::span<const sim::Micros> start,
+                     std::span<sim::Micros> finish, sim::Rng& rng) = 0;
+
+  /// Synchronise internal resource clocks to `t` (a barrier happened).
+  virtual void drain(sim::Micros t) = 0;
+
+  /// Reset all internal state to time zero.
+  virtual void reset() = 0;
+
+  /// Begin a new measurement trial: redraw any per-run randomness (e.g. the
+  /// GCel per-node speed biases). Default: nothing to redraw.
+  virtual void new_trial(sim::Rng& rng) { (void)rng; }
+
+ protected:
+  explicit Router(int procs) : procs_(procs) {}
+
+ private:
+  int procs_;
+};
+
+}  // namespace pcm::net

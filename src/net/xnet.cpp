@@ -1,0 +1,41 @@
+#include "net/xnet.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace pcm::net {
+
+XNet::XNet(int procs, XNetParams params) : procs_(procs), params_(params) {
+  assert(params_.width * params_.height == procs);
+}
+
+sim::Micros XNet::shift_cost(int distance, int bytes) const {
+  assert(distance >= 0);
+  assert(bytes >= 0);
+  if (distance == 0 || bytes == 0) return 0.0;
+  return params_.t_setup + params_.t_hop * distance +
+         params_.t_bitplane * 8.0 * static_cast<double>(bytes) * distance;
+}
+
+sim::Micros XNet::offset_cost(int dx, int dy, int bytes) const {
+  // Decompose each axis offset into power-of-two shifts (set bits).
+  auto axis = [&](int d) {
+    sim::Micros acc = 0.0;
+    unsigned v = static_cast<unsigned>(std::abs(d));
+    for (int bit = 0; v != 0; ++bit, v >>= 1) {
+      if (v & 1u) acc += shift_cost(1 << bit, bytes);
+    }
+    return acc;
+  };
+  return axis(dx) + axis(dy);
+}
+
+int XNet::neighbour(int pe, int dx, int dy) const {
+  const int w = params_.width, h = params_.height;
+  const int x = pe % w, y = pe / w;
+  const int nx = ((x + dx) % w + w) % w;
+  const int ny = ((y + dy) % h + h) % h;
+  return ny * w + nx;
+}
+
+}  // namespace pcm::net

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "sim/time.hpp"
+
+// The MasPar xnet: the MP-1's *other* communication system (paper
+// Section 3.1), a toroidal 2D neighbour grid over the PE array in which
+// every PE can shift data to one of eight neighbours, SIMD-synchronously,
+// one bit-plane per machine cycle. Distance-d shifts pipe through
+// intermediate PEs. The paper "worked exclusively with router
+// communication"; this module is the extension that shows what that choice
+// left on the table — xnet shifts move a byte one hop in well under a
+// microsecond, two orders of magnitude below a router message.
+//
+// Cost model for a uniform (possibly masked) shift of `bytes` per PE over
+// `distance` hops: every PE's data moves simultaneously, one bit-plane per
+// cycle per hop, so the body cost is multiplicative in distance:
+//   t = t_setup + distance * t_hop + bytes * 8 * t_bitplane * distance.
+
+namespace pcm::net {
+
+struct XNetParams {
+  int width = 32;   ///< PE grid columns (32x32 = 1024 PEs).
+  int height = 32;  ///< PE grid rows.
+  sim::Micros t_setup = 4.0;      ///< ACU instruction overhead per shift.
+  sim::Micros t_hop = 0.08;       ///< Head latency per hop (one cycle/bit).
+  sim::Micros t_bitplane = 0.08;  ///< Per bit-plane streaming cost (80 ns).
+};
+
+class XNet {
+ public:
+  XNet(int procs, XNetParams params = {});
+
+  [[nodiscard]] const XNetParams& params() const { return params_; }
+  [[nodiscard]] int procs() const { return procs_; }
+
+  /// Cost of one SIMD shift moving `bytes` per active PE over `distance`
+  /// hops in any of the eight directions (masking does not change the cost:
+  /// the ACU issues the same instruction stream).
+  [[nodiscard]] sim::Micros shift_cost(int distance, int bytes) const;
+
+  /// Cost of a shift by an arbitrary offset realised as a sequence of
+  /// power-of-two shifts (the standard xnetp idiom): sum over the set bits.
+  [[nodiscard]] sim::Micros offset_cost(int dx, int dy, int bytes) const;
+
+  /// Toroidal neighbour arithmetic for algorithms that move real data.
+  [[nodiscard]] int neighbour(int pe, int dx, int dy) const;
+
+ private:
+  int procs_;
+  XNetParams params_;
+};
+
+}  // namespace pcm::net

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "machines/local_compute.hpp"
+#include "models/params.hpp"
+
+// Predictions for the all pairs shortest path algorithm (paper Section 4.4
+// and 4.4.1). M = N/sqrt(P); the broadcast cost T_bcast depends on the model
+// and on whether M >= sqrt(P).
+
+namespace pcm::predict {
+
+/// BSP broadcast: 2*(g*M+L), plus (g+L)*log2(sqrt(P)/M) when M < sqrt(P).
+sim::Micros apsp_bcast_bsp(const models::BspParams& bsp, long n);
+
+/// MP-BSP broadcast: 2*(g+L)*M, or (g+L)*(2M + log2(sqrt(P)/M)).
+sim::Micros apsp_bcast_mp_bsp(const models::BspParams& bsp, long n);
+
+/// E-BSP broadcast on the MasPar (Section 4.4.1): M*T_unb(sqrt(P)) +
+/// M*T_unb(P) (+ sum of T_unb(2^i * N) for the doubling steps when
+/// M < sqrt(P)).
+sim::Micros apsp_bcast_ebsp(const models::EBspParams& ebsp, long n);
+
+/// E-BSP broadcast on the GCel: first superstep charged with g_mscat
+/// (Section 5.3): (g_mscat*M + L) + (g*M + L).
+sim::Micros apsp_bcast_mscat(const models::EBspParams& ebsp, long n);
+
+/// EXTENSION: E-BSP with general locality — the all-gather phase of the
+/// broadcast stays within one processor-grid row, i.e. a block of sqrt(P)
+/// consecutive PEs, so it is charged with the fitted T_unb_local instead of
+/// the random-pattern T_unb. Requires ebsp.t_unb_local to be fitted.
+sim::Micros apsp_bcast_ebsp_local(const models::EBspParams& ebsp, long n);
+
+/// T_apsp = alpha*N^3/P + 2*N*T_bcast.
+sim::Micros apsp_total(const machines::LocalCompute& lc, long n, int procs,
+                       sim::Micros t_bcast);
+
+sim::Micros apsp_bsp(const models::BspParams& bsp,
+                     const machines::LocalCompute& lc, long n);
+sim::Micros apsp_mp_bsp(const models::BspParams& bsp,
+                        const machines::LocalCompute& lc, long n);
+sim::Micros apsp_ebsp(const models::EBspParams& ebsp,
+                      const machines::LocalCompute& lc, long n);
+sim::Micros apsp_mscat(const models::EBspParams& ebsp,
+                       const machines::LocalCompute& lc, long n);
+sim::Micros apsp_ebsp_local(const models::EBspParams& ebsp,
+                            const machines::LocalCompute& lc, long n);
+
+}  // namespace pcm::predict

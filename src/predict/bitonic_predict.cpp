@@ -1,0 +1,37 @@
+#include "predict/bitonic_predict.hpp"
+
+#include <cmath>
+
+namespace pcm::predict {
+
+double bitonic_steps(int procs) {
+  const double logp = std::log2(static_cast<double>(procs));
+  return 0.5 * logp * (logp + 1.0);
+}
+
+sim::Micros bitonic_bsp(const models::BspParams& bsp,
+                        const machines::LocalCompute& lc, long m_keys) {
+  const double m = static_cast<double>(m_keys);
+  return lc.radix_sort_time(m_keys) +
+         bitonic_steps(bsp.P) *
+             (lc.merge_per_key * m + bsp.g * m + bsp.L);
+}
+
+sim::Micros bitonic_mp_bsp(const models::BspParams& bsp,
+                           const machines::LocalCompute& lc, long m_keys) {
+  const double m = static_cast<double>(m_keys);
+  return lc.radix_sort_time(m_keys) +
+         bitonic_steps(bsp.P) *
+             (lc.merge_per_key * m + (bsp.g + bsp.L) * m);
+}
+
+sim::Micros bitonic_bpram(const models::BpramParams& bpram,
+                          const machines::LocalCompute& lc, long m_keys,
+                          int word_bytes, int procs) {
+  const double m = static_cast<double>(m_keys);
+  return lc.radix_sort_time(m_keys) +
+         bitonic_steps(procs) *
+             (lc.merge_per_key * m + bpram.sigma * word_bytes * m + bpram.ell);
+}
+
+}  // namespace pcm::predict

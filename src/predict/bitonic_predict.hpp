@@ -1,0 +1,27 @@
+#pragma once
+
+#include "machines/local_compute.hpp"
+#include "models/params.hpp"
+
+// Predictions for bitonic sort with M = N/P keys per processor
+// (paper Section 4.2). The factor 0.5*logP*(logP+1) counts the merge steps.
+
+namespace pcm::predict {
+
+/// Number of merge steps: sum over stages d of d.
+double bitonic_steps(int procs);
+
+/// T_bsp-bitonic = T_local-sort + steps * (merge*M + g*M + L).
+sim::Micros bitonic_bsp(const models::BspParams& bsp,
+                        const machines::LocalCompute& lc, long m_keys);
+
+/// T_mp-bsp-bitonic = T_local-sort + steps * (merge*M + (g+L)*M).
+sim::Micros bitonic_mp_bsp(const models::BspParams& bsp,
+                           const machines::LocalCompute& lc, long m_keys);
+
+/// T_bpram-bitonic = T_local-sort + steps * (merge*M + sigma*w*M + ell).
+sim::Micros bitonic_bpram(const models::BpramParams& bpram,
+                          const machines::LocalCompute& lc, long m_keys,
+                          int word_bytes, int procs);
+
+}  // namespace pcm::predict

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "machines/local_compute.hpp"
+#include "models/params.hpp"
+
+// Closed-form running-time predictions for the matrix multiplication
+// algorithm (paper Section 4.1). P = q^3 processors; all times in µs.
+
+namespace pcm::predict {
+
+/// T_bsp-mm = alpha*N^3/P + beta*N^2/q^2 + 3*g*N^2/q^2 + 2*L.
+sim::Micros matmul_bsp(const models::BspParams& bsp,
+                       const machines::LocalCompute& lc, long n, int q);
+
+/// T_mp-bsp-mm = alpha*N^3/P + beta*N^2/q^2 + 3*(g+L)*N^2/q^2.
+sim::Micros matmul_mp_bsp(const models::BspParams& bsp,
+                          const machines::LocalCompute& lc, long n, int q);
+
+/// T_bpram-mm = alpha*N^3/P + beta*N^2/q^2 + 3*q*(sigma*w*N^2/P + ell).
+sim::Micros matmul_bpram(const models::BpramParams& bpram,
+                         const machines::LocalCompute& lc, long n, int q,
+                         int word_bytes);
+
+/// The compute term only. With `cache_aware` the tuned-kernel model is used
+/// instead of the flat alpha*N^3/P — the refinement the paper needs on the
+/// CM-5 ("provided that the local computations are precisely modeled").
+sim::Micros matmul_compute_term(const machines::LocalCompute& lc, long n,
+                                int q, bool cache_aware);
+
+/// Swap the flat compute term for the cache-aware one in a prediction.
+sim::Micros with_cache_aware_compute(sim::Micros prediction,
+                                     const machines::LocalCompute& lc, long n,
+                                     int q);
+
+}  // namespace pcm::predict

@@ -1,0 +1,44 @@
+#include "predict/samplesort_predict.hpp"
+
+#include <cmath>
+
+#include "predict/bitonic_predict.hpp"
+
+namespace pcm::predict {
+
+SampleSortPrediction samplesort_bsp(const models::BspParams& bsp,
+                                    const machines::LocalCompute& lc,
+                                    long m_keys, int oversampling,
+                                    long m_max) {
+  SampleSortPrediction t;
+  t.splitter = bitonic_bsp(bsp, lc, oversampling) +
+               bsp.g * static_cast<double>(bsp.P - 1) + bsp.L;
+  const double scan = 2.0 * (bsp.g * static_cast<double>(bsp.P) + bsp.L);
+  t.send = lc.radix_sort_time(m_keys) +
+           lc.op * static_cast<double>(m_keys + bsp.P) + scan +
+           bsp.g * static_cast<double>(m_max) + bsp.L;
+  t.sort_buckets = lc.radix_sort_time(m_max);
+  return t;
+}
+
+SampleSortPrediction samplesort_bpram(const models::BpramParams& bpram,
+                                      const machines::LocalCompute& lc,
+                                      long m_keys, int oversampling,
+                                      long m_max, int word_bytes) {
+  const double P = static_cast<double>(bpram.P);
+  const double sq = std::sqrt(P);
+  const double w = static_cast<double>(word_bytes);
+  SampleSortPrediction t;
+  t.splitter = bitonic_bpram(bpram, lc, oversampling, word_bytes, bpram.P) +
+               2.0 * sq * (bpram.sigma * w * sq + bpram.ell);
+  const double scan = 4.0 * sq * (bpram.sigma * w * sq + bpram.ell);
+  const double route =
+      4.0 * sq *
+      (4.0 * bpram.sigma * w * static_cast<double>(m_keys) / sq + bpram.ell);
+  t.send = lc.radix_sort_time(m_keys) +
+           lc.op * static_cast<double>(m_keys + bpram.P) + scan + route;
+  t.sort_buckets = lc.radix_sort_time(m_max);
+  return t;
+}
+
+}  // namespace pcm::predict

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "machines/local_compute.hpp"
+#include "models/params.hpp"
+
+// Predictions for sample sort (paper Section 4.3). The MP-BPRAM variant uses
+// the transpose-based primitives of Section 4.3.1.
+
+namespace pcm::predict {
+
+struct SampleSortPrediction {
+  sim::Micros splitter = 0;
+  sim::Micros send = 0;
+  sim::Micros sort_buckets = 0;
+  [[nodiscard]] sim::Micros total() const { return splitter + send + sort_buckets; }
+};
+
+/// BSP version (Section 4.3): splitter phase via bitonic over P*S samples
+/// plus g*(P-1)+L broadcast; send phase with the multi-scan 2(gP+L) and an
+/// M_max-relation; bucket sort of M_max keys.
+SampleSortPrediction samplesort_bsp(const models::BspParams& bsp,
+                                    const machines::LocalCompute& lc,
+                                    long m_keys, int oversampling,
+                                    long m_max);
+
+/// MP-BPRAM version (Section 4.3.1): transpose broadcast
+/// 2*sqrt(P)*(sigma*w*sqrt(P)+ell), multi-scan 4*sqrt(P)*(...), and the
+/// fixed-size send phase 4*sqrt(P)*(4*sigma*w*N/P^1.5 + ell).
+SampleSortPrediction samplesort_bpram(const models::BpramParams& bpram,
+                                      const machines::LocalCompute& lc,
+                                      long m_keys, int oversampling,
+                                      long m_max, int word_bytes);
+
+}  // namespace pcm::predict

@@ -1,0 +1,67 @@
+#include "report/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+
+namespace pcm::report {
+
+namespace {
+
+double tx(double v, bool log_scale) {
+  return log_scale ? std::log10(std::max(v, 1e-12)) : v;
+}
+
+}  // namespace
+
+void ascii_plot(std::ostream& os, const std::vector<PlotSeries>& series,
+                const PlotOptions& opts) {
+  double xmin = std::numeric_limits<double>::max(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  bool any = false;
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.xs.size() && i < s.ys.size(); ++i) {
+      const double x = tx(s.xs[i], opts.log_x);
+      const double y = tx(s.ys[i], opts.log_y);
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+      any = true;
+    }
+  }
+  if (!any) return;
+  if (xmax - xmin < 1e-12) xmax = xmin + 1.0;
+  if (ymax - ymin < 1e-12) ymax = ymin + 1.0;
+
+  const int W = opts.width, H = opts.height;
+  std::vector<std::string> grid(static_cast<std::size_t>(H),
+                                std::string(static_cast<std::size_t>(W), ' '));
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.xs.size() && i < s.ys.size(); ++i) {
+      const double x = tx(s.xs[i], opts.log_x);
+      const double y = tx(s.ys[i], opts.log_y);
+      const int cx = static_cast<int>(std::lround((x - xmin) / (xmax - xmin) * (W - 1)));
+      const int cy = static_cast<int>(std::lround((y - ymin) / (ymax - ymin) * (H - 1)));
+      grid[static_cast<std::size_t>(H - 1 - cy)][static_cast<std::size_t>(cx)] = s.glyph;
+    }
+  }
+
+  os << std::setprecision(4);
+  os << "  y: " << (opts.log_y ? "log " : "") << opts.y_label << "  [" << ymin
+     << (opts.log_y ? " .. " : " .. ") << ymax
+     << (opts.log_y ? " (log10)" : "") << "]\n";
+  for (int r = 0; r < H; ++r) {
+    os << "  |" << grid[static_cast<std::size_t>(r)] << "\n";
+  }
+  os << "  +" << std::string(static_cast<std::size_t>(W), '-') << "\n";
+  os << "   x: " << (opts.log_x ? "log " : "") << opts.x_label << "  [" << xmin
+     << " .. " << xmax << (opts.log_x ? " (log10)" : "") << "]\n";
+  for (const auto& s : series) {
+    os << "   '" << s.glyph << "' = " << s.label << "\n";
+  }
+}
+
+}  // namespace pcm::report

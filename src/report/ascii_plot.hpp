@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+// A small ASCII line plot so the bench binaries can render the *shape* of
+// each figure (measured vs. predicted series) directly in the terminal.
+
+namespace pcm::report {
+
+struct PlotSeries {
+  std::string label;
+  char glyph = '*';
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+struct PlotOptions {
+  int width = 72;
+  int height = 20;
+  bool log_x = false;
+  bool log_y = false;
+  std::string x_label;
+  std::string y_label;
+};
+
+void ascii_plot(std::ostream& os, const std::vector<PlotSeries>& series,
+                const PlotOptions& opts = {});
+
+}  // namespace pcm::report

@@ -1,0 +1,44 @@
+#include "report/csv.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace pcm::report {
+
+Csv::Csv(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Csv::add_row(const std::vector<double>& cells) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (const double v : cells) {
+    std::ostringstream os;
+    os << v;
+    row.push_back(os.str());
+  }
+  rows_.push_back(std::move(row));
+}
+
+void Csv::add_row(const std::vector<std::string>& cells) { rows_.push_back(cells); }
+
+bool Csv::write(const std::string& dir, const std::string& name) const {
+  if (dir.empty()) return false;
+  std::ofstream out(dir + "/" + name + ".csv");
+  if (!out) return false;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << (c ? "," : "") << headers_[c];
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) out << (c ? "," : "") << row[c];
+    out << "\n";
+  }
+  return true;
+}
+
+std::string Csv::results_dir() {
+  const char* d = std::getenv("PCM_RESULTS_DIR");
+  return d ? d : "";
+}
+
+}  // namespace pcm::report

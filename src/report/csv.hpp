@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+// Optional CSV dumps next to the printed tables. Bench binaries write one
+// file per figure under results/ when PCM_RESULTS_DIR is set.
+
+namespace pcm::report {
+
+class Csv {
+ public:
+  explicit Csv(std::vector<std::string> headers);
+
+  void add_row(const std::vector<double>& cells);
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Write to `<dir>/<name>.csv`; returns false (silently) if dir empty or
+  /// unwritable.
+  bool write(const std::string& dir, const std::string& name) const;
+
+  /// Directory from PCM_RESULTS_DIR, or "" when unset.
+  static std::string results_dir();
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pcm::report

@@ -1,0 +1,57 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace pcm::report {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto line = [&](char fill) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << '+' << std::string(width[c] + 2, fill);
+    }
+    os << "+\n";
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << "| " << std::setw(static_cast<int>(width[c])) << std::right
+         << (c < row.size() ? row[c] : "") << ' ';
+    }
+    os << "|\n";
+  };
+  line('-');
+  print_row(headers_);
+  line('-');
+  for (const auto& row : rows_) print_row(row);
+  line('-');
+}
+
+void banner(std::ostream& os, const std::string& title,
+            const std::string& subtitle) {
+  os << "\n== " << title << " ==\n";
+  if (!subtitle.empty()) os << subtitle << "\n";
+}
+
+}  // namespace pcm::report

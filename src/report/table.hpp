@@ -1,0 +1,32 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+// Fixed-width text tables for the bench binaries: every figure/table
+// reproduction prints one of these so the outputs are uniform and grep-able.
+
+namespace pcm::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 1);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section banner used by the bench binaries.
+void banner(std::ostream& os, const std::string& title,
+            const std::string& subtitle = "");
+
+}  // namespace pcm::report

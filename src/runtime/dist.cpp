@@ -1,0 +1,40 @@
+#include "runtime/dist.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pcm::runtime {
+
+long BlockDist::size_of(int i) const {
+  assert(i >= 0 && i < parts);
+  const long base = n / parts;
+  const long rem = n % parts;
+  return base + (i < rem ? 1 : 0);
+}
+
+std::pair<long, long> BlockDist::range_of(int i) const {
+  assert(i >= 0 && i < parts);
+  const long base = n / parts;
+  const long rem = n % parts;
+  const long lo = static_cast<long>(i) * base + std::min<long>(i, rem);
+  return {lo, lo + size_of(i)};
+}
+
+int BlockDist::owner_of(long g) const {
+  assert(g >= 0 && g < n);
+  const long base = n / parts;
+  const long rem = n % parts;
+  const long big = (base + 1) * rem;  // elements held by the larger blocks
+  if (g < big) return static_cast<int>(g / (base + 1));
+  assert(base > 0);
+  return static_cast<int>(rem + (g - big) / base);
+}
+
+long BlockDist::local_of(long g) const {
+  const int o = owner_of(g);
+  return g - range_of(o).first;
+}
+
+long BlockDist::max_size() const { return n / parts + (n % parts != 0 ? 1 : 0); }
+
+}  // namespace pcm::runtime

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+// Block-distribution arithmetic shared by the algorithms: a global index
+// space of n elements split over `parts` processors in contiguous blocks,
+// remainder spread over the first blocks.
+
+namespace pcm::runtime {
+
+struct BlockDist {
+  long n = 0;
+  int parts = 1;
+
+  /// Size of block i.
+  [[nodiscard]] long size_of(int i) const;
+  /// Half-open global range [lo, hi) of block i.
+  [[nodiscard]] std::pair<long, long> range_of(int i) const;
+  /// Owner block of global index g.
+  [[nodiscard]] int owner_of(long g) const;
+  /// Local offset of global index g within its owner block.
+  [[nodiscard]] long local_of(long g) const;
+  /// Largest block size.
+  [[nodiscard]] long max_size() const;
+};
+
+/// Scatter a global vector into per-processor blocks.
+template <typename T>
+std::vector<std::vector<T>> block_scatter(const std::vector<T>& global,
+                                          int parts) {
+  BlockDist d{static_cast<long>(global.size()), parts};
+  std::vector<std::vector<T>> out(static_cast<std::size_t>(parts));
+  for (int i = 0; i < parts; ++i) {
+    const auto [lo, hi] = d.range_of(i);
+    out[static_cast<std::size_t>(i)].assign(global.begin() + lo, global.begin() + hi);
+  }
+  return out;
+}
+
+/// Concatenate per-processor blocks back into a global vector.
+template <typename T>
+std::vector<T> block_gather(const std::vector<std::vector<T>>& blocks) {
+  std::vector<T> out;
+  std::size_t total = 0;
+  for (const auto& b : blocks) total += b.size();
+  out.reserve(total);
+  for (const auto& b : blocks) out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+}  // namespace pcm::runtime

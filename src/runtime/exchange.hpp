@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "machines/machine.hpp"
+#include "net/pattern.hpp"
+#include "runtime/mailbox.hpp"
+
+// One communication step: algorithms stage sends (in the order they want
+// them issued — staggering is expressed here), run() builds the CommPattern,
+// lets the machine's router time it, and delivers the payloads.
+//
+// TransferMode selects the model style:
+//   - Word:  every element travels as its own w-byte message (BSP / MP-BSP
+//            style fixed short messages);
+//   - Block: each staged parcel is a single message of size(data) bytes
+//            (MP-BPRAM style bulk transfer).
+
+namespace pcm::runtime {
+
+enum class TransferMode { Word, Block };
+
+template <typename T>
+class Exchange {
+ public:
+  explicit Exchange(machines::Machine& m, TransferMode mode)
+      : machine_(m), mode_(mode), pattern_(m.procs()) {}
+
+  [[nodiscard]] machines::Machine& machine() { return machine_; }
+  [[nodiscard]] TransferMode mode() const { return mode_; }
+
+  /// Stage a parcel. Sends are issued per sender in staging order.
+  void send(int src, int dst, std::vector<T> data, int tag = 0) {
+    if (data.empty()) return;
+    stage_pattern(src, dst, data.size());
+    staged_.push_back(Staged{src, dst, tag, std::move(data)});
+  }
+
+  void send(int src, int dst, std::span<const T> data, int tag = 0) {
+    send(src, dst, std::vector<T>(data.begin(), data.end()), tag);
+  }
+
+  void send_value(int src, int dst, T value, int tag = 0) {
+    send(src, dst, std::vector<T>{value}, tag);
+  }
+
+  [[nodiscard]] std::size_t staged_messages() const { return pattern_.size(); }
+  [[nodiscard]] const net::CommPattern& pattern() const { return pattern_; }
+
+  /// Execute the communication step on the machine and deliver payloads.
+  /// The Exchange is reusable afterwards (cleared).
+  Mailbox<T> run() {
+    machine_.exchange(pattern_);
+    Mailbox<T> box(machine_.procs());
+    for (auto& s : staged_) {
+      box.deliver(s.dst, Parcel<T>{s.src, s.tag, std::move(s.data)});
+    }
+    staged_.clear();
+    pattern_.clear();
+    return box;
+  }
+
+ private:
+  struct Staged {
+    int src;
+    int dst;
+    int tag;
+    std::vector<T> data;
+  };
+
+  void stage_pattern(int src, int dst, std::size_t elems) {
+    const int w = static_cast<int>(sizeof(T));
+    if (mode_ == TransferMode::Word) {
+      for (std::size_t i = 0; i < elems; ++i) pattern_.add(src, dst, w);
+    } else {
+      pattern_.add(src, dst, static_cast<int>(elems) * w);
+    }
+  }
+
+  machines::Machine& machine_;
+  TransferMode mode_;
+  net::CommPattern pattern_;
+  std::vector<Staged> staged_;
+};
+
+}  // namespace pcm::runtime

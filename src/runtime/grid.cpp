@@ -1,0 +1,31 @@
+#include "runtime/grid.hpp"
+
+namespace pcm::runtime {
+
+Grid3 Grid3::fit(int procs) {
+  int q = 1;
+  while ((q + 1) * (q + 1) * (q + 1) <= procs) ++q;
+  return Grid3{q};
+}
+
+std::vector<int> Grid2::row_members(int row) const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(side));
+  for (int c = 0; c < side; ++c) out.push_back(rank(row, c));
+  return out;
+}
+
+std::vector<int> Grid2::col_members(int col) const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(side));
+  for (int r = 0; r < side; ++r) out.push_back(rank(r, col));
+  return out;
+}
+
+Grid2 Grid2::fit(int procs) {
+  int s = 1;
+  while ((s + 1) * (s + 1) <= procs) ++s;
+  return Grid2{s};
+}
+
+}  // namespace pcm::runtime

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+// Processor geometry used by the paper's algorithms:
+//   - Grid3: the q x q x q arrangement of the matrix multiplication
+//     algorithm (P = q^3, processors <i,j,k>);
+//   - Grid2: the sqrt(P) x sqrt(P) arrangement of the all pairs shortest
+//     path algorithm and the sample-sort splitter transpose.
+
+namespace pcm::runtime {
+
+struct Grid3 {
+  int q = 1;
+
+  [[nodiscard]] int procs() const { return q * q * q; }
+  [[nodiscard]] int rank(int i, int j, int k) const { return (i * q + j) * q + k; }
+  [[nodiscard]] int i_of(int r) const { return r / (q * q); }
+  [[nodiscard]] int j_of(int r) const { return (r / q) % q; }
+  [[nodiscard]] int k_of(int r) const { return r % q; }
+
+  /// Largest q with q^3 <= procs.
+  static Grid3 fit(int procs);
+};
+
+struct Grid2 {
+  int side = 1;
+
+  [[nodiscard]] int procs() const { return side * side; }
+  [[nodiscard]] int rank(int row, int col) const { return row * side + col; }
+  [[nodiscard]] int row_of(int r) const { return r / side; }
+  [[nodiscard]] int col_of(int r) const { return r % side; }
+
+  [[nodiscard]] std::vector<int> row_members(int row) const;
+  [[nodiscard]] std::vector<int> col_members(int col) const;
+
+  /// Largest side with side^2 <= procs.
+  static Grid2 fit(int procs);
+};
+
+}  // namespace pcm::runtime

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+// Delivered data. An Exchange produces a Mailbox: per destination processor,
+// the parcels it received in a deterministic order (sender id, then send
+// order). Tags let an algorithm separate logical streams that travel in the
+// same communication step.
+
+namespace pcm::runtime {
+
+template <typename T>
+struct Parcel {
+  int src = 0;
+  int tag = 0;
+  std::vector<T> data;
+};
+
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(int procs) : by_proc_(static_cast<std::size_t>(procs)) {}
+
+  [[nodiscard]] int procs() const { return static_cast<int>(by_proc_.size()); }
+
+  void deliver(int dst, Parcel<T> parcel) {
+    assert(dst >= 0 && dst < procs());
+    by_proc_[static_cast<std::size_t>(dst)].push_back(std::move(parcel));
+  }
+
+  /// All parcels received by processor p, ordered by (src, send order).
+  [[nodiscard]] std::span<const Parcel<T>> at(int p) const {
+    assert(p >= 0 && p < procs());
+    return by_proc_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] std::span<Parcel<T>> at(int p) {
+    assert(p >= 0 && p < procs());
+    return by_proc_[static_cast<std::size_t>(p)];
+  }
+
+  /// Parcels for processor p with a given tag.
+  [[nodiscard]] std::vector<const Parcel<T>*> with_tag(int p, int tag) const {
+    std::vector<const Parcel<T>*> out;
+    for (const auto& parcel : at(p)) {
+      if (parcel.tag == tag) out.push_back(&parcel);
+    }
+    return out;
+  }
+
+  /// Total keys/elements delivered to processor p.
+  [[nodiscard]] std::size_t count_at(int p) const {
+    std::size_t n = 0;
+    for (const auto& parcel : at(p)) n += parcel.data.size();
+    return n;
+  }
+
+ private:
+  std::vector<std::vector<Parcel<T>>> by_proc_;
+};
+
+}  // namespace pcm::runtime

@@ -1,0 +1,11 @@
+#include "runtime/spmd.hpp"
+
+namespace pcm::runtime {
+
+void charge_uniform(machines::Machine& m, sim::Micros us) { m.charge_all(us); }
+
+void for_each_proc(machines::Machine& m, const std::function<void(int)>& body) {
+  for (int p = 0; p < m.procs(); ++p) body(p);
+}
+
+}  // namespace pcm::runtime

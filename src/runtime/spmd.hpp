@@ -1,0 +1,31 @@
+#pragma once
+
+#include <functional>
+
+#include "machines/machine.hpp"
+
+// Small SPMD conveniences shared by the algorithms.
+
+namespace pcm::runtime {
+
+/// Charge every processor an identical local cost (frequent in the SIMD
+/// formulations where all PEs execute the same instruction stream).
+void charge_uniform(machines::Machine& m, sim::Micros us);
+
+/// Run `body(p)` for every processor id (a "local computation" superstep
+/// driver; body is responsible for charging its own cost).
+void for_each_proc(machines::Machine& m, const std::function<void(int)>& body);
+
+/// A timer over simulated machine time.
+class SimStopwatch {
+ public:
+  explicit SimStopwatch(const machines::Machine& m) : m_(m), start_(m.now()) {}
+  [[nodiscard]] sim::Micros elapsed() const { return m_.now() - start_; }
+  void restart() { start_ = m_.now(); }
+
+ private:
+  const machines::Machine& m_;
+  sim::Micros start_;
+};
+
+}  // namespace pcm::runtime

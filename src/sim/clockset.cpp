@@ -1,0 +1,33 @@
+#include "sim/clockset.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pcm::sim {
+
+ClockSet::ClockSet(int n) : t_(static_cast<std::size_t>(n), 0.0) {
+  assert(n > 0);
+}
+
+void ClockSet::advance(int p, Micros d) {
+  assert(d >= 0.0);
+  t_[static_cast<std::size_t>(p)] += d;
+}
+
+void ClockSet::wait_until(int p, Micros t) {
+  auto& c = t_[static_cast<std::size_t>(p)];
+  c = std::max(c, t);
+}
+
+Micros ClockSet::max() const { return *std::max_element(t_.begin(), t_.end()); }
+
+Micros ClockSet::min() const { return *std::min_element(t_.begin(), t_.end()); }
+
+void ClockSet::barrier(Micros cost) {
+  const Micros m = max() + cost;
+  std::fill(t_.begin(), t_.end(), m);
+}
+
+void ClockSet::reset() { std::fill(t_.begin(), t_.end(), 0.0); }
+
+}  // namespace pcm::sim

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/time.hpp"
+
+// Per-processor virtual clocks for the MIMD machines (GCel, CM-5). The SIMD
+// MasPar uses a single lock-step clock, which is just a ClockSet of size 1
+// from the machine's point of view.
+
+namespace pcm::sim {
+
+class ClockSet {
+ public:
+  explicit ClockSet(int n);
+
+  [[nodiscard]] int size() const { return static_cast<int>(t_.size()); }
+
+  [[nodiscard]] Micros at(int p) const { return t_[static_cast<std::size_t>(p)]; }
+  Micros& ref(int p) { return t_[static_cast<std::size_t>(p)]; }
+
+  /// Advance processor p by d (d >= 0).
+  void advance(int p, Micros d);
+
+  /// Processor p waits until at least time t (no-op if already past).
+  void wait_until(int p, Micros t);
+
+  /// Latest clock — the makespan of the computation so far.
+  [[nodiscard]] Micros max() const;
+
+  /// Earliest clock.
+  [[nodiscard]] Micros min() const;
+
+  /// Synchronise every clock to the makespan and add `cost`
+  /// (a barrier with the given overhead).
+  void barrier(Micros cost = 0.0);
+
+  /// Reset all clocks to zero.
+  void reset();
+
+  [[nodiscard]] std::span<const Micros> raw() const { return t_; }
+
+ private:
+  std::vector<Micros> t_;
+};
+
+}  // namespace pcm::sim

@@ -1,0 +1,128 @@
+#include "sim/fit.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace pcm::sim {
+
+namespace {
+
+// Accumulate normal equations for basis functions f_j evaluated at x_i:
+//   (B^T B) c = B^T y
+template <int K, typename Basis>
+bool normal_solve(std::span<const double> x, std::span<const double> y,
+                  Basis basis, double out[K]) {
+  double ata[K * K] = {};
+  double atb[K] = {};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double row[K];
+    basis(x[i], row);
+    for (int r = 0; r < K; ++r) {
+      atb[r] += row[r] * y[i];
+      for (int c = 0; c < K; ++c) ata[r * K + c] += row[r] * row[c];
+    }
+  }
+  if (!solve_dense(ata, atb, K)) return false;
+  std::memcpy(out, atb, sizeof(atb));
+  return true;
+}
+
+}  // namespace
+
+bool solve_dense(double* a, double* b, int n) {
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::abs(a[r * n + col]) > std::abs(a[pivot * n + col])) pivot = r;
+    }
+    if (std::abs(a[pivot * n + col]) < 1e-300) return false;
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) std::swap(a[col * n + c], a[pivot * n + c]);
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a[col * n + col];
+    for (int r = col + 1; r < n; ++r) {
+      const double f = a[r * n + col] * inv;
+      if (f == 0.0) continue;
+      for (int c = col; c < n; ++c) a[r * n + c] -= f * a[col * n + c];
+      b[r] -= f * b[col];
+    }
+  }
+  for (int r = n - 1; r >= 0; --r) {
+    double acc = b[r];
+    for (int c = r + 1; c < n; ++c) acc -= a[r * n + c] * b[c];
+    b[r] = acc / a[r * n + r];
+  }
+  return true;
+}
+
+LineFit fit_line(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size() && x.size() >= 2);
+  double coef[2] = {};
+  const bool ok = normal_solve<2>(
+      x, y, [](double xi, double* row) { row[0] = xi; row[1] = 1.0; }, coef);
+  LineFit f;
+  if (!ok) return f;
+  f.slope = coef[0];
+  f.intercept = coef[1];
+
+  double mean_y = 0.0;
+  for (double v : y) mean_y += v;
+  mean_y /= static_cast<double>(y.size());
+  double ss_tot = 0.0, ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = y[i] - mean_y;
+    ss_tot += d * d;
+    const double e = y[i] - f(x[i]);
+    ss_res += e * e;
+  }
+  f.r2 = (ss_tot > 0.0) ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+double SqrtPolyFit::operator()(double p) const {
+  return a * p + b * std::sqrt(p) + c;
+}
+
+SqrtPolyFit fit_sqrt_poly(std::span<const double> p, std::span<const double> t) {
+  assert(p.size() == t.size() && p.size() >= 3);
+  double coef[3] = {};
+  const bool ok = normal_solve<3>(
+      p, t,
+      [](double pi, double* row) {
+        row[0] = pi;
+        row[1] = std::sqrt(pi);
+        row[2] = 1.0;
+      },
+      coef);
+  SqrtPolyFit f;
+  if (ok) {
+    f.a = coef[0];
+    f.b = coef[1];
+    f.c = coef[2];
+  }
+  return f;
+}
+
+QuadFit fit_quadratic(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size() && x.size() >= 3);
+  double coef[3] = {};
+  const bool ok = normal_solve<3>(
+      x, y,
+      [](double xi, double* row) {
+        row[0] = xi * xi;
+        row[1] = xi;
+        row[2] = 1.0;
+      },
+      coef);
+  QuadFit f;
+  if (ok) {
+    f.a = coef[0];
+    f.b = coef[1];
+    f.c = coef[2];
+  }
+  return f;
+}
+
+}  // namespace pcm::sim

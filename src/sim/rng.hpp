@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+// Deterministic pseudo-random number generation for the simulators and the
+// calibration micro-benchmarks. Everything that is random in this library
+// (destination picks, overhead jitter, sample selection) flows from a seeded
+// `Rng`, so every experiment is exactly reproducible.
+//
+// The generator is xoshiro256** seeded via SplitMix64 — fast, high quality,
+// and independent of the standard library's unspecified distributions.
+
+namespace pcm::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) using Lemire's rejection method.
+  /// bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Normally distributed value (Box-Muller, no caching — deterministic).
+  double next_gaussian(double mean = 0.0, double stddev = 1.0);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A uniformly random permutation of {0, .., n-1}.
+  std::vector<int> permutation(int n);
+
+  /// k distinct values drawn uniformly from {0, .., n-1} (k <= n).
+  std::vector<int> sample_without_replacement(int n, int k);
+
+  /// Derive an independent child stream (for per-trial reproducibility).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace pcm::sim

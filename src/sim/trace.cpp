@@ -1,0 +1,40 @@
+#include "sim/trace.hpp"
+
+#include <utility>
+
+namespace pcm::sim {
+
+std::string_view to_string(PhaseKind k) {
+  switch (k) {
+    case PhaseKind::Compute: return "compute";
+    case PhaseKind::Communicate: return "communicate";
+    case PhaseKind::Barrier: return "barrier";
+  }
+  return "?";
+}
+
+void Trace::record(PhaseRecord r) {
+  if (enabled_) records_.push_back(std::move(r));
+}
+
+Micros Trace::total(PhaseKind k) const {
+  Micros acc = 0.0;
+  for (const auto& r : records_) {
+    if (r.kind == k) acc += r.duration;
+  }
+  return acc;
+}
+
+long Trace::total_messages() const {
+  long acc = 0;
+  for (const auto& r : records_) acc += r.messages;
+  return acc;
+}
+
+long Trace::total_bytes() const {
+  long acc = 0;
+  for (const auto& r : records_) acc += r.bytes;
+  return acc;
+}
+
+}  // namespace pcm::sim

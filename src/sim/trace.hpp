@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+// Lightweight event tracing. Machines emit phase records (compute /
+// communicate / barrier) so experiments can break total time into
+// components — the paper does this when attributing error to "local
+// computation" vs. "communication" (Section 5).
+
+namespace pcm::sim {
+
+enum class PhaseKind { Compute, Communicate, Barrier };
+
+[[nodiscard]] std::string_view to_string(PhaseKind k);
+
+struct PhaseRecord {
+  PhaseKind kind = PhaseKind::Compute;
+  std::string label;
+  Micros start = 0.0;
+  Micros duration = 0.0;
+  long messages = 0;  ///< Number of messages routed (communication phases).
+  long bytes = 0;     ///< Total payload bytes (communication phases).
+};
+
+class Trace {
+ public:
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(PhaseRecord r);
+  void clear() { records_.clear(); }
+
+  [[nodiscard]] const std::vector<PhaseRecord>& records() const { return records_; }
+
+  /// Total duration attributed to a phase kind.
+  [[nodiscard]] Micros total(PhaseKind k) const;
+
+  /// Total messages routed across all communication phases.
+  [[nodiscard]] long total_messages() const;
+  [[nodiscard]] long total_bytes() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<PhaseRecord> records_;
+};
+
+}  // namespace pcm::sim

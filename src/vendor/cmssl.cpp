@@ -1,0 +1,32 @@
+#include "vendor/cmssl.hpp"
+
+#include "algos/reference.hpp"
+
+namespace pcm::vendor {
+
+double cmssl_mflops(long n) {
+  // Saturates below the published ceiling of 151 Mflops.
+  return 155.0 * static_cast<double>(n) / (static_cast<double>(n) + 120.0);
+}
+
+double cmssl_vector_mflops(long n) {
+  // Anchor: 1016 Mflops at N = 512.
+  return 1120.0 * static_cast<double>(n) / (static_cast<double>(n) + 52.0);
+}
+
+sim::Micros cmssl_time(long n, bool vector_units) {
+  const double flops = 2.0 * static_cast<double>(n) * n * n;
+  return flops / (vector_units ? cmssl_vector_mflops(n) : cmssl_mflops(n));
+}
+
+CmsslResult cmssl_gen_matrix_mult(const std::vector<double>& a,
+                                  const std::vector<double>& b, int n,
+                                  bool compute_result, bool vector_units) {
+  CmsslResult out;
+  out.time = cmssl_time(n, vector_units);
+  out.mflops = vector_units ? cmssl_vector_mflops(n) : cmssl_mflops(n);
+  if (compute_result) out.c = algos::ref::matmul(a, b, n);
+  return out;
+}
+
+}  // namespace pcm::vendor

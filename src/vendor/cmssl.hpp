@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/time.hpp"
+
+// Surrogate for the CMSSL `gen_matrix_mult` routine on the CM-5 (paper
+// Section 7, Fig 20). The paper reports that the non-vector version never
+// exceeds 151 Mflops (while the model-derived MP-BPRAM implementation peaks
+// at 372), and that the vector-unit build reaches 1016 Mflops at N = 512.
+// Both curves are modelled with saturating forms through those anchors.
+
+namespace pcm::vendor {
+
+struct CmsslResult {
+  sim::Micros time = 0;
+  double mflops = 0.0;
+  std::vector<double> c;  ///< Filled only when compute_result.
+};
+
+/// Non-vector gen_matrix_mult Mflops at dimension n (<= ~151).
+double cmssl_mflops(long n);
+
+/// Vector-units build (not used by the paper's main comparison; reported
+/// for completeness: ~1016 Mflops at N = 512).
+double cmssl_vector_mflops(long n);
+
+sim::Micros cmssl_time(long n, bool vector_units = false);
+
+CmsslResult cmssl_gen_matrix_mult(const std::vector<double>& a,
+                                  const std::vector<double>& b, int n,
+                                  bool compute_result = false,
+                                  bool vector_units = false);
+
+}  // namespace pcm::vendor

@@ -1,0 +1,28 @@
+#include "vendor/maspar_matmul.hpp"
+
+#include "algos/reference.hpp"
+
+namespace pcm::vendor {
+
+double maspar_matmul_mflops(long n) {
+  // Peak 75 Mflops (single precision, 1K PEs); the anchor 61.7 Mflops at
+  // N = 700 fixes the half-rise constant at ~150.
+  return 75.0 * static_cast<double>(n) / (static_cast<double>(n) + 150.0);
+}
+
+sim::Micros maspar_matmul_time(long n) {
+  const double flops = 2.0 * static_cast<double>(n) * n * n;
+  return flops / maspar_matmul_mflops(n);  // flops / (flops/µs)
+}
+
+VendorMatmulResult maspar_matmul(const std::vector<float>& a,
+                                 const std::vector<float>& b, int n,
+                                 bool compute_result) {
+  VendorMatmulResult out;
+  out.time = maspar_matmul_time(n);
+  out.mflops = maspar_matmul_mflops(n);
+  if (compute_result) out.c = algos::ref::matmul(a, b, n);
+  return out;
+}
+
+}  // namespace pcm::vendor

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/time.hpp"
+
+// Surrogate for the MasPar MPL `matmul` intrinsic (paper Section 7,
+// Fig 19). The real routine is a closed vendor kernel; the paper reports its
+// performance curve (61.7 Mflops at N = 700 against a 75 Mflops peak). The
+// surrogate reproduces that curve — mflops(N) = 75 * N / (N + 150), which
+// passes through the published anchor — and optionally computes the true
+// product so callers can validate results.
+
+namespace pcm::vendor {
+
+struct VendorMatmulResult {
+  sim::Micros time = 0;
+  double mflops = 0.0;
+  std::vector<float> c;  ///< Filled only when compute_result.
+};
+
+/// Modelled Mflops of the intrinsic at matrix dimension n.
+double maspar_matmul_mflops(long n);
+
+/// Simulated wall time (µs) of the intrinsic for an n x n multiply.
+sim::Micros maspar_matmul_time(long n);
+
+VendorMatmulResult maspar_matmul(const std::vector<float>& a,
+                                 const std::vector<float>& b, int n,
+                                 bool compute_result = false);
+
+}  // namespace pcm::vendor

@@ -1,0 +1,102 @@
+#include "algos/apsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algos/reference.hpp"
+#include "test_util.hpp"
+
+namespace pcm::algos {
+namespace {
+
+struct ApspCase {
+  const char* machine;
+  ApspVariant variant;
+  int n;
+  double density;
+};
+
+void PrintTo(const ApspCase& c, std::ostream* os) {
+  *os << c.machine << "/" << to_string(c.variant) << "/N=" << c.n;
+}
+
+class ApspP : public ::testing::TestWithParam<ApspCase> {};
+
+std::unique_ptr<machines::Machine> machine_for(const std::string& name) {
+  if (name == "cm5") return test::small_cm5();
+  if (name == "gcel") return test::small_gcel();
+  return test::small_maspar();
+}
+
+TEST_P(ApspP, MatchesFloyd) {
+  const auto& c = GetParam();
+  auto m = machine_for(c.machine);
+  const auto d0 = ref::random_digraph(c.n, c.density, 101);
+  const auto want = ref::floyd(d0, c.n);
+  const auto r = run_apsp(*m, d0, c.n, c.variant);
+  EXPECT_LT(test::max_abs_diff(r.dist, want), 1e-4);
+  EXPECT_GT(r.time, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ApspP,
+    ::testing::Values(
+        // small_cm5/gcel: sqrt(P)=4 -> M=N/4; both M >= s and M < s branches
+        ApspCase{"cm5", ApspVariant::Bsp, 8, 0.2},    // M = 2 < 4 (doubling)
+        ApspCase{"cm5", ApspVariant::Bsp, 16, 0.2},   // M = 4 = s
+        ApspCase{"cm5", ApspVariant::Bsp, 32, 0.1},   // M = 8 > s
+        ApspCase{"gcel", ApspVariant::Bsp, 16, 0.3},
+        ApspCase{"gcel", ApspVariant::Bsp, 32, 0.05},
+        // small_maspar: sqrt(P)=16 -> exercise M < s deeply
+        ApspCase{"maspar", ApspVariant::MpBsp, 32, 0.2},   // M = 2
+        ApspCase{"maspar", ApspVariant::MpBsp, 64, 0.1},   // M = 4
+        ApspCase{"cm5", ApspVariant::MpBsp, 16, 0.2}));
+
+TEST(Apsp, MatchesDijkstraIndependently) {
+  auto m = test::small_cm5();
+  const int n = 32;
+  const auto d0 = ref::random_digraph(n, 0.15, 55);
+  const auto want = ref::dijkstra_apsp(d0, n);
+  const auto r = run_apsp(*m, d0, n, ApspVariant::Bsp);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    if (want[i] >= ref::kApspInf) {
+      EXPECT_GE(r.dist[i], ref::kApspInf / 2);
+    } else {
+      EXPECT_NEAR(r.dist[i], want[i], 1e-3);
+    }
+  }
+}
+
+TEST(Apsp, HandlesDisconnectedGraphs) {
+  auto m = test::small_cm5();
+  const int n = 16;
+  std::vector<float> d0(n * n, ref::kApspInf);
+  for (int i = 0; i < n; ++i) d0[i * n + i] = 0.0f;
+  // Two disjoint chains.
+  for (int i = 0; i + 1 < n / 2; ++i) d0[i * n + i + 1] = 1.0f;
+  for (int i = n / 2; i + 1 < n; ++i) d0[i * n + i + 1] = 2.0f;
+  const auto want = ref::floyd(d0, n);
+  const auto r = run_apsp(*m, d0, n, ApspVariant::Bsp);
+  EXPECT_LT(test::max_abs_diff(r.dist, want), 1e-4);
+  // Cross-component stays unreachable.
+  EXPECT_GE(r.dist[0 * n + (n - 1)], ref::kApspInf / 2);
+}
+
+TEST(Apsp, GridSide) {
+  EXPECT_EQ(apsp_grid_side(*test::small_cm5()), 4);
+  EXPECT_EQ(apsp_grid_side(*machines::make_maspar(1)), 32);
+}
+
+TEST(Apsp, ZeroDiagonalPreserved) {
+  auto m = test::small_gcel();
+  const auto d0 = ref::random_digraph(16, 0.4, 77);
+  const auto r = run_apsp(*m, d0, 16, ApspVariant::Bsp);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(r.dist[i * 16 + i], 0.0f);
+}
+
+TEST(Apsp, VariantNames) {
+  EXPECT_EQ(to_string(ApspVariant::Bsp), "bsp");
+  EXPECT_EQ(to_string(ApspVariant::MpBsp), "mp-bsp");
+}
+
+}  // namespace
+}  // namespace pcm::algos

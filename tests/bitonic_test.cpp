@@ -1,0 +1,126 @@
+#include "algos/bitonic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algos/reference.hpp"
+#include "test_util.hpp"
+
+namespace pcm::algos {
+namespace {
+
+struct BitonicCase {
+  const char* machine;
+  BitonicVariant variant;
+  long m_keys;
+  std::uint64_t seed;
+};
+
+void PrintTo(const BitonicCase& c, std::ostream* os) {
+  *os << c.machine << "/" << to_string(c.variant) << "/M=" << c.m_keys;
+}
+
+class BitonicP : public ::testing::TestWithParam<BitonicCase> {};
+
+std::unique_ptr<machines::Machine> machine_for(const std::string& name) {
+  if (name == "cm5") return test::small_cm5();
+  if (name == "gcel") return test::small_gcel();
+  return test::small_maspar();
+}
+
+TEST_P(BitonicP, SortsCorrectly) {
+  const auto& c = GetParam();
+  auto m = machine_for(c.machine);
+  auto keys = test::random_keys(static_cast<std::size_t>(c.m_keys) *
+                                    static_cast<std::size_t>(m->procs()),
+                                c.seed);
+  auto want = keys;
+  std::sort(want.begin(), want.end());
+  const auto r = run_bitonic(*m, keys, c.variant);
+  EXPECT_EQ(r.keys, want);
+  EXPECT_GT(r.time, 0.0);
+  EXPECT_GT(r.time_per_key, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BitonicP,
+    ::testing::Values(BitonicCase{"gcel", BitonicVariant::Bsp, 8, 1},
+                      BitonicCase{"gcel", BitonicVariant::BspSynchronized, 32, 2},
+                      BitonicCase{"gcel", BitonicVariant::Bpram, 64, 3},
+                      BitonicCase{"cm5", BitonicVariant::Bsp, 16, 4},
+                      BitonicCase{"cm5", BitonicVariant::Bpram, 128, 5},
+                      BitonicCase{"maspar", BitonicVariant::MpBsp, 4, 6},
+                      BitonicCase{"maspar", BitonicVariant::Bpram, 16, 7},
+                      // M = 1 (one key per processor, the base algorithm)
+                      BitonicCase{"gcel", BitonicVariant::Bpram, 1, 8},
+                      // odd M (merge halves still partition correctly)
+                      BitonicCase{"cm5", BitonicVariant::Bpram, 5, 9},
+                      BitonicCase{"gcel", BitonicVariant::Bsp, 3, 10}));
+
+TEST(Bitonic, SortsDuplicateHeavyInput) {
+  auto m = test::small_cm5();
+  std::vector<std::uint32_t> keys(16 * 32);
+  sim::Rng rng(11);
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_below(4));
+  auto want = keys;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(run_bitonic(*m, keys, BitonicVariant::Bpram).keys, want);
+}
+
+TEST(Bitonic, SortsAlreadySortedAndReverse) {
+  auto m = test::small_cm5();
+  std::vector<std::uint32_t> asc(16 * 8);
+  for (std::size_t i = 0; i < asc.size(); ++i) asc[i] = static_cast<std::uint32_t>(i);
+  EXPECT_EQ(run_bitonic(*m, asc, BitonicVariant::Bpram).keys, asc);
+
+  std::vector<std::uint32_t> desc(asc.rbegin(), asc.rend());
+  EXPECT_EQ(run_bitonic(*m, desc, BitonicVariant::Bpram).keys, asc);
+}
+
+TEST(Bitonic, TimePerKeyTimesKeysIsTotal) {
+  auto m = test::small_gcel();
+  auto keys = test::random_keys(16 * 64, 12);
+  const auto r = run_bitonic(*m, keys, BitonicVariant::Bpram);
+  EXPECT_NEAR(r.time_per_key * 64.0, r.time, 1e-6 * r.time);
+}
+
+TEST(Bitonic, BlockTransfersCrushWordsOnTheGcel) {
+  // Fig 6 vs Fig 11: on the GCel the MP-BPRAM bitonic is orders of
+  // magnitude faster per key than the word-by-word BSP version.
+  auto m = machines::make_gcel(13);
+  auto keys = test::random_keys(64 * 256, 13);
+  const auto word = run_bitonic(*m, keys, BitonicVariant::BspSynchronized);
+  const auto block = run_bitonic(*m, keys, BitonicVariant::Bpram);
+  EXPECT_GT(word.time_per_key, 20.0 * block.time_per_key);
+}
+
+TEST(Bitonic, UnsynchronizedDriftsOnTheGcel) {
+  // Fig 6/7: without barriers the per-key time keeps elevating.
+  auto m = machines::make_gcel(14);
+  auto keys = test::random_keys(64 * 512, 14);
+  const auto unsync = run_bitonic(*m, keys, BitonicVariant::Bsp);
+  const auto sync = run_bitonic(*m, keys, BitonicVariant::BspSynchronized);
+  EXPECT_GT(unsync.time, 1.5 * sync.time);
+}
+
+TEST(Bitonic, MasParBlockVersionFasterThanWordVersion) {
+  // Fig 17: the MP-BPRAM bitonic beats MP-BSP by up to g+L/(w*sigma) ~ 3.3.
+  auto m = machines::make_maspar(15);
+  auto keys = test::random_keys(1024 * 16, 15);
+  const auto word = run_bitonic(*m, keys, BitonicVariant::MpBsp);
+  const auto block = run_bitonic(*m, keys, BitonicVariant::Bpram);
+  const double gain = word.time / block.time;
+  EXPECT_GT(gain, 1.5);
+  EXPECT_LT(gain, 3.6);
+}
+
+TEST(Bitonic, VariantNames) {
+  EXPECT_EQ(to_string(BitonicVariant::MpBsp), "mp-bsp");
+  EXPECT_EQ(to_string(BitonicVariant::Bsp), "bsp");
+  EXPECT_EQ(to_string(BitonicVariant::BspSynchronized), "bsp-sync");
+  EXPECT_EQ(to_string(BitonicVariant::Bpram), "mp-bpram");
+}
+
+}  // namespace
+}  // namespace pcm::algos

@@ -1,0 +1,150 @@
+#include "calibrate/calibrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "calibrate/block_perm.hpp"
+#include "calibrate/h_relation.hpp"
+#include "calibrate/hh_perm.hpp"
+#include "calibrate/microbench.hpp"
+#include "calibrate/mscat.hpp"
+#include "calibrate/one_h_relation.hpp"
+#include "calibrate/partial_perm.hpp"
+#include "test_util.hpp"
+
+namespace pcm::calibrate {
+namespace {
+
+TEST(Patterns, FullHRelationIsBalanced) {
+  sim::Rng rng(1);
+  const auto pat = full_h_relation(rng, 64, 5, 4);
+  EXPECT_EQ(pat.max_sent(), 5);
+  EXPECT_EQ(pat.max_received(), 5);
+  EXPECT_EQ(pat.size(), 320u);
+}
+
+TEST(Patterns, RandomDestinationRelationUnbalanced) {
+  sim::Rng rng(2);
+  const auto pat = random_destination_relation(rng, 64, 8, 4);
+  EXPECT_EQ(pat.max_sent(), 8);
+  EXPECT_GE(pat.max_received(), 8);  // typically strictly greater
+  EXPECT_EQ(pat.size(), 512u);
+}
+
+TEST(Patterns, OneHRelationLoads) {
+  sim::Rng rng(3);
+  const auto pat = one_h_relation(rng, 1024, 16, 4);
+  EXPECT_EQ(pat.size(), 1024u);
+  EXPECT_EQ(pat.max_sent(), 1);
+  EXPECT_EQ(pat.max_received(), 16);
+}
+
+TEST(Patterns, PartialPermutationActiveCount) {
+  sim::Rng rng(4);
+  const auto pat = partial_permutation(rng, 256, 32, 4);
+  EXPECT_EQ(pat.size(), 32u);
+  EXPECT_TRUE(pat.is_partial_permutation());
+  EXPECT_LE(pat.active_processors(), 64);
+  EXPECT_GE(pat.active_processors(), 33);  // senders+receivers, some overlap
+}
+
+TEST(Patterns, MultinodeScatterShape) {
+  const auto pat = multinode_scatter(64, 56, 4);
+  EXPECT_EQ(pat.size(), 8u * 56u);
+  EXPECT_EQ(pat.max_sent(), 56);
+  // Balanced across the 56 non-senders: ceil(8*56/56) = 8 each.
+  EXPECT_EQ(pat.max_received(), 8);
+}
+
+TEST(Sweeps, OneHRelationsGrowWithH) {
+  auto m = test::small_maspar();
+  std::vector<int> hs{1, 4, 16};
+  const auto sweep = run_one_h_relations(*m, hs, 5);
+  ASSERT_EQ(sweep.points.size(), 3u);
+  EXPECT_LT(sweep.points[0].stats.mean, sweep.points[2].stats.mean);
+  EXPECT_LE(sweep.points[0].stats.min, sweep.points[0].stats.mean);
+  EXPECT_LE(sweep.points[0].stats.mean, sweep.points[0].stats.max);
+}
+
+TEST(Sweeps, PartialPermutationsGrowWithActive) {
+  auto m = test::small_maspar();
+  std::vector<int> actives{16, 64, 256};
+  const auto sweep = run_partial_permutations(*m, actives, 5);
+  EXPECT_LT(sweep.points[0].stats.mean, sweep.points[2].stats.mean);
+  const auto t = fit_t_unb(sweep);
+  EXPECT_GT(t(256), t(16));
+}
+
+TEST(Sweeps, BlockPermutationsLinearInBytes) {
+  auto m = test::small_gcel();
+  std::vector<int> sizes{64, 256, 1024, 4096};
+  const auto sweep = run_block_permutations(*m, sizes, 3);
+  const auto fit = fit_sigma_and_ell(sweep);
+  EXPECT_GT(fit.slope, 0.0);
+  EXPECT_GT(fit.intercept, 0.0);
+  EXPECT_GT(fit.r2, 0.98);
+}
+
+TEST(Sweeps, HhPermutationsDriftWithoutBarriers) {
+  auto m = machines::make_gcel(31);
+  std::vector<int> hs{64, 1000};
+  const auto unsync = run_hh_permutations(*m, hs, 4, /*barrier_every=*/0);
+  const auto sync = run_hh_permutations(*m, hs, 4, /*barrier_every=*/256);
+  // Per-step time must elevate without barriers and stay flat with them.
+  const double unsync_rate0 = unsync.points[0].stats.mean / 64.0;
+  const double unsync_rate1 = unsync.points[1].stats.mean / 1000.0;
+  EXPECT_GT(unsync_rate1, 1.2 * unsync_rate0);
+  const double sync_rate0 = sync.points[0].stats.mean / 64.0;
+  const double sync_rate1 = sync.points[1].stats.mean / 1000.0;
+  EXPECT_NEAR(sync_rate1 / sync_rate0, 1.0, 0.15);
+}
+
+TEST(Sweeps, ScatterCheaperThanFullRelationPerMessage) {
+  auto m = machines::make_gcel(32);
+  std::vector<int> hs{64, 256};
+  const auto sc = run_multinode_scatter(*m, hs, 3);
+  const auto fr = run_full_h_relations(*m, hs, 3, 4);
+  const double g_mscat = fit_g_mscat(sc).slope;
+  const double g = fit_g_and_l(fr).slope;
+  EXPECT_GT(g / g_mscat, 3.0);  // paper: up to 9.1
+  EXPECT_LT(g / g_mscat, 12.0);
+}
+
+TEST(Calibrate, RecoversTable1ShapeOnGcel) {
+  auto m = machines::make_gcel(33);
+  CalibrationOptions opts;
+  opts.trials = 3;
+  opts.fit_t_unb = false;
+  opts.max_h = 32;
+  const auto params = calibrate(*m, opts);
+  const auto table = models::table1::gcel();
+  EXPECT_NEAR(params.bsp.g, table.bsp.g, 0.25 * table.bsp.g);
+  EXPECT_NEAR(params.bpram.sigma, table.bpram.sigma, 0.35 * table.bpram.sigma);
+  EXPECT_GT(params.bpram.ell, 1000.0);
+  EXPECT_GT(params.ebsp.g_mscat, 0.0);
+  EXPECT_LT(params.ebsp.g_mscat, params.bsp.g / 3.0);
+}
+
+TEST(Calibrate, RecoversTable1ShapeOnCm5) {
+  auto m = machines::make_cm5(34);
+  CalibrationOptions opts;
+  opts.trials = 3;
+  opts.fit_t_unb = false;
+  opts.fit_mscat = false;
+  opts.max_h = 64;
+  const auto params = calibrate(*m, opts);
+  const auto table = models::table1::cm5();
+  EXPECT_NEAR(params.bsp.g, table.bsp.g, 0.25 * table.bsp.g);
+  EXPECT_NEAR(params.bpram.sigma, table.bpram.sigma, 0.35 * table.bpram.sigma);
+}
+
+TEST(Calibrate, MasParTUnbShape) {
+  auto m = machines::make_maspar(35);
+  std::vector<int> actives{8, 32, 128, 512, 1024};
+  const auto sweep = run_partial_permutations(*m, actives, 5);
+  const auto t = fit_t_unb(sweep);
+  // Paper anchor: 32 active PEs take ~13% of a full permutation.
+  EXPECT_NEAR(t(32) / t(1024), 0.13, 0.06);
+}
+
+}  // namespace
+}  // namespace pcm::calibrate

@@ -1,0 +1,156 @@
+// Tests for the [16]-style collective extensions: tree broadcast, tree
+// reduction, prefix scan — correctness and the cost crossovers the BSP
+// analysis predicts (two-phase broadcast wins for large vectors, the tree
+// wins for tiny ones on high-latency machines).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "runtime/collectives.hpp"
+#include "test_util.hpp"
+
+namespace pcm::runtime {
+namespace {
+
+TEST(TreeBroadcast, DeliversToEveryMember) {
+  auto m = test::small_cm5();
+  m->reset();
+  std::vector<int> group{0, 3, 5, 7, 9, 11, 13};
+  std::vector<int> data{1, 2, 3};
+  const auto got = tree_broadcast<int>(*m, 5, group, data, TransferMode::Block);
+  EXPECT_EQ(got, data);
+  EXPECT_GT(m->now(), 0.0);
+}
+
+TEST(TreeBroadcast, SingleMemberGroupIsFree) {
+  auto m = test::small_cm5();
+  m->reset();
+  const auto got =
+      tree_broadcast<int>(*m, 4, std::vector<int>{4}, {9}, TransferMode::Word);
+  EXPECT_EQ(got.front(), 9);
+  EXPECT_DOUBLE_EQ(m->now(), 0.0);
+}
+
+TEST(TreeBroadcast, BeatsLinearForWideGroupsOnCheapBarrierMachines) {
+  // On the CM-5 (cheap control-network barrier) a 64-member single-word
+  // broadcast is root-bottlenecked when done linearly; the tree spreads the
+  // sends over log2(64) = 6 rounds.
+  auto m = machines::make_cm5(33);
+  std::vector<int> group(static_cast<std::size_t>(m->procs()));
+  std::iota(group.begin(), group.end(), 0);
+
+  m->reset();
+  (void)tree_broadcast<int>(*m, 0, group, {7}, TransferMode::Word);
+  const double tree = m->now();
+
+  m->reset();
+  one_to_all_broadcast<int>(*m, 0, group, {7}, TransferMode::Word);
+  const double linear = m->now();
+  EXPECT_LT(tree, linear);
+
+  // On the GCel the 3.8 ms software barrier per round makes the tree LOSE
+  // for small payloads — the kind of machine-dependent crossover the models
+  // are for.
+  auto gcel = test::small_gcel();
+  std::vector<int> small_group(16);
+  std::iota(small_group.begin(), small_group.end(), 0);
+  gcel->reset();
+  (void)tree_broadcast<int>(*gcel, 0, small_group, {7}, TransferMode::Word);
+  const double gcel_tree = gcel->now();
+  gcel->reset();
+  one_to_all_broadcast<int>(*gcel, 0, small_group, {7}, TransferMode::Word);
+  const double gcel_linear = gcel->now();
+  EXPECT_GT(gcel_tree, gcel_linear);
+}
+
+TEST(TwoPhaseVsTree, CrossoverMatchesBspAnalysis) {
+  // [16]: two-phase costs ~2(gn + L); tree ~(gn + L)log P. For large n the
+  // two-phase must win.
+  auto m = test::small_cm5();
+  std::vector<int> group(m->procs());
+  std::iota(group.begin(), group.end(), 0);
+  std::vector<int> big(8192, 1);
+
+  m->reset();
+  (void)two_phase_broadcast<int>(*m, 0, group, big, TransferMode::Word);
+  const double two_phase = m->now();
+
+  m->reset();
+  (void)tree_broadcast<int>(*m, 0, group, big, TransferMode::Word);
+  const double tree = m->now();
+  EXPECT_LT(two_phase, tree);
+}
+
+TEST(TreeReduce, SumsAllContributions) {
+  auto m = test::small_cm5();
+  m->reset();
+  std::vector<int> group{1, 2, 4, 8, 9};
+  std::vector<long> contrib{10, 20, 30, 40, 50};
+  const long total = tree_reduce<long>(
+      *m, 4, group, contrib, [](long a, long b) { return a + b; },
+      TransferMode::Word);
+  EXPECT_EQ(total, 150);
+}
+
+TEST(TreeReduce, MaxOperator) {
+  auto m = test::small_cm5();
+  m->reset();
+  std::vector<int> group{0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<long> contrib{3, 9, 1, 12, 5, 2, 8, 7};
+  const long mx = tree_reduce<long>(
+      *m, 0, group, contrib, [](long a, long b) { return std::max(a, b); },
+      TransferMode::Word);
+  EXPECT_EQ(mx, 12);
+}
+
+TEST(TreeReduce, SingleMember) {
+  auto m = test::small_cm5();
+  m->reset();
+  const long v = tree_reduce<long>(
+      *m, 3, std::vector<int>{3}, std::vector<long>{42},
+      [](long a, long b) { return a + b; }, TransferMode::Word);
+  EXPECT_EQ(v, 42);
+}
+
+TEST(PrefixScan, ExclusiveSums) {
+  auto m = test::small_cm5();
+  m->reset();
+  const int P = m->procs();
+  std::vector<long> value(static_cast<std::size_t>(P));
+  for (int p = 0; p < P; ++p) value[static_cast<std::size_t>(p)] = p + 1;
+  const auto excl = prefix_scan<long>(*m, value, TransferMode::Word);
+  long acc = 0;
+  for (int p = 0; p < P; ++p) {
+    EXPECT_EQ(excl[static_cast<std::size_t>(p)], acc) << p;
+    acc += value[static_cast<std::size_t>(p)];
+  }
+}
+
+TEST(PrefixScan, AgreesWithMultiscanColumn) {
+  // multiscan with a single bucket column equals a prefix scan over that
+  // column.
+  auto m = test::small_cm5();
+  const int P = m->procs();
+  sim::Rng rng(9);
+  std::vector<long> value(static_cast<std::size_t>(P));
+  for (auto& v : value) v = static_cast<long>(rng.next_below(100));
+
+  m->reset();
+  const auto scan = prefix_scan<long>(*m, value, TransferMode::Word);
+
+  std::vector<std::vector<long>> counts(static_cast<std::size_t>(P));
+  for (int p = 0; p < P; ++p) {
+    counts[static_cast<std::size_t>(p)].assign(static_cast<std::size_t>(P), 0);
+    counts[static_cast<std::size_t>(p)][0] = value[static_cast<std::size_t>(p)];
+  }
+  m->reset();
+  const auto offsets = multiscan<long>(*m, counts, TransferMode::Word);
+  for (int p = 0; p < P; ++p) {
+    EXPECT_EQ(offsets[static_cast<std::size_t>(p)][0],
+              scan[static_cast<std::size_t>(p)]);
+  }
+}
+
+}  // namespace
+}  // namespace pcm::runtime

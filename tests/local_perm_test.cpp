@@ -1,0 +1,81 @@
+#include "calibrate/local_perm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "calibrate/calibrate.hpp"
+#include "calibrate/partial_perm.hpp"
+#include "predict/apsp_predict.hpp"
+#include "test_util.hpp"
+
+namespace pcm::calibrate {
+namespace {
+
+TEST(LocalPermutation, StaysWithinBlocks) {
+  sim::Rng rng(1);
+  const int locality = 32;
+  const auto pat = local_permutation(rng, 1024, 512, locality, 4);
+  EXPECT_EQ(pat.size(), 512u);
+  EXPECT_TRUE(pat.is_partial_permutation());
+  for (int p = 0; p < 1024; ++p) {
+    for (const auto& m : pat.sends_of(p)) {
+      EXPECT_EQ(m.src / locality, m.dst / locality);
+    }
+  }
+}
+
+TEST(LocalPermutation, FullyActiveCoversEveryone) {
+  sim::Rng rng(2);
+  const auto pat = local_permutation(rng, 1024, 1024, 32, 4);
+  EXPECT_EQ(pat.size(), 1024u);
+  EXPECT_EQ(pat.max_sent(), 1);
+  EXPECT_EQ(pat.max_received(), 1);
+}
+
+TEST(LocalPermutation, CheaperThanGlobalOnTheMasPar) {
+  // The locality effect the delta network rewards: a row-local full
+  // permutation routes conflict-free, a global one does not.
+  auto m = machines::make_maspar(3);
+  std::vector<int> actives{1024};
+  const auto local = run_local_permutations(*m, actives, 32, 6);
+  const auto global = run_partial_permutations(*m, actives, 6);
+  EXPECT_LT(local.points[0].stats.mean, 0.75 * global.points[0].stats.mean);
+}
+
+TEST(LocalPermutation, FitGrowsWithActivity) {
+  auto m = machines::make_maspar(4);
+  std::vector<int> actives{64, 256, 1024};
+  const auto sweep = run_local_permutations(*m, actives, 32, 4);
+  const auto fit = fit_t_unb_local(sweep);
+  EXPECT_GT(fit(1024), fit(64));
+}
+
+TEST(Calibrate, FitsLocalityCurveOnTheMasPar) {
+  auto m = machines::make_maspar(5);
+  CalibrationOptions opts;
+  opts.trials = 3;
+  opts.fit_mscat = false;
+  opts.max_h = 16;
+  opts.max_block = 512;
+  const auto p = calibrate(*m, opts);
+  EXPECT_EQ(p.ebsp.locality, 32);
+  // Locality curve sits below the random-pattern curve at full activity.
+  EXPECT_LT(p.ebsp.t_unb_local(1024), p.ebsp.t_unb(1024));
+}
+
+TEST(ApspEbspLocal, TightensTheFig12Prediction) {
+  auto m = machines::make_maspar(6);
+  CalibrationOptions opts;
+  opts.trials = 4;
+  opts.fit_mscat = false;
+  const auto p = calibrate(*m, opts);
+  const long n = 256;
+  const auto& lc = m->compute();
+  const double mp_bsp = predict::apsp_mp_bsp(p.bsp, lc, n);
+  const double ebsp = predict::apsp_ebsp(p.ebsp, lc, n);
+  const double local = predict::apsp_ebsp_local(p.ebsp, lc, n);
+  EXPECT_LT(local, ebsp);
+  EXPECT_LT(ebsp, mp_bsp);
+}
+
+}  // namespace
+}  // namespace pcm::calibrate

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "machines/custom.hpp"
+#include "models/logp.hpp"
+#include "models/pram.hpp"
+
+namespace pcm::models {
+namespace {
+
+TEST(LogP, MessageAndStream) {
+  LogPModel m(LogPParams{64, 10.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(m.message(), 14.0);
+  EXPECT_DOUBLE_EQ(m.stream(1), 14.0);
+  // gap-dominated pipeline: (n-1)*g + L + 2o
+  EXPECT_DOUBLE_EQ(m.stream(5), 4.0 * 4 + 14.0);
+}
+
+TEST(LogP, OverheadDominatedStream) {
+  LogPModel m(LogPParams{64, 10.0, 6.0, 4.0});
+  EXPECT_DOUBLE_EQ(m.stream(5), 6.0 * 4 + 22.0);  // o > g
+}
+
+TEST(LogP, HRelationAndHotspot) {
+  LogPModel m(LogPParams{64, 10.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(m.h_relation(10), 40.0 + 10.0);
+  // 4 senders * 8 messages converge: the destination gap serialises all 32.
+  EXPECT_DOUBLE_EQ(m.hotspot(4, 8), 4.0 * 32 + 10.0 + 4.0);
+  EXPECT_GT(m.hotspot(4, 8), m.h_relation(8));
+}
+
+TEST(LogP, CapacityConstraint) {
+  EXPECT_EQ((LogPParams{64, 45.0, 2.0, 9.0}).capacity(), 6);
+  EXPECT_EQ((LogPParams{64, 45.0, 2.0, 0.0}).capacity(), 1);
+}
+
+TEST(LogGP, LongMessage) {
+  LogGPParams p;
+  p.logp = LogPParams{64, 20.0, 3.0, 5.0};
+  p.G = 0.5;
+  LogGPModel m(p);
+  EXPECT_DOUBLE_EQ(m.long_message(1001), 6.0 + 500.0 + 20.0);
+  EXPECT_DOUBLE_EQ(m.block_step(1001), m.long_message(1001));
+}
+
+TEST(LogP, MappingFromBspKeepsGap) {
+  const auto bsp = table1::cm5().bsp;
+  const auto p = logp_from(bsp);
+  EXPECT_DOUBLE_EQ(p.g, bsp.g);
+  EXPECT_GT(p.o, 0.0);
+  EXPECT_LT(p.o, bsp.g);
+  EXPECT_EQ(p.P, bsp.P);
+}
+
+TEST(LogGP, MappingUsesSigmaAsG) {
+  const auto t = table1::gcel();
+  const auto p = loggp_from(t.bsp, t.bpram);
+  EXPECT_DOUBLE_EQ(p.G, t.bpram.sigma);
+  // ell ~ o + L + o.
+  EXPECT_NEAR(2.0 * p.logp.o + p.logp.L, t.bpram.ell, 1e-9);
+}
+
+TEST(LogGP, MpBpramCorrespondence) {
+  // Footnote 2 of the paper: the MP-BPRAM is essentially LogGP. A block
+  // step of m bytes should cost about sigma*m + ell under both.
+  const auto t = table1::gcel();
+  const auto p = loggp_from(t.bsp, t.bpram);
+  LogGPModel loggp(p);
+  const double bpram_cost = t.bpram.sigma * 4096 + t.bpram.ell;
+  EXPECT_NEAR(loggp.block_step(4096), bpram_cost, 0.02 * bpram_cost);
+}
+
+TEST(Pram, CommunicationIsFree) {
+  PramModel m(PramParams{64});
+  EXPECT_DOUBLE_EQ(m.superstep(100.0, 1000, 1000), 100.0);
+}
+
+TEST(Pram, PredictionsAreComputeOnly) {
+  PramModel m(PramParams{64});
+  EXPECT_DOUBLE_EQ(m.matmul(0.29, 256), 0.29 * 256.0 * 256.0 * 256.0 / 64.0);
+  EXPECT_DOUBLE_EQ(m.apsp(0.29, 256), m.matmul(0.29, 256));
+  EXPECT_DOUBLE_EQ(m.bitonic(100.0, 0.5, 1000, 21.0), 100.0 + 21.0 * 500.0);
+}
+
+TEST(Pram, GrosslyUnderestimatesRealMachines) {
+  // The intro's argument, quantified: PRAM predicts a fraction of what a
+  // communication-heavy algorithm costs on the (simulated) GCel.
+  PramModel pram(PramParams{64});
+  const auto bsp = table1::gcel().bsp;
+  const double real_ish = bsp.g * 1000 + bsp.L;  // one 1000-relation
+  EXPECT_LT(pram.superstep(0.0, 1000, 1000), 0.01 * real_ish);
+}
+
+}  // namespace
+}  // namespace pcm::models
+
+namespace pcm::machines {
+namespace {
+
+TEST(CustomMachines, MasParCrossbarAblation) {
+  net::DeltaRouterParams ideal;
+  ideal.ideal_crossbar = true;
+  auto m = make_maspar_custom(ideal, 3, 1024);
+  auto* crossbar = dynamic_cast<net::DeltaRouter*>(&m->router());
+  ASSERT_NE(crossbar, nullptr);
+  net::DeltaRouter delta(1024);  // with stage conflicts
+  sim::Rng rng(4);
+  const auto pat =
+      net::patterns::from_permutation(rng.permutation(1024), 4);
+  const int w_ideal = crossbar->wave_count(pat);
+  const int w_delta = delta.wave_count(pat);
+  // Removing the internal stage conflicts removes a chunk of the waves;
+  // head-of-line blocking at the destination channels remains.
+  EXPECT_GE(w_ideal, crossbar->params().cluster_size);
+  EXPECT_LT(w_ideal, w_delta);
+  // Bit-flip patterns are unaffected by the ablation (conflict-free anyway).
+  const auto flip = net::patterns::bit_flip(1024, 4, 1, 4);
+  EXPECT_EQ(crossbar->wave_count(flip), delta.wave_count(flip));
+}
+
+TEST(CustomMachines, GcelCustomSize) {
+  net::MeshRouterParams p;
+  p.width = 4;
+  p.height = 4;
+  auto m = make_gcel_custom(p, 5);
+  EXPECT_EQ(m->procs(), 16);
+}
+
+TEST(CustomMachines, Cm5NoBackpressure) {
+  net::FatTreeParams p;
+  p.kappa_hotspot = 0.0;
+  p.capacity_slack = 1e9;
+  auto m = make_cm5_custom(p, 6);
+  EXPECT_EQ(m->procs(), 64);
+  EXPECT_EQ(m->name(), "TMC CM-5 (custom)");
+}
+
+}  // namespace
+}  // namespace pcm::machines

@@ -1,0 +1,167 @@
+#include "machines/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/pattern.hpp"
+#include "test_util.hpp"
+
+namespace pcm::machines {
+namespace {
+
+TEST(Machines, FactoriesMatchTable1Configurations) {
+  auto mp = make_maspar();
+  EXPECT_EQ(mp->procs(), 1024);
+  EXPECT_EQ(mp->word_bytes(), 4);
+  EXPECT_EQ(mp->name(), "MasPar MP-1");
+
+  auto gc = make_gcel();
+  EXPECT_EQ(gc->procs(), 64);
+  EXPECT_EQ(gc->word_bytes(), 4);
+
+  auto cm = make_cm5();
+  EXPECT_EQ(cm->procs(), 64);
+  EXPECT_EQ(cm->word_bytes(), 8);
+}
+
+TEST(Machines, MakeMachineByPlatform) {
+  EXPECT_EQ(make_machine(Platform::MasPar)->name(), "MasPar MP-1");
+  EXPECT_EQ(make_machine(Platform::GCel)->name(), "Parsytec GCel");
+  EXPECT_EQ(make_machine(Platform::CM5)->name(), "TMC CM-5");
+  EXPECT_EQ(to_string(Platform::GCel), "gcel");
+}
+
+TEST(Machines, ChargeAdvancesOneClock) {
+  auto m = test::small_cm5();
+  m->charge(3, 10.0);
+  EXPECT_DOUBLE_EQ(m->now(3), 10.0);
+  EXPECT_DOUBLE_EQ(m->now(0), 0.0);
+  EXPECT_DOUBLE_EQ(m->now(), 10.0);
+}
+
+TEST(Machines, ChargeAllAdvancesEveryClock) {
+  auto m = test::small_gcel();
+  m->charge_all(5.0);
+  for (int p = 0; p < m->procs(); ++p) EXPECT_DOUBLE_EQ(m->now(p), 5.0);
+}
+
+TEST(Machines, BarrierSynchronisesWithCost) {
+  auto m = test::small_gcel();
+  m->charge(0, 100.0);
+  m->barrier();
+  for (int p = 0; p < m->procs(); ++p) {
+    EXPECT_DOUBLE_EQ(m->now(p), 100.0 + m->barrier_cost());
+  }
+}
+
+TEST(Machines, MasParBarrierIsFree) {
+  auto m = test::small_maspar();
+  EXPECT_DOUBLE_EQ(m->barrier_cost(), 0.0);
+}
+
+TEST(Machines, ExchangeAdvancesParticipants) {
+  auto m = test::small_cm5();
+  net::CommPattern pat(m->procs());
+  pat.add(0, 1, 8);
+  m->exchange(pat);
+  EXPECT_GT(m->now(1), 0.0);
+  EXPECT_GT(m->now(0), 0.0);
+  EXPECT_DOUBLE_EQ(m->now(5), 0.0);
+}
+
+TEST(Machines, MasParExchangeIsLockStep) {
+  auto m = test::small_maspar();
+  net::CommPattern pat(m->procs());
+  pat.add(0, 17, 4);
+  m->exchange(pat);
+  const double t = m->now();
+  for (int p = 0; p < m->procs(); ++p) EXPECT_DOUBLE_EQ(m->now(p), t);
+}
+
+TEST(Machines, ResetClearsClocks) {
+  auto m = test::small_cm5();
+  m->charge_all(50.0);
+  m->reset();
+  EXPECT_DOUBLE_EQ(m->now(), 0.0);
+}
+
+TEST(Machines, ResetKeepsRngStreamMoving) {
+  auto m = test::small_gcel();
+  const auto v1 = m->rng().next_u64();
+  m->reset();
+  const auto v2 = m->rng().next_u64();
+  EXPECT_NE(v1, v2);
+}
+
+TEST(Machines, ReseedReproducesRuns) {
+  auto m = test::small_gcel(77);
+  net::CommPattern pat(m->procs());
+  for (int p = 0; p < m->procs(); ++p) pat.add(p, (p + 1) % m->procs(), 4);
+  m->reseed(1234);
+  m->exchange(pat);
+  const double t1 = m->now();
+  m->reseed(1234);
+  m->exchange(pat);
+  EXPECT_DOUBLE_EQ(m->now(), t1);
+}
+
+TEST(Machines, TraceRecordsPhases) {
+  auto m = test::small_cm5();
+  m->trace().set_enabled(true);
+  m->charge(0, 3.0);
+  net::CommPattern pat(m->procs());
+  pat.add(0, 1, 8);
+  pat.add(0, 2, 8);
+  m->exchange(pat);
+  m->barrier();
+  EXPECT_DOUBLE_EQ(m->trace().total(sim::PhaseKind::Compute), 3.0);
+  EXPECT_EQ(m->trace().total_messages(), 2);
+  EXPECT_EQ(m->trace().total_bytes(), 16);
+  EXPECT_GT(m->trace().total(sim::PhaseKind::Communicate), 0.0);
+}
+
+TEST(Machines, EmptyExchangeIsFree) {
+  auto m = test::small_cm5();
+  net::CommPattern pat(m->procs());
+  m->exchange(pat);
+  EXPECT_DOUBLE_EQ(m->now(), 0.0);
+}
+
+TEST(LocalComputeModels, Cm5MatmulMflopsAnchors) {
+  const auto lc = cm5_compute();
+  auto mflops = [&](long k, long cols) { return 2.0 * lc.matmul_rate(k, cols); };
+  // 6.5 - 7.5 Mflops for square 32..256 (paper Section 4.1.1).
+  for (long n : {32L, 64L, 128L, 256L}) {
+    EXPECT_GE(mflops(n, n), 6.3) << n;
+    EXPECT_LE(mflops(n, n), 7.9) << n;
+  }
+  // Drops to ~5.2 at N = 512.
+  EXPECT_NEAR(mflops(512, 512), 5.2, 0.7);
+  // Never exceeds the ~9 Mflops peak.
+  EXPECT_LT(mflops(4096, 64), 9.0);
+}
+
+TEST(LocalComputeModels, AlphaMatchesPaper) {
+  EXPECT_NEAR(cm5_compute().alpha, 0.29, 0.01);
+  EXPECT_GT(maspar_compute().alpha, 25.0);  // slow 4-bit PEs
+  EXPECT_LT(gcel_compute().alpha, 5.0);
+}
+
+TEST(LocalComputeModels, RadixSortFormula) {
+  const auto lc = cm5_compute();
+  // (b/r) * (beta*2^r + gamma*n) with b=32, r=8 -> 4 passes.
+  const double expect = 4.0 * (lc.radix_beta * 256.0 + lc.radix_gamma * 1000.0);
+  EXPECT_DOUBLE_EQ(lc.radix_sort_time(1000), expect);
+}
+
+TEST(LocalComputeModels, MatmulTimeMatchesRate) {
+  const auto lc = gcel_compute();  // no cache model
+  EXPECT_NEAR(lc.matmul_time(10, 20, 30), 10.0 * 20.0 * 30.0 * lc.alpha, 1e-6);
+}
+
+TEST(LocalComputeModels, SmallKernelPenalty) {
+  const auto lc = cm5_compute();
+  EXPECT_LT(lc.matmul_rate(8, 8), lc.matmul_rate(128, 128));
+}
+
+}  // namespace
+}  // namespace pcm::machines

@@ -1,0 +1,122 @@
+#include "algos/matmul.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algos/reference.hpp"
+#include "test_util.hpp"
+
+namespace pcm::algos {
+namespace {
+
+// Correctness sweep: every variant must compute the exact product on every
+// machine type (float tolerance for the single-precision platforms).
+
+struct MatmulCase {
+  const char* machine;
+  MatmulVariant variant;
+  int n;
+};
+
+void PrintTo(const MatmulCase& c, std::ostream* os) {
+  *os << c.machine << "/" << to_string(c.variant) << "/N=" << c.n;
+}
+
+class MatmulP : public ::testing::TestWithParam<MatmulCase> {};
+
+std::unique_ptr<machines::Machine> machine_for(const std::string& name) {
+  if (name == "cm5") return test::small_cm5();
+  if (name == "gcel") return test::small_gcel();
+  return test::small_maspar();
+}
+
+TEST_P(MatmulP, ComputesTheProduct) {
+  const auto& c = GetParam();
+  auto m = machine_for(c.machine);
+  const int q = matmul_q(*m);
+  ASSERT_EQ(c.n % (q * q), 0) << "bad test parameter";
+  const auto a = test::random_matrix<double>(c.n, 17);
+  const auto b = test::random_matrix<double>(c.n, 18);
+  const auto want = ref::matmul(a, b, c.n);
+  const auto r = run_matmul<double>(*m, a, b, c.n, c.variant);
+  EXPECT_LT(test::max_abs_diff(r.c, want), 1e-9);
+  EXPECT_GT(r.time, 0.0);
+  EXPECT_GT(r.mflops, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MatmulP,
+    ::testing::Values(
+        MatmulCase{"cm5", MatmulVariant::BspUnstaggered, 16},
+        MatmulCase{"cm5", MatmulVariant::BspStaggered, 16},
+        MatmulCase{"cm5", MatmulVariant::MpBsp, 16},
+        MatmulCase{"cm5", MatmulVariant::Bpram, 16},
+        MatmulCase{"cm5", MatmulVariant::BspStaggered, 32},
+        MatmulCase{"cm5", MatmulVariant::Bpram, 32},
+        MatmulCase{"gcel", MatmulVariant::BspStaggered, 16},
+        MatmulCase{"gcel", MatmulVariant::Bpram, 32},
+        MatmulCase{"maspar", MatmulVariant::MpBsp, 36},
+        MatmulCase{"maspar", MatmulVariant::Bpram, 36}));
+
+TEST(Matmul, FloatInstantiationWorks) {
+  auto m = test::small_gcel();
+  const int n = 16;
+  const auto a = test::random_matrix<float>(n, 3);
+  const auto b = test::random_matrix<float>(n, 4);
+  const auto want = ref::matmul(a, b, n);
+  const auto r = run_matmul<float>(*m, a, b, n, MatmulVariant::Bpram);
+  EXPECT_LT(test::max_abs_diff(r.c, want), 1e-3);
+}
+
+TEST(Matmul, QAndRounding) {
+  auto cm5 = test::small_cm5();  // 16 procs -> q = 2
+  EXPECT_EQ(matmul_q(*cm5), 2);
+  EXPECT_EQ(matmul_round_n(*cm5, 9), 12);
+  EXPECT_EQ(matmul_round_n(*cm5, 12), 12);
+  auto mp = test::small_maspar();  // 256 procs -> q = 6
+  EXPECT_EQ(matmul_q(*mp), 6);
+  EXPECT_EQ(matmul_round_n(*mp, 100), 108);
+}
+
+TEST(Matmul, StaggeringHelpsOnTheCm5) {
+  // The Fig 4 effect: the unstaggered word schedule converges on single
+  // destinations and must not be faster than the staggered one.
+  auto m = machines::make_cm5(5);
+  const int n = 64;
+  const auto a = test::random_matrix<double>(n, 5);
+  const auto b = test::random_matrix<double>(n, 6);
+  const auto unstag = run_matmul<double>(*m, a, b, n, MatmulVariant::BspUnstaggered);
+  const auto stag = run_matmul<double>(*m, a, b, n, MatmulVariant::BspStaggered);
+  EXPECT_GT(unstag.time, stag.time);
+}
+
+TEST(Matmul, BlockTransfersBeatWordsOnTheGcel) {
+  // g/(w*sigma) ~ 120 on the GCel: the MP-BPRAM version must win big.
+  auto m = machines::make_gcel(6);
+  const int n = 32;
+  const auto a = test::random_matrix<double>(n, 7);
+  const auto b = test::random_matrix<double>(n, 8);
+  const auto word = run_matmul<double>(*m, a, b, n, MatmulVariant::BspStaggered);
+  const auto block = run_matmul<double>(*m, a, b, n, MatmulVariant::Bpram);
+  EXPECT_GT(word.time, 3.0 * block.time);
+}
+
+TEST(Matmul, TimeGrowsWithN) {
+  auto m = test::small_cm5();
+  const auto a16 = test::random_matrix<double>(16, 9);
+  const auto b16 = test::random_matrix<double>(16, 10);
+  const auto a32 = test::random_matrix<double>(32, 11);
+  const auto b32 = test::random_matrix<double>(32, 12);
+  const auto r16 = run_matmul<double>(*m, a16, b16, 16, MatmulVariant::Bpram);
+  const auto r32 = run_matmul<double>(*m, a32, b32, 32, MatmulVariant::Bpram);
+  EXPECT_GT(r32.time, r16.time);
+}
+
+TEST(Matmul, VariantNames) {
+  EXPECT_EQ(to_string(MatmulVariant::BspUnstaggered), "bsp-unstaggered");
+  EXPECT_EQ(to_string(MatmulVariant::BspStaggered), "bsp-staggered");
+  EXPECT_EQ(to_string(MatmulVariant::MpBsp), "mp-bsp");
+  EXPECT_EQ(to_string(MatmulVariant::Bpram), "mp-bpram");
+}
+
+}  // namespace
+}  // namespace pcm::algos

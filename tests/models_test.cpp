@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "models/bsp.hpp"
+#include "models/e_bsp.hpp"
+#include "models/mp_bpram.hpp"
+#include "models/mp_bsp.hpp"
+#include "models/params.hpp"
+
+namespace pcm::models {
+namespace {
+
+TEST(Table1, PublishedParameters) {
+  const auto mp = table1::maspar();
+  EXPECT_EQ(mp.bsp.P, 1024);
+  EXPECT_DOUBLE_EQ(mp.bsp.g, 32.2);
+  EXPECT_DOUBLE_EQ(mp.bsp.L, 1400.0);
+  EXPECT_DOUBLE_EQ(mp.bpram.sigma, 107.0);
+  EXPECT_DOUBLE_EQ(mp.bpram.ell, 630.0);
+
+  const auto gc = table1::gcel();
+  EXPECT_DOUBLE_EQ(gc.bsp.g, 4480.0);
+  EXPECT_DOUBLE_EQ(gc.bsp.L, 5100.0);
+  EXPECT_DOUBLE_EQ(gc.bpram.sigma, 9.3);
+  EXPECT_DOUBLE_EQ(gc.bpram.ell, 6900.0);
+  EXPECT_DOUBLE_EQ(gc.ebsp.g_mscat, 492.0);
+
+  const auto cm = table1::cm5();
+  EXPECT_DOUBLE_EQ(cm.bsp.g, 9.1);
+  EXPECT_DOUBLE_EQ(cm.bsp.L, 45.0);
+  EXPECT_DOUBLE_EQ(cm.bpram.sigma, 0.27);
+  EXPECT_DOUBLE_EQ(cm.bpram.ell, 75.0);
+  EXPECT_EQ(cm.bsp.word_bytes, 8);
+}
+
+TEST(Table1, BlockGainIndicators) {
+  // Paper Section 3: ~120 on the GCel, ~4.2 on the CM-5 (8-byte words).
+  const auto gc = table1::gcel();
+  EXPECT_NEAR(block_gain(gc.bsp, gc.bpram), 120.0, 2.0);
+  const auto cm = table1::cm5();
+  EXPECT_NEAR(block_gain(cm.bsp, cm.bpram), 4.2, 0.1);
+}
+
+TEST(Table1, MasParTUnbAnchors) {
+  const auto t = table1::maspar().ebsp.t_unb;
+  // Partial permutation with 32 active PEs ~ 13% of a full permutation.
+  EXPECT_NEAR(t(32) / t(1024), 0.13, 0.02);
+  EXPECT_NEAR(t(1024), 1311.0, 5.0);
+}
+
+TEST(BspModel, SuperstepCost) {
+  BspModel m(BspParams{64, 10.0, 100.0, 4});
+  EXPECT_DOUBLE_EQ(m.superstep(50.0, 3, 7), 50.0 + 70.0 + 100.0);
+  EXPECT_DOUBLE_EQ(m.h_relation(5), 150.0);
+}
+
+TEST(BspModel, PatternCostUsesHDegreeOnly) {
+  BspModel m(BspParams{8, 10.0, 100.0, 4});
+  net::CommPattern balanced(8);
+  for (int p = 0; p < 8; ++p) balanced.add(p, (p + 1) % 8, 4);
+  net::CommPattern unbalanced(8);
+  unbalanced.add(0, 1, 4);  // a single message
+  EXPECT_DOUBLE_EQ(m.pattern_cost(balanced), m.pattern_cost(unbalanced));
+}
+
+TEST(MpBspModel, CommStep) {
+  MpBspModel m(BspParams{1024, 32.2, 1400.0, 4});
+  EXPECT_DOUBLE_EQ(m.comm_step(1), 1432.2);
+  EXPECT_DOUBLE_EQ(m.permutation_steps(10), 14322.0);
+}
+
+TEST(MpBpramModel, BlockSteps) {
+  MpBpramModel m(BpramParams{64, 9.3, 6900.0});
+  EXPECT_DOUBLE_EQ(m.comm_step(1000), 9300.0 + 6900.0);
+  EXPECT_DOUBLE_EQ(m.block_steps(3, 100), 3 * (930.0 + 6900.0));
+}
+
+TEST(MpBpramModel, Admissibility) {
+  net::CommPattern ok(4);
+  ok.add(0, 1, 100);
+  ok.add(2, 3, 100);
+  EXPECT_TRUE(MpBpramModel::admissible(ok));
+  net::CommPattern bad(4);
+  bad.add(0, 1, 100);
+  bad.add(2, 1, 100);  // receiver 1 gets two messages
+  EXPECT_FALSE(MpBpramModel::admissible(bad));
+}
+
+TEST(MpBpramModel, PatternCostUsesLongestBlock) {
+  MpBpramModel m(BpramParams{4, 2.0, 10.0});
+  net::CommPattern pat(4);
+  pat.add(0, 1, 100);
+  pat.add(2, 3, 300);
+  EXPECT_DOUBLE_EQ(m.pattern_cost(pat), 2.0 * 300 + 10.0);
+}
+
+TEST(EBspModel, UnbalancedStepMatchesTUnb) {
+  EBspModel m(table1::maspar().ebsp);
+  EXPECT_NEAR(m.unbalanced_step(32), 0.84 * 32 + 11.8 * std::sqrt(32.0) + 73.3,
+              1e-9);
+}
+
+TEST(EBspModel, ScatterRelationUsesGmscat) {
+  EBspModel m(table1::gcel().ebsp);
+  EXPECT_DOUBLE_EQ(m.scatter_relation(10), 492.0 * 10 + 5100.0);
+  EXPECT_DOUBLE_EQ(m.h_relation(10), 4480.0 * 10 + 5100.0);
+  EXPECT_LT(m.scatter_relation(100), m.h_relation(100) / 5.0);
+}
+
+TEST(EBspModel, RelationCostDiscountsPartialPatterns) {
+  EBspModel m(table1::maspar().ebsp);
+  net::CommPattern small(1024);
+  for (int i = 0; i < 16; ++i) small.add(i, 512 + i, 4);
+  net::CommPattern full(1024);
+  for (int p = 0; p < 1024; ++p) full.add(p, (p + 1) % 1024, 4);
+  EXPECT_LT(m.relation_cost(small), 0.3 * m.relation_cost(full));
+}
+
+}  // namespace
+}  // namespace pcm::models

@@ -1,0 +1,133 @@
+#include "net/delta_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace pcm::net {
+namespace {
+
+class DeltaRouterTest : public ::testing::Test {
+ protected:
+  DeltaRouter router_{1024};
+  sim::Rng rng_{21};
+};
+
+TEST_F(DeltaRouterTest, Topology) {
+  EXPECT_EQ(router_.clusters(), 64);
+  EXPECT_EQ(router_.stages(), 3);
+}
+
+TEST_F(DeltaRouterTest, BitFlipPermutationIsConflictFree) {
+  // A cluster-level XOR permutation routes without internal conflicts, so
+  // the wave count equals the cluster size (channel serialisation only).
+  for (int bit = 0; bit < 10; ++bit) {
+    const auto pat = patterns::bit_flip(1024, bit, 1, 4);
+    EXPECT_EQ(router_.wave_count(pat), router_.params().cluster_size)
+        << "bit " << bit;
+  }
+}
+
+TEST_F(DeltaRouterTest, IdentityPermutationIsConflictFree) {
+  CommPattern pat(1024);
+  for (int p = 0; p < 1024; ++p) pat.add(p, p, 4);
+  EXPECT_EQ(router_.wave_count(pat), router_.params().cluster_size);
+}
+
+TEST_F(DeltaRouterTest, RandomPermutationSuffersConflicts) {
+  const auto perm = rng_.permutation(1024);
+  const auto pat = patterns::from_permutation(perm, 4);
+  const int waves = router_.wave_count(pat);
+  EXPECT_GT(waves, router_.params().cluster_size);
+  EXPECT_LT(waves, 4 * router_.params().cluster_size);
+}
+
+TEST_F(DeltaRouterTest, RandomPermutationAboutTwiceBitFlip) {
+  // The Fig 5/10/17 mechanism: ~590 µs vs ~1300 µs on the real machine.
+  double random_mean = 0.0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    const auto perm = rng_.permutation(1024);
+    random_mean += router_.step_duration(patterns::from_permutation(perm, 4));
+  }
+  random_mean /= trials;
+  const double flip = router_.step_duration(patterns::bit_flip(1024, 4, 1, 4));
+  EXPECT_GT(random_mean / flip, 1.7);
+  EXPECT_LT(random_mean / flip, 3.2);
+}
+
+TEST_F(DeltaRouterTest, SingleMessageUsesOneWave) {
+  CommPattern pat(1024);
+  pat.add(3, 900, 4);
+  EXPECT_EQ(router_.wave_count(pat), 1);
+}
+
+TEST_F(DeltaRouterTest, HotDestinationSerialises) {
+  // h messages into one PE need at least h waves.
+  CommPattern pat(1024);
+  for (int s = 0; s < 32; ++s) pat.add(s * 16, 777, 4);
+  EXPECT_GE(router_.wave_count(pat), 32);
+}
+
+TEST_F(DeltaRouterTest, SameClusterChannelSerialises) {
+  // 16 PEs of one cluster each send one message to distinct far targets:
+  // the shared channel forces >= 16 waves.
+  CommPattern pat(1024);
+  for (int i = 0; i < 16; ++i) pat.add(i, 512 + i * 16, 4);
+  EXPECT_GE(router_.wave_count(pat), 16);
+}
+
+TEST_F(DeltaRouterTest, DurationScalesLinearlyWithBytes) {
+  const auto perm = rng_.permutation(1024);
+  const auto p1 = patterns::from_permutation(perm, 4);
+  const auto p2 = patterns::from_permutation(perm, 1024);
+  const double d1 = router_.step_duration(p1);
+  const double d2 = router_.step_duration(p2);
+  const int waves = router_.wave_count(p1);
+  EXPECT_NEAR(d2 - d1, waves * router_.params().t_byte * (1024 - 4),
+              1e-6 * d2);
+}
+
+TEST_F(DeltaRouterTest, StepDurationIsMemoisedAndDeterministic) {
+  const auto perm = rng_.permutation(1024);
+  const auto pat = patterns::from_permutation(perm, 4);
+  const double a = router_.step_duration(pat);
+  const double b = router_.step_duration(pat);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(DeltaRouterTest, RouteIsSimdSynchronous) {
+  const auto perm = rng_.permutation(1024);
+  const auto pat = patterns::from_permutation(perm, 4);
+  std::vector<sim::Micros> start(1024, 0.0);
+  start[7] = 500.0;  // slowest PE gates the step
+  std::vector<sim::Micros> finish(1024, 0.0);
+  router_.route(pat, start, finish, rng_);
+  const double expect = 500.0 + router_.step_duration(pat);
+  for (int p = 0; p < 1024; ++p) EXPECT_DOUBLE_EQ(finish[p], expect);
+}
+
+TEST_F(DeltaRouterTest, MoreActivePEsCostMore) {
+  // Monotone growth of partial permutations (the T_unb shape, Fig 2).
+  double prev = 0.0;
+  for (int active : {32, 128, 512, 1024}) {
+    const auto snd = rng_.sample_without_replacement(1024, active);
+    const auto rcv = rng_.sample_without_replacement(1024, active);
+    CommPattern pat(1024);
+    for (int i = 0; i < active; ++i) pat.add(snd[i], rcv[i], 4);
+    const double d = router_.step_duration(pat);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(DeltaRouterSmall, WorksWith256PEs) {
+  DeltaRouter router(256);
+  EXPECT_EQ(router.clusters(), 16);
+  EXPECT_EQ(router.stages(), 2);
+  const auto pat = patterns::bit_flip(256, 3, 1, 4);
+  EXPECT_EQ(router.wave_count(pat), 16);
+}
+
+}  // namespace
+}  // namespace pcm::net

@@ -1,0 +1,123 @@
+#include "net/fat_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/pattern.hpp"
+#include "sim/rng.hpp"
+
+namespace pcm::net {
+namespace {
+
+class FatTreeTest : public ::testing::Test {
+ protected:
+  FatTree router_{64};
+  sim::Rng rng_{41};
+  std::vector<sim::Micros> start_ = std::vector<sim::Micros>(64, 0.0);
+  std::vector<sim::Micros> finish_ = std::vector<sim::Micros>(64, 0.0);
+
+  double makespan() const {
+    double m = 0.0;
+    for (double f : finish_) m = std::max(m, f);
+    return m;
+  }
+};
+
+TEST_F(FatTreeTest, SingleMessageLatency) {
+  CommPattern pat(64);
+  pat.add(0, 63, 8);
+  router_.route(pat, start_, finish_, rng_);
+  const auto& p = router_.params();
+  EXPECT_GT(finish_[63], p.t_lat);
+  EXPECT_LT(finish_[63], 50.0);  // Table 1: L ~ 45 µs scale
+}
+
+TEST_F(FatTreeTest, BalancedPermutationIsFast) {
+  const auto perm = rng_.permutation(64);
+  router_.route(patterns::from_permutation(perm, 8), start_, finish_, rng_);
+  EXPECT_LT(makespan(), 60.0);
+}
+
+TEST_F(FatTreeTest, HotspotConvergenceIsPenalised) {
+  // 4 senders stream 64 messages each into ONE destination...
+  CommPattern hot(64);
+  for (int i = 0; i < 64; ++i) {
+    for (int s = 1; s <= 4; ++s) hot.add(s, 0, 8);
+  }
+  router_.route(hot, start_, finish_, rng_);
+  const double t_hot = makespan();
+
+  // ...vs the same volume spread over 4 distinct destinations, one sender
+  // each (staggered style).
+  router_.reset();
+  std::fill(finish_.begin(), finish_.end(), 0.0);
+  CommPattern cool(64);
+  for (int i = 0; i < 64; ++i) {
+    for (int s = 1; s <= 4; ++s) cool.add(s, 8 + s, 8);
+  }
+  router_.route(cool, start_, finish_, rng_);
+  const double t_cool = makespan();
+  EXPECT_GT(t_hot, 1.15 * t_cool);
+}
+
+TEST_F(FatTreeTest, BulkMessagesPayRendezvousOnce) {
+  CommPattern small(64);
+  small.add(0, 1, 8);
+  router_.route(small, start_, finish_, rng_);
+  const double t_small = finish_[1];
+
+  router_.reset();
+  std::fill(finish_.begin(), finish_.end(), 0.0);
+  CommPattern bulk(64);
+  bulk.add(0, 1, 8192);
+  router_.route(bulk, start_, finish_, rng_);
+  const double t_bulk = finish_[1];
+  const auto& p = router_.params();
+  // Bulk cost ~ rendezvous + per-byte stream; far below 1024 small sends.
+  EXPECT_GT(t_bulk, p.bulk_setup);
+  EXPECT_LT(t_bulk, 1024 * t_small);
+  // Per-byte slope near sigma = copy_send + eject_byte + copy_recv.
+  const double sigma = p.copy_send + p.eject_byte + p.copy_recv;
+  EXPECT_NEAR((t_bulk - t_small) / (8192 - 8), sigma, 0.5 * sigma);
+}
+
+TEST_F(FatTreeTest, FinishNeverBeforeStart) {
+  const auto perm = rng_.permutation(64);
+  for (auto& s : start_) s = rng_.next_double() * 100.0;
+  router_.route(patterns::from_permutation(perm, 8), start_, finish_, rng_);
+  for (int p = 0; p < 64; ++p) EXPECT_GE(finish_[p], start_[p]);
+}
+
+TEST_F(FatTreeTest, DrainResetsPortsAndQueues) {
+  CommPattern pat(64);
+  for (int i = 0; i < 100; ++i) pat.add(1, 0, 8);
+  router_.route(pat, start_, finish_, rng_);
+  router_.drain(10000.0);
+  std::fill(finish_.begin(), finish_.end(), 0.0);
+  std::vector<sim::Micros> late(64, 10000.0);
+  CommPattern one(64);
+  one.add(2, 0, 8);
+  router_.route(one, late, finish_, rng_);
+  EXPECT_LT(finish_[0], 10000.0 + 60.0);
+}
+
+TEST_F(FatTreeTest, ThroughputScalesWithH) {
+  // Doubling a balanced load roughly doubles the span (linear port model).
+  auto run_h = [&](int h) {
+    router_.reset();
+    std::fill(finish_.begin(), finish_.end(), 0.0);
+    CommPattern pat(64);
+    for (int i = 0; i < h; ++i) {
+      const auto perm = rng_.permutation(64);
+      for (int p = 0; p < 64; ++p) pat.add(p, perm[p], 8);
+    }
+    router_.route(pat, start_, finish_, rng_);
+    return makespan();
+  };
+  const double t8 = run_h(8);
+  const double t16 = run_h(16);
+  EXPECT_GT(t16, 1.6 * t8);
+  EXPECT_LT(t16, 2.6 * t8);
+}
+
+}  // namespace
+}  // namespace pcm::net

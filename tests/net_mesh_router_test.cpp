@@ -1,0 +1,143 @@
+#include "net/mesh_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/pattern.hpp"
+#include "sim/rng.hpp"
+
+namespace pcm::net {
+namespace {
+
+class MeshRouterTest : public ::testing::Test {
+ protected:
+  MeshRouter router_{64, MeshRouterParams{}, 5};
+  sim::Rng rng_{31};
+  std::vector<sim::Micros> start_ = std::vector<sim::Micros>(64, 0.0);
+  std::vector<sim::Micros> finish_ = std::vector<sim::Micros>(64, 0.0);
+};
+
+TEST_F(MeshRouterTest, Hops) {
+  // 8x8 mesh, node = y*8 + x.
+  EXPECT_EQ(router_.hops(0, 0), 0);
+  EXPECT_EQ(router_.hops(0, 7), 7);
+  EXPECT_EQ(router_.hops(0, 63), 14);
+  EXPECT_EQ(router_.hops(9, 18), 2);
+}
+
+TEST_F(MeshRouterTest, EmptyPatternLeavesClocksAlone) {
+  CommPattern pat(64);
+  start_[5] = 100.0;
+  router_.route(pat, start_, finish_, rng_);
+  EXPECT_EQ(finish_[5], 100.0);
+  EXPECT_EQ(finish_[0], 0.0);
+}
+
+TEST_F(MeshRouterTest, FinishNeverBeforeStart) {
+  const auto perm = rng_.permutation(64);
+  const auto pat = patterns::from_permutation(perm, 4);
+  for (auto& s : start_) s = rng_.next_double() * 1000.0;
+  router_.route(pat, start_, finish_, rng_);
+  for (int p = 0; p < 64; ++p) EXPECT_GE(finish_[p], start_[p]);
+}
+
+TEST_F(MeshRouterTest, NonParticipantsUntouched) {
+  CommPattern pat(64);
+  pat.add(0, 1, 4);
+  start_[63] = 77.0;
+  router_.route(pat, start_, finish_, rng_);
+  EXPECT_EQ(finish_[63], 77.0);
+  EXPECT_GT(finish_[1], 0.0);
+}
+
+TEST_F(MeshRouterTest, ReceiveCostDominates) {
+  // One sender, ten messages to one receiver: cost ~ 10 * o_recv.
+  CommPattern pat(64);
+  for (int i = 0; i < 10; ++i) pat.add(0, 63, 4);
+  router_.route(pat, start_, finish_, rng_);
+  const auto& p = router_.params();
+  EXPECT_GT(finish_[63], 10 * p.o_recv * 0.8);
+  EXPECT_LT(finish_[63], 10 * (p.o_recv + p.o_send) * 1.5);
+}
+
+TEST_F(MeshRouterTest, ScatterCheaperThanConcentration) {
+  // Same message count: one hot receiver vs spread receivers (the Fig 14
+  // multinode-scatter mechanism at node level).
+  CommPattern hot(64);
+  for (int i = 0; i < 32; ++i) hot.add(0, 63, 4);
+  router_.route(hot, start_, finish_, rng_);
+  const double t_hot = finish_[63];
+
+  router_.reset();
+  CommPattern spread(64);
+  for (int i = 0; i < 32; ++i) spread.add(0, 8 + i, 4);
+  std::fill(finish_.begin(), finish_.end(), 0.0);
+  router_.route(spread, start_, finish_, rng_);
+  double t_spread = 0.0;
+  for (int p = 0; p < 64; ++p) t_spread = std::max(t_spread, finish_[p]);
+  EXPECT_LT(t_spread, 0.6 * t_hot);
+}
+
+TEST_F(MeshRouterTest, LongerMessagesCostMore) {
+  const auto perm = rng_.permutation(64);
+  router_.route(patterns::from_permutation(perm, 4), start_, finish_, rng_);
+  double t_small = 0.0;
+  for (double f : finish_) t_small = std::max(t_small, f);
+  router_.reset();
+  std::fill(finish_.begin(), finish_.end(), 0.0);
+  router_.route(patterns::from_permutation(perm, 4096), start_, finish_, rng_);
+  double t_big = 0.0;
+  for (double f : finish_) t_big = std::max(t_big, f);
+  EXPECT_GT(t_big, t_small + 3000.0);
+}
+
+TEST_F(MeshRouterTest, StatePersistsAcrossCallsAndDrains) {
+  CommPattern pat(64);
+  pat.add(0, 1, 4);
+  router_.route(pat, start_, finish_, rng_);
+  const double busy_until = finish_[1];
+  // Without a drain, a second delivery to node 1 queues behind the first
+  // even if its start time is 0.
+  std::fill(finish_.begin(), finish_.end(), 0.0);
+  router_.route(pat, start_, finish_, rng_);
+  EXPECT_GT(finish_[1], busy_until);
+  // After drain, the receiver is idle at the drain time.
+  router_.drain(100000.0);
+  std::fill(finish_.begin(), finish_.end(), 0.0);
+  std::vector<sim::Micros> late(64, 100000.0);
+  router_.route(pat, late, finish_, rng_);
+  EXPECT_LT(finish_[1], 100000.0 + 3 * router_.params().o_recv);
+}
+
+TEST_F(MeshRouterTest, DesyncSurchargeKicksInBeyondTolerance) {
+  const auto perm = rng_.permutation(64);
+  const auto pat = patterns::from_permutation(perm, 4);
+  // Synchronised starts.
+  router_.route(pat, start_, finish_, rng_);
+  double sync_span = 0.0;
+  for (int p = 0; p < 64; ++p) sync_span = std::max(sync_span, finish_[p] - start_[p]);
+
+  // Heavily desynchronised starts (spread beyond the tolerance).
+  router_.reset();
+  std::vector<sim::Micros> spread_start(64);
+  for (int p = 0; p < 64; ++p) spread_start[p] = p * 1000.0;  // 63k spread
+  std::fill(finish_.begin(), finish_.end(), 0.0);
+  router_.route(pat, spread_start, finish_, rng_);
+  double desync_cost = 0.0;
+  for (int p = 0; p < 64; ++p) {
+    desync_cost = std::max(desync_cost, finish_[p] - spread_start[p]);
+  }
+  EXPECT_GT(desync_cost, sync_span + 1000.0);
+}
+
+TEST(MeshRouterConfig, SmallMeshWorks) {
+  MeshRouter router(16, []() {
+    MeshRouterParams p;
+    p.width = 4;
+    p.height = 4;
+    return p;
+  }());
+  EXPECT_EQ(router.hops(0, 15), 6);
+}
+
+}  // namespace
+}  // namespace pcm::net

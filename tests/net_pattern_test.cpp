@@ -1,0 +1,148 @@
+#include "net/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace pcm::net {
+namespace {
+
+TEST(CommPattern, EmptyPattern) {
+  CommPattern p(8);
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_EQ(p.h_degree(), 0);
+  EXPECT_EQ(p.active_processors(), 0);
+  EXPECT_TRUE(p.is_partial_permutation());
+  EXPECT_FALSE(p.is_full_permutation());
+}
+
+TEST(CommPattern, PreservesSenderOrder) {
+  CommPattern p(4);
+  p.add(0, 1, 4);
+  p.add(0, 3, 8);
+  p.add(0, 2, 4);
+  const auto sends = p.sends_of(0);
+  ASSERT_EQ(sends.size(), 3u);
+  EXPECT_EQ(sends[0].dst, 1);
+  EXPECT_EQ(sends[1].dst, 3);
+  EXPECT_EQ(sends[1].bytes, 8);
+  EXPECT_EQ(sends[2].dst, 2);
+}
+
+TEST(CommPattern, CountsAndBytes) {
+  CommPattern p(4);
+  p.add(0, 1, 4);
+  p.add(2, 1, 6);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.total_bytes(), 10);
+  EXPECT_EQ(p.flatten().size(), 2u);
+}
+
+TEST(CommPattern, HDegree) {
+  CommPattern p(4);
+  p.add(0, 1, 4);
+  p.add(0, 2, 4);
+  p.add(3, 1, 4);
+  EXPECT_EQ(p.max_sent(), 2);
+  EXPECT_EQ(p.max_received(), 2);
+  EXPECT_EQ(p.h_degree(), 2);
+}
+
+TEST(CommPattern, ReceiveAndSendCounts) {
+  CommPattern p(3);
+  p.add(0, 2, 4);
+  p.add(1, 2, 4);
+  const auto rc = p.receive_counts();
+  EXPECT_EQ(rc[2], 2);
+  EXPECT_EQ(rc[0], 0);
+  const auto sc = p.send_counts();
+  EXPECT_EQ(sc[0], 1);
+  EXPECT_EQ(sc[2], 0);
+}
+
+TEST(CommPattern, ActiveProcessors) {
+  CommPattern p(8);
+  p.add(0, 5, 4);
+  EXPECT_EQ(p.active_processors(), 2);
+  p.add(5, 0, 4);
+  EXPECT_EQ(p.active_processors(), 2);
+  p.add(1, 2, 4);
+  EXPECT_EQ(p.active_processors(), 4);
+}
+
+TEST(CommPattern, PermutationChecks) {
+  sim::Rng rng(1);
+  const auto perm = rng.permutation(16);
+  auto p = patterns::from_permutation(perm, 4);
+  EXPECT_TRUE(p.is_full_permutation());
+  EXPECT_TRUE(p.is_partial_permutation());
+  p.add(0, 1, 4);  // now processor 0 sends twice
+  EXPECT_FALSE(p.is_partial_permutation());
+}
+
+TEST(CommPattern, PartialPermutationFromSparsePerm) {
+  std::vector<int> perm(8, -1);
+  perm[2] = 5;
+  const auto p = patterns::from_permutation(perm, 4);
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_TRUE(p.is_partial_permutation());
+  EXPECT_FALSE(p.is_full_permutation());
+}
+
+TEST(CommPattern, ClassifyEBspRelation) {
+  CommPattern p(4);
+  p.add(0, 1, 4);
+  p.add(0, 2, 4);
+  p.add(0, 3, 4);
+  p.add(1, 3, 4);
+  const auto r = p.classify();
+  EXPECT_EQ(r.total, 4);
+  EXPECT_EQ(r.h_send, 3);
+  EXPECT_EQ(r.h_recv, 2);
+}
+
+TEST(CommPattern, HashIsOrderSensitive) {
+  CommPattern a(4), b(4);
+  a.add(0, 1, 4);
+  a.add(0, 2, 4);
+  b.add(0, 2, 4);
+  b.add(0, 1, 4);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(CommPattern, HashIsContentSensitive) {
+  CommPattern a(4), b(4);
+  a.add(0, 1, 4);
+  b.add(0, 1, 8);
+  EXPECT_NE(a.hash(), b.hash());
+  CommPattern c(4);
+  c.add(0, 1, 4);
+  EXPECT_EQ(a.hash(), c.hash());
+}
+
+TEST(CommPattern, ClearResets) {
+  CommPattern p(4);
+  p.add(0, 1, 4);
+  p.clear();
+  EXPECT_TRUE(p.empty());
+  EXPECT_TRUE(p.sends_of(0).empty());
+}
+
+TEST(Patterns, BitFlipIsFullPermutationPerRound) {
+  const auto p = patterns::bit_flip(16, 2, 1, 4);
+  EXPECT_TRUE(p.is_full_permutation());
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(p.sends_of(i).front().dst, i ^ 4);
+  }
+}
+
+TEST(Patterns, BitFlipMultipleMessages) {
+  const auto p = patterns::bit_flip(8, 0, 3, 4);
+  EXPECT_EQ(p.size(), 24u);
+  EXPECT_EQ(p.max_sent(), 3);
+  EXPECT_EQ(p.max_received(), 3);
+}
+
+}  // namespace
+}  // namespace pcm::net

@@ -1,0 +1,185 @@
+// Property sweeps over the three routers: invariants that must hold for
+// every machine and every random pattern (causality, determinism,
+// monotonicity, drain semantics), parameterised over seeds and pattern
+// shapes.
+
+#include <gtest/gtest.h>
+
+#include "calibrate/microbench.hpp"
+#include "machines/machine.hpp"
+#include "net/pattern.hpp"
+#include "test_util.hpp"
+
+namespace pcm {
+namespace {
+
+enum class Shape { Permutation, FullH4, RandomDest, OneHot, Scatter };
+
+struct PropCase {
+  const char* machine;
+  Shape shape;
+  std::uint64_t seed;
+};
+
+void PrintTo(const PropCase& c, std::ostream* os) {
+  *os << c.machine << "/shape" << static_cast<int>(c.shape) << "/seed" << c.seed;
+}
+
+std::unique_ptr<machines::Machine> machine_for(const std::string& name,
+                                               std::uint64_t seed) {
+  if (name == "cm5") return machines::make_cm5(seed);
+  if (name == "gcel") return machines::make_gcel(seed);
+  if (name == "t800") return machines::make_t800(seed);
+  return machines::make_maspar(seed);
+}
+
+net::CommPattern make_shape(Shape s, sim::Rng& rng, int procs, int bytes) {
+  switch (s) {
+    case Shape::Permutation:
+      return net::patterns::from_permutation(rng.permutation(procs), bytes);
+    case Shape::FullH4:
+      return calibrate::full_h_relation(rng, procs, 4, bytes);
+    case Shape::RandomDest:
+      return calibrate::random_destination_relation(rng, procs, 3, bytes);
+    case Shape::OneHot: {
+      net::CommPattern pat(procs);
+      for (int p = 1; p < std::min(procs, 17); ++p) pat.add(p, 0, bytes);
+      return pat;
+    }
+    case Shape::Scatter:
+      return calibrate::multinode_scatter(procs, 24, bytes);
+  }
+  return net::CommPattern(procs);
+}
+
+class RouterPropertyP : public ::testing::TestWithParam<PropCase> {};
+
+TEST_P(RouterPropertyP, CausalityAndParticipation) {
+  const auto& c = GetParam();
+  auto m = machine_for(c.machine, c.seed);
+  sim::Rng rng(c.seed);
+  const auto pat = make_shape(c.shape, rng, m->procs(), m->word_bytes());
+  const auto sends = pat.send_counts();
+  const auto recvs = pat.receive_counts();
+
+  m->charge(0, 11.0);  // uneven start
+  m->exchange(pat);
+  for (int p = 0; p < m->procs(); ++p) {
+    const bool involved = sends[static_cast<std::size_t>(p)] > 0 ||
+                          recvs[static_cast<std::size_t>(p)] > 0;
+    if (involved) {
+      EXPECT_GT(m->now(p), 0.0) << p;
+    }
+  }
+  EXPECT_GE(m->now(), 11.0);
+}
+
+TEST_P(RouterPropertyP, DeterministicUnderReseed) {
+  const auto& c = GetParam();
+  auto m = machine_for(c.machine, c.seed);
+  sim::Rng rng(c.seed);
+  const auto pat = make_shape(c.shape, rng, m->procs(), m->word_bytes());
+
+  m->reseed(c.seed * 7 + 1);
+  m->exchange(pat);
+  m->barrier();
+  const double t1 = m->now();
+
+  m->reseed(c.seed * 7 + 1);
+  m->exchange(pat);
+  m->barrier();
+  EXPECT_DOUBLE_EQ(m->now(), t1);
+}
+
+TEST_P(RouterPropertyP, MoreMessagesNeverCheaper) {
+  const auto& c = GetParam();
+  auto m = machine_for(c.machine, c.seed);
+  sim::Rng rng(c.seed);
+  const auto pat = make_shape(c.shape, rng, m->procs(), m->word_bytes());
+
+  m->reseed(1);
+  m->exchange(pat);
+  m->barrier();
+  const double base = m->now();
+
+  // Superset: the same pattern plus an extra copy of every message.
+  net::CommPattern doubled(m->procs());
+  for (int p = 0; p < m->procs(); ++p) {
+    for (const auto& msg : pat.sends_of(p)) doubled.add(msg);
+    for (const auto& msg : pat.sends_of(p)) doubled.add(msg);
+  }
+  m->reseed(1);
+  m->exchange(doubled);
+  m->barrier();
+  EXPECT_GE(m->now(), 0.95 * base);  // jitter tolerance; typically far above
+}
+
+TEST_P(RouterPropertyP, BarrierDrainsState) {
+  const auto& c = GetParam();
+  auto m = machine_for(c.machine, c.seed);
+  sim::Rng rng(c.seed);
+  const auto pat = make_shape(c.shape, rng, m->procs(), m->word_bytes());
+
+  m->exchange(pat);
+  m->barrier();
+  const double t_sync = m->now();
+  // After a barrier every clock is equal.
+  for (int p = 0; p < m->procs(); ++p) EXPECT_DOUBLE_EQ(m->now(p), t_sync);
+}
+
+TEST_P(RouterPropertyP, BiggerPayloadsCostMore) {
+  const auto& c = GetParam();
+  auto m = machine_for(c.machine, c.seed);
+  sim::Rng rng(c.seed);
+  const auto small = make_shape(c.shape, rng, m->procs(), 4);
+  net::CommPattern big(m->procs());
+  for (int p = 0; p < m->procs(); ++p) {
+    for (const auto& msg : small.sends_of(p)) big.add(msg.src, msg.dst, 4096);
+  }
+  m->reseed(2);
+  m->exchange(small);
+  m->barrier();
+  const double t_small = m->now();
+  m->reseed(2);
+  m->exchange(big);
+  m->barrier();
+  EXPECT_GT(m->now(), t_small);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RouterPropertyP,
+    ::testing::Values(
+        PropCase{"maspar", Shape::Permutation, 1},
+        PropCase{"maspar", Shape::FullH4, 2},
+        PropCase{"maspar", Shape::OneHot, 3},
+        PropCase{"maspar", Shape::Scatter, 4},
+        PropCase{"gcel", Shape::Permutation, 5},
+        PropCase{"gcel", Shape::FullH4, 6},
+        PropCase{"gcel", Shape::RandomDest, 7},
+        PropCase{"gcel", Shape::OneHot, 8},
+        PropCase{"gcel", Shape::Scatter, 9},
+        PropCase{"cm5", Shape::Permutation, 10},
+        PropCase{"cm5", Shape::FullH4, 11},
+        PropCase{"cm5", Shape::RandomDest, 12},
+        PropCase{"cm5", Shape::OneHot, 13},
+        PropCase{"cm5", Shape::Scatter, 14},
+        PropCase{"t800", Shape::Permutation, 15},
+        PropCase{"t800", Shape::FullH4, 16},
+        PropCase{"t800", Shape::Scatter, 17}));
+
+TEST(T800Extension, LighterStackThanGcel) {
+  // Native Parix vs HPVM: the same balanced h-relation must be much cheaper
+  // on the T800 grid, and the block-gain indicator much smaller.
+  auto t800 = machines::make_t800(20);
+  auto gcel = machines::make_gcel(20);
+  sim::Rng rng(20);
+  const auto pat = calibrate::full_h_relation(rng, 64, 8, 4);
+  t800->exchange(pat);
+  t800->barrier();
+  gcel->exchange(pat);
+  gcel->barrier();
+  EXPECT_LT(t800->now(), 0.25 * gcel->now());
+}
+
+}  // namespace
+}  // namespace pcm

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "sim/clockset.hpp"
+#include "sim/trace.hpp"
+
+namespace pcm::sim {
+namespace {
+
+TEST(ClockSet, StartsAtZero) {
+  ClockSet c(4);
+  EXPECT_EQ(c.size(), 4);
+  EXPECT_EQ(c.max(), 0.0);
+  EXPECT_EQ(c.min(), 0.0);
+}
+
+TEST(ClockSet, AdvanceIsPerProcessor) {
+  ClockSet c(3);
+  c.advance(1, 5.0);
+  EXPECT_EQ(c.at(0), 0.0);
+  EXPECT_EQ(c.at(1), 5.0);
+  EXPECT_EQ(c.max(), 5.0);
+  EXPECT_EQ(c.min(), 0.0);
+}
+
+TEST(ClockSet, WaitUntilNeverMovesBackwards) {
+  ClockSet c(2);
+  c.advance(0, 10.0);
+  c.wait_until(0, 5.0);
+  EXPECT_EQ(c.at(0), 10.0);
+  c.wait_until(1, 7.0);
+  EXPECT_EQ(c.at(1), 7.0);
+}
+
+TEST(ClockSet, BarrierSynchronisesToMakespanPlusCost) {
+  ClockSet c(3);
+  c.advance(2, 9.0);
+  c.barrier(1.5);
+  for (int p = 0; p < 3; ++p) EXPECT_EQ(c.at(p), 10.5);
+}
+
+TEST(ClockSet, ResetZeroes) {
+  ClockSet c(2);
+  c.advance(0, 3.0);
+  c.reset();
+  EXPECT_EQ(c.max(), 0.0);
+}
+
+TEST(Trace, DisabledRecordsNothing) {
+  Trace t;
+  t.record({PhaseKind::Compute, "x", 0.0, 1.0, 0, 0});
+  EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Trace, TotalsPerKind) {
+  Trace t;
+  t.set_enabled(true);
+  t.record({PhaseKind::Compute, "", 0.0, 2.0, 0, 0});
+  t.record({PhaseKind::Communicate, "", 2.0, 3.0, 10, 40});
+  t.record({PhaseKind::Communicate, "", 5.0, 1.0, 5, 20});
+  t.record({PhaseKind::Barrier, "", 6.0, 0.5, 0, 0});
+  EXPECT_DOUBLE_EQ(t.total(PhaseKind::Compute), 2.0);
+  EXPECT_DOUBLE_EQ(t.total(PhaseKind::Communicate), 4.0);
+  EXPECT_DOUBLE_EQ(t.total(PhaseKind::Barrier), 0.5);
+  EXPECT_EQ(t.total_messages(), 15);
+  EXPECT_EQ(t.total_bytes(), 60);
+}
+
+TEST(Trace, KindNames) {
+  EXPECT_EQ(to_string(PhaseKind::Compute), "compute");
+  EXPECT_EQ(to_string(PhaseKind::Communicate), "communicate");
+  EXPECT_EQ(to_string(PhaseKind::Barrier), "barrier");
+}
+
+}  // namespace
+}  // namespace pcm::sim

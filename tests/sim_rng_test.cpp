@@ -1,0 +1,133 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace pcm::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng rng(9);
+  double acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += rng.next_double();
+  EXPECT_NEAR(acc / n, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(10);
+  const int n = 40000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian(2.0, 3.0);
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(11);
+  for (int n : {1, 2, 7, 64, 257}) {
+    auto p = rng.permutation(n);
+    ASSERT_EQ(static_cast<int>(p.size()), n);
+    std::vector<int> sorted = p;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < n; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Rng, PermutationIsShuffled) {
+  Rng rng(12);
+  const auto p = rng.permutation(256);
+  int fixed = 0;
+  for (int i = 0; i < 256; ++i) fixed += (p[static_cast<std::size_t>(i)] == i);
+  EXPECT_LT(fixed, 12);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(13);
+  const auto s = rng.sample_without_replacement(100, 40);
+  std::set<int> set(s.begin(), s.end());
+  EXPECT_EQ(set.size(), 40u);
+  for (const int v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(Rng, SampleFullRange) {
+  Rng rng(14);
+  const auto s = rng.sample_without_replacement(10, 10);
+  std::set<int> set(s.begin(), s.end());
+  EXPECT_EQ(set.size(), 10u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(15);
+  Rng child = a.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == child.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng rng(16);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(std::span<int>(v));
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+}  // namespace
+}  // namespace pcm::sim

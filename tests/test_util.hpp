@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "machines/machine.hpp"
+#include "sim/rng.hpp"
+
+// Shared helpers for the test suite: small machine instances (so the suite
+// stays fast on one core) and deterministic data generators.
+
+namespace pcm::test {
+
+/// A 256-PE MasPar (16 clusters — same delta-router topology class).
+inline std::unique_ptr<machines::Machine> small_maspar(std::uint64_t seed = 11) {
+  return machines::make_maspar(seed, 256);
+}
+
+/// A 16-node GCel (4x4 mesh).
+inline std::unique_ptr<machines::Machine> small_gcel(std::uint64_t seed = 12) {
+  return machines::make_gcel(seed, 16);
+}
+
+/// A 16-node CM-5.
+inline std::unique_ptr<machines::Machine> small_cm5(std::uint64_t seed = 13) {
+  return machines::make_cm5(seed, 16);
+}
+
+inline std::vector<std::uint32_t> random_keys(std::size_t n,
+                                              std::uint64_t seed = 99) {
+  sim::Rng rng(seed);
+  std::vector<std::uint32_t> keys(n);
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_u64());
+  return keys;
+}
+
+template <typename T>
+std::vector<T> random_matrix(int n, std::uint64_t seed = 7) {
+  sim::Rng rng(seed);
+  std::vector<T> m(static_cast<std::size_t>(n) * n);
+  for (auto& v : m) v = static_cast<T>(rng.next_double() * 2.0 - 1.0);
+  return m;
+}
+
+template <typename T>
+double max_abs_diff(const std::vector<T>& a, const std::vector<T>& b) {
+  double mx = 0.0;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    const double d = std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+    if (d > mx) mx = d;
+  }
+  return mx;
+}
+
+}  // namespace pcm::test

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "algos/reference.hpp"
+#include "test_util.hpp"
+#include "vendor/cmssl.hpp"
+#include "vendor/maspar_matmul.hpp"
+
+namespace pcm::vendor {
+namespace {
+
+TEST(MasParIntrinsic, PublishedAnchor) {
+  // Fig 19: 61.7 Mflops at N = 700 against a 75 Mflops peak.
+  EXPECT_NEAR(maspar_matmul_mflops(700), 61.7, 0.5);
+  for (long n : {64L, 256L, 1024L, 8192L}) {
+    EXPECT_LT(maspar_matmul_mflops(n), 75.0);
+    EXPECT_GT(maspar_matmul_mflops(n), 0.0);
+  }
+}
+
+TEST(MasParIntrinsic, MonotoneInN) {
+  EXPECT_LT(maspar_matmul_mflops(100), maspar_matmul_mflops(400));
+  EXPECT_LT(maspar_matmul_mflops(400), maspar_matmul_mflops(1600));
+}
+
+TEST(MasParIntrinsic, TimeMatchesMflops) {
+  const long n = 500;
+  const double flops = 2.0 * n * n * n;
+  EXPECT_NEAR(maspar_matmul_time(n), flops / maspar_matmul_mflops(n), 1e-6);
+}
+
+TEST(MasParIntrinsic, ComputesResultWhenAsked) {
+  const int n = 12;
+  const auto a = test::random_matrix<float>(n, 1);
+  const auto b = test::random_matrix<float>(n, 2);
+  const auto r = maspar_matmul(a, b, n, /*compute_result=*/true);
+  EXPECT_LT(test::max_abs_diff(r.c, algos::ref::matmul(a, b, n)), 1e-4);
+  const auto r2 = maspar_matmul(a, b, n, /*compute_result=*/false);
+  EXPECT_TRUE(r2.c.empty());
+  EXPECT_DOUBLE_EQ(r.time, r2.time);
+}
+
+TEST(Cmssl, StaysBelowPublishedCeiling) {
+  // Fig 20: gen_matrix_mult never achieves more than 151 Mflops.
+  for (long n : {64L, 256L, 512L, 1024L, 4096L}) {
+    EXPECT_LT(cmssl_mflops(n), 151.0) << n;
+  }
+}
+
+TEST(Cmssl, VectorUnitsAnchor) {
+  // Paper: 1016 Mflops at N = 512 when compiled for the vector units.
+  EXPECT_NEAR(cmssl_vector_mflops(512), 1016.0, 20.0);
+  EXPECT_GT(cmssl_vector_mflops(512), 5.0 * cmssl_mflops(512));
+}
+
+TEST(Cmssl, TimeSelectsCurve) {
+  const long n = 512;
+  EXPECT_GT(cmssl_time(n, false), cmssl_time(n, true));
+}
+
+TEST(Cmssl, ComputesResultWhenAsked) {
+  const int n = 10;
+  const auto a = test::random_matrix<double>(n, 3);
+  const auto b = test::random_matrix<double>(n, 4);
+  const auto r = cmssl_gen_matrix_mult(a, b, n, /*compute_result=*/true);
+  EXPECT_LT(test::max_abs_diff(r.c, algos::ref::matmul(a, b, n)), 1e-12);
+}
+
+}  // namespace
+}  // namespace pcm::vendor

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_mechanisms"
+  "../bench/ablation_mechanisms.pdb"
+  "CMakeFiles/ablation_mechanisms.dir/ablation_mechanisms.cpp.o"
+  "CMakeFiles/ablation_mechanisms.dir/ablation_mechanisms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_cannon_xnet_maspar"
+  "../bench/ext_cannon_xnet_maspar.pdb"
+  "CMakeFiles/ext_cannon_xnet_maspar.dir/ext_cannon_xnet_maspar.cpp.o"
+  "CMakeFiles/ext_cannon_xnet_maspar.dir/ext_cannon_xnet_maspar.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cannon_xnet_maspar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_cannon_xnet_maspar.
+# This may be replaced when dependencies are built.

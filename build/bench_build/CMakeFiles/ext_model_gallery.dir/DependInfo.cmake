@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_model_gallery.cpp" "bench_build/CMakeFiles/ext_model_gallery.dir/ext_model_gallery.cpp.o" "gcc" "bench_build/CMakeFiles/ext_model_gallery.dir/ext_model_gallery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_calibrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_vendor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_machines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_model_gallery"
+  "../bench/ext_model_gallery.pdb"
+  "CMakeFiles/ext_model_gallery.dir/ext_model_gallery.cpp.o"
+  "CMakeFiles/ext_model_gallery.dir/ext_model_gallery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_model_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

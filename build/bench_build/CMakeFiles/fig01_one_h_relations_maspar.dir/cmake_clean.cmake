@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_one_h_relations_maspar"
+  "../bench/fig01_one_h_relations_maspar.pdb"
+  "CMakeFiles/fig01_one_h_relations_maspar.dir/fig01_one_h_relations_maspar.cpp.o"
+  "CMakeFiles/fig01_one_h_relations_maspar.dir/fig01_one_h_relations_maspar.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_one_h_relations_maspar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig01_one_h_relations_maspar.
+# This may be replaced when dependencies are built.

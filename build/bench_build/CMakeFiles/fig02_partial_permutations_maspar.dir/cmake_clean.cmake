@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_partial_permutations_maspar"
+  "../bench/fig02_partial_permutations_maspar.pdb"
+  "CMakeFiles/fig02_partial_permutations_maspar.dir/fig02_partial_permutations_maspar.cpp.o"
+  "CMakeFiles/fig02_partial_permutations_maspar.dir/fig02_partial_permutations_maspar.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_partial_permutations_maspar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

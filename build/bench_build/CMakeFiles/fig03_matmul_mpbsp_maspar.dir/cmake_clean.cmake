@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_matmul_mpbsp_maspar"
+  "../bench/fig03_matmul_mpbsp_maspar.pdb"
+  "CMakeFiles/fig03_matmul_mpbsp_maspar.dir/fig03_matmul_mpbsp_maspar.cpp.o"
+  "CMakeFiles/fig03_matmul_mpbsp_maspar.dir/fig03_matmul_mpbsp_maspar.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_matmul_mpbsp_maspar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_matmul_mpbsp_maspar.
+# This may be replaced when dependencies are built.

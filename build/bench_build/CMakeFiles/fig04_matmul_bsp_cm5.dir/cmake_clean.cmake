@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_matmul_bsp_cm5"
+  "../bench/fig04_matmul_bsp_cm5.pdb"
+  "CMakeFiles/fig04_matmul_bsp_cm5.dir/fig04_matmul_bsp_cm5.cpp.o"
+  "CMakeFiles/fig04_matmul_bsp_cm5.dir/fig04_matmul_bsp_cm5.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_matmul_bsp_cm5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_bitonic_mpbsp_maspar"
+  "../bench/fig05_bitonic_mpbsp_maspar.pdb"
+  "CMakeFiles/fig05_bitonic_mpbsp_maspar.dir/fig05_bitonic_mpbsp_maspar.cpp.o"
+  "CMakeFiles/fig05_bitonic_mpbsp_maspar.dir/fig05_bitonic_mpbsp_maspar.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_bitonic_mpbsp_maspar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_bitonic_mpbsp_maspar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_bitonic_mpbsp_maspar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_bitonic_bsp_gcel"
+  "../bench/fig06_bitonic_bsp_gcel.pdb"
+  "CMakeFiles/fig06_bitonic_bsp_gcel.dir/fig06_bitonic_bsp_gcel.cpp.o"
+  "CMakeFiles/fig06_bitonic_bsp_gcel.dir/fig06_bitonic_bsp_gcel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_bitonic_bsp_gcel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

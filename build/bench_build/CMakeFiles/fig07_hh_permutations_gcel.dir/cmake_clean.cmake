@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_hh_permutations_gcel"
+  "../bench/fig07_hh_permutations_gcel.pdb"
+  "CMakeFiles/fig07_hh_permutations_gcel.dir/fig07_hh_permutations_gcel.cpp.o"
+  "CMakeFiles/fig07_hh_permutations_gcel.dir/fig07_hh_permutations_gcel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_hh_permutations_gcel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

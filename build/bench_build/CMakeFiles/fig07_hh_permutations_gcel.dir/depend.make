@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_hh_permutations_gcel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_matmul_bpram_maspar"
+  "../bench/fig08_matmul_bpram_maspar.pdb"
+  "CMakeFiles/fig08_matmul_bpram_maspar.dir/fig08_matmul_bpram_maspar.cpp.o"
+  "CMakeFiles/fig08_matmul_bpram_maspar.dir/fig08_matmul_bpram_maspar.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_matmul_bpram_maspar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_matmul_bpram_cm5"
+  "../bench/fig09_matmul_bpram_cm5.pdb"
+  "CMakeFiles/fig09_matmul_bpram_cm5.dir/fig09_matmul_bpram_cm5.cpp.o"
+  "CMakeFiles/fig09_matmul_bpram_cm5.dir/fig09_matmul_bpram_cm5.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_matmul_bpram_cm5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_bitonic_bpram_maspar.
+# This may be replaced when dependencies are built.

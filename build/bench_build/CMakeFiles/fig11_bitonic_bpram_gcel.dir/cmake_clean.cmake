@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_bitonic_bpram_gcel"
+  "../bench/fig11_bitonic_bpram_gcel.pdb"
+  "CMakeFiles/fig11_bitonic_bpram_gcel.dir/fig11_bitonic_bpram_gcel.cpp.o"
+  "CMakeFiles/fig11_bitonic_bpram_gcel.dir/fig11_bitonic_bpram_gcel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_bitonic_bpram_gcel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

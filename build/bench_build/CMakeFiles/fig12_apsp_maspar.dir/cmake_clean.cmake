@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_apsp_maspar"
+  "../bench/fig12_apsp_maspar.pdb"
+  "CMakeFiles/fig12_apsp_maspar.dir/fig12_apsp_maspar.cpp.o"
+  "CMakeFiles/fig12_apsp_maspar.dir/fig12_apsp_maspar.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_apsp_maspar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

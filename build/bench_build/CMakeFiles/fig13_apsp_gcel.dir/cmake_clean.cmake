@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_apsp_gcel"
+  "../bench/fig13_apsp_gcel.pdb"
+  "CMakeFiles/fig13_apsp_gcel.dir/fig13_apsp_gcel.cpp.o"
+  "CMakeFiles/fig13_apsp_gcel.dir/fig13_apsp_gcel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_apsp_gcel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_mscat_gcel"
+  "../bench/fig14_mscat_gcel.pdb"
+  "CMakeFiles/fig14_mscat_gcel.dir/fig14_mscat_gcel.cpp.o"
+  "CMakeFiles/fig14_mscat_gcel.dir/fig14_mscat_gcel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_mscat_gcel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

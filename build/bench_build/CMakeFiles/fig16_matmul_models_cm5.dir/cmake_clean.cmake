@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_matmul_models_cm5"
+  "../bench/fig16_matmul_models_cm5.pdb"
+  "CMakeFiles/fig16_matmul_models_cm5.dir/fig16_matmul_models_cm5.cpp.o"
+  "CMakeFiles/fig16_matmul_models_cm5.dir/fig16_matmul_models_cm5.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_matmul_models_cm5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

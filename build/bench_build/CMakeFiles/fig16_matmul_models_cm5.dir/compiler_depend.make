@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig16_matmul_models_cm5.
+# This may be replaced when dependencies are built.

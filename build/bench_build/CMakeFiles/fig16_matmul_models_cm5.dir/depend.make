@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_matmul_models_cm5.
+# This may be replaced when dependencies are built.

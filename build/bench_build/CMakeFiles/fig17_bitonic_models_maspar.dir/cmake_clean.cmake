@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_bitonic_models_maspar"
+  "../bench/fig17_bitonic_models_maspar.pdb"
+  "CMakeFiles/fig17_bitonic_models_maspar.dir/fig17_bitonic_models_maspar.cpp.o"
+  "CMakeFiles/fig17_bitonic_models_maspar.dir/fig17_bitonic_models_maspar.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_bitonic_models_maspar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

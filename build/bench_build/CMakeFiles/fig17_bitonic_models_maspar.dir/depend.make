@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_bitonic_models_maspar.
+# This may be replaced when dependencies are built.

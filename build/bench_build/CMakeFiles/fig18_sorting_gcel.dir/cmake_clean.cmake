@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_sorting_gcel"
+  "../bench/fig18_sorting_gcel.pdb"
+  "CMakeFiles/fig18_sorting_gcel.dir/fig18_sorting_gcel.cpp.o"
+  "CMakeFiles/fig18_sorting_gcel.dir/fig18_sorting_gcel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_sorting_gcel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

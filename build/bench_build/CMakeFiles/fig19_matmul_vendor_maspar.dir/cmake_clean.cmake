@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig19_matmul_vendor_maspar"
+  "../bench/fig19_matmul_vendor_maspar.pdb"
+  "CMakeFiles/fig19_matmul_vendor_maspar.dir/fig19_matmul_vendor_maspar.cpp.o"
+  "CMakeFiles/fig19_matmul_vendor_maspar.dir/fig19_matmul_vendor_maspar.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_matmul_vendor_maspar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_engine_gbench"
+  "../bench/micro_engine_gbench.pdb"
+  "CMakeFiles/micro_engine_gbench.dir/micro_engine_gbench.cpp.o"
+  "CMakeFiles/micro_engine_gbench.dir/micro_engine_gbench.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_engine_gbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apsp_roadmap.dir/apsp_roadmap.cpp.o"
+  "CMakeFiles/apsp_roadmap.dir/apsp_roadmap.cpp.o.d"
+  "apsp_roadmap"
+  "apsp_roadmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apsp_roadmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_shootout.dir/model_shootout.cpp.o"
+  "CMakeFiles/model_shootout.dir/model_shootout.cpp.o.d"
+  "model_shootout"
+  "model_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

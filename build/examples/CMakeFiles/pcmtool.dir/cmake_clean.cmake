@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmtool.dir/pcmtool.cpp.o"
+  "CMakeFiles/pcmtool.dir/pcmtool.cpp.o.d"
+  "pcmtool"
+  "pcmtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

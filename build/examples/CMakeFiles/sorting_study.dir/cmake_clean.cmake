@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorting_study.dir/sorting_study.cpp.o"
+  "CMakeFiles/sorting_study.dir/sorting_study.cpp.o.d"
+  "sorting_study"
+  "sorting_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorting_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/apsp.cpp" "src/CMakeFiles/pcm_algos.dir/algos/apsp.cpp.o" "gcc" "src/CMakeFiles/pcm_algos.dir/algos/apsp.cpp.o.d"
+  "/root/repo/src/algos/bitonic.cpp" "src/CMakeFiles/pcm_algos.dir/algos/bitonic.cpp.o" "gcc" "src/CMakeFiles/pcm_algos.dir/algos/bitonic.cpp.o.d"
+  "/root/repo/src/algos/cannon.cpp" "src/CMakeFiles/pcm_algos.dir/algos/cannon.cpp.o" "gcc" "src/CMakeFiles/pcm_algos.dir/algos/cannon.cpp.o.d"
+  "/root/repo/src/algos/local/matmul_kernel.cpp" "src/CMakeFiles/pcm_algos.dir/algos/local/matmul_kernel.cpp.o" "gcc" "src/CMakeFiles/pcm_algos.dir/algos/local/matmul_kernel.cpp.o.d"
+  "/root/repo/src/algos/local/merge.cpp" "src/CMakeFiles/pcm_algos.dir/algos/local/merge.cpp.o" "gcc" "src/CMakeFiles/pcm_algos.dir/algos/local/merge.cpp.o.d"
+  "/root/repo/src/algos/local/radix_sort.cpp" "src/CMakeFiles/pcm_algos.dir/algos/local/radix_sort.cpp.o" "gcc" "src/CMakeFiles/pcm_algos.dir/algos/local/radix_sort.cpp.o.d"
+  "/root/repo/src/algos/matmul.cpp" "src/CMakeFiles/pcm_algos.dir/algos/matmul.cpp.o" "gcc" "src/CMakeFiles/pcm_algos.dir/algos/matmul.cpp.o.d"
+  "/root/repo/src/algos/parallel_radix.cpp" "src/CMakeFiles/pcm_algos.dir/algos/parallel_radix.cpp.o" "gcc" "src/CMakeFiles/pcm_algos.dir/algos/parallel_radix.cpp.o.d"
+  "/root/repo/src/algos/reference.cpp" "src/CMakeFiles/pcm_algos.dir/algos/reference.cpp.o" "gcc" "src/CMakeFiles/pcm_algos.dir/algos/reference.cpp.o.d"
+  "/root/repo/src/algos/samplesort.cpp" "src/CMakeFiles/pcm_algos.dir/algos/samplesort.cpp.o" "gcc" "src/CMakeFiles/pcm_algos.dir/algos/samplesort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_machines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

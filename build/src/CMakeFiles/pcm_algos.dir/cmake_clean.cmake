@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcm_algos.dir/algos/apsp.cpp.o"
+  "CMakeFiles/pcm_algos.dir/algos/apsp.cpp.o.d"
+  "CMakeFiles/pcm_algos.dir/algos/bitonic.cpp.o"
+  "CMakeFiles/pcm_algos.dir/algos/bitonic.cpp.o.d"
+  "CMakeFiles/pcm_algos.dir/algos/cannon.cpp.o"
+  "CMakeFiles/pcm_algos.dir/algos/cannon.cpp.o.d"
+  "CMakeFiles/pcm_algos.dir/algos/local/matmul_kernel.cpp.o"
+  "CMakeFiles/pcm_algos.dir/algos/local/matmul_kernel.cpp.o.d"
+  "CMakeFiles/pcm_algos.dir/algos/local/merge.cpp.o"
+  "CMakeFiles/pcm_algos.dir/algos/local/merge.cpp.o.d"
+  "CMakeFiles/pcm_algos.dir/algos/local/radix_sort.cpp.o"
+  "CMakeFiles/pcm_algos.dir/algos/local/radix_sort.cpp.o.d"
+  "CMakeFiles/pcm_algos.dir/algos/matmul.cpp.o"
+  "CMakeFiles/pcm_algos.dir/algos/matmul.cpp.o.d"
+  "CMakeFiles/pcm_algos.dir/algos/parallel_radix.cpp.o"
+  "CMakeFiles/pcm_algos.dir/algos/parallel_radix.cpp.o.d"
+  "CMakeFiles/pcm_algos.dir/algos/reference.cpp.o"
+  "CMakeFiles/pcm_algos.dir/algos/reference.cpp.o.d"
+  "CMakeFiles/pcm_algos.dir/algos/samplesort.cpp.o"
+  "CMakeFiles/pcm_algos.dir/algos/samplesort.cpp.o.d"
+  "libpcm_algos.a"
+  "libpcm_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcm_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/calibrate/block_perm.cpp" "src/CMakeFiles/pcm_calibrate.dir/calibrate/block_perm.cpp.o" "gcc" "src/CMakeFiles/pcm_calibrate.dir/calibrate/block_perm.cpp.o.d"
+  "/root/repo/src/calibrate/calibrate.cpp" "src/CMakeFiles/pcm_calibrate.dir/calibrate/calibrate.cpp.o" "gcc" "src/CMakeFiles/pcm_calibrate.dir/calibrate/calibrate.cpp.o.d"
+  "/root/repo/src/calibrate/h_relation.cpp" "src/CMakeFiles/pcm_calibrate.dir/calibrate/h_relation.cpp.o" "gcc" "src/CMakeFiles/pcm_calibrate.dir/calibrate/h_relation.cpp.o.d"
+  "/root/repo/src/calibrate/hh_perm.cpp" "src/CMakeFiles/pcm_calibrate.dir/calibrate/hh_perm.cpp.o" "gcc" "src/CMakeFiles/pcm_calibrate.dir/calibrate/hh_perm.cpp.o.d"
+  "/root/repo/src/calibrate/local_perm.cpp" "src/CMakeFiles/pcm_calibrate.dir/calibrate/local_perm.cpp.o" "gcc" "src/CMakeFiles/pcm_calibrate.dir/calibrate/local_perm.cpp.o.d"
+  "/root/repo/src/calibrate/microbench.cpp" "src/CMakeFiles/pcm_calibrate.dir/calibrate/microbench.cpp.o" "gcc" "src/CMakeFiles/pcm_calibrate.dir/calibrate/microbench.cpp.o.d"
+  "/root/repo/src/calibrate/mscat.cpp" "src/CMakeFiles/pcm_calibrate.dir/calibrate/mscat.cpp.o" "gcc" "src/CMakeFiles/pcm_calibrate.dir/calibrate/mscat.cpp.o.d"
+  "/root/repo/src/calibrate/one_h_relation.cpp" "src/CMakeFiles/pcm_calibrate.dir/calibrate/one_h_relation.cpp.o" "gcc" "src/CMakeFiles/pcm_calibrate.dir/calibrate/one_h_relation.cpp.o.d"
+  "/root/repo/src/calibrate/partial_perm.cpp" "src/CMakeFiles/pcm_calibrate.dir/calibrate/partial_perm.cpp.o" "gcc" "src/CMakeFiles/pcm_calibrate.dir/calibrate/partial_perm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_machines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

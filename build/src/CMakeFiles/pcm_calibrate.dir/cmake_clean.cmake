@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcm_calibrate.dir/calibrate/block_perm.cpp.o"
+  "CMakeFiles/pcm_calibrate.dir/calibrate/block_perm.cpp.o.d"
+  "CMakeFiles/pcm_calibrate.dir/calibrate/calibrate.cpp.o"
+  "CMakeFiles/pcm_calibrate.dir/calibrate/calibrate.cpp.o.d"
+  "CMakeFiles/pcm_calibrate.dir/calibrate/h_relation.cpp.o"
+  "CMakeFiles/pcm_calibrate.dir/calibrate/h_relation.cpp.o.d"
+  "CMakeFiles/pcm_calibrate.dir/calibrate/hh_perm.cpp.o"
+  "CMakeFiles/pcm_calibrate.dir/calibrate/hh_perm.cpp.o.d"
+  "CMakeFiles/pcm_calibrate.dir/calibrate/local_perm.cpp.o"
+  "CMakeFiles/pcm_calibrate.dir/calibrate/local_perm.cpp.o.d"
+  "CMakeFiles/pcm_calibrate.dir/calibrate/microbench.cpp.o"
+  "CMakeFiles/pcm_calibrate.dir/calibrate/microbench.cpp.o.d"
+  "CMakeFiles/pcm_calibrate.dir/calibrate/mscat.cpp.o"
+  "CMakeFiles/pcm_calibrate.dir/calibrate/mscat.cpp.o.d"
+  "CMakeFiles/pcm_calibrate.dir/calibrate/one_h_relation.cpp.o"
+  "CMakeFiles/pcm_calibrate.dir/calibrate/one_h_relation.cpp.o.d"
+  "CMakeFiles/pcm_calibrate.dir/calibrate/partial_perm.cpp.o"
+  "CMakeFiles/pcm_calibrate.dir/calibrate/partial_perm.cpp.o.d"
+  "libpcm_calibrate.a"
+  "libpcm_calibrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcm_calibrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcm_core.dir/core/registry.cpp.o"
+  "CMakeFiles/pcm_core.dir/core/registry.cpp.o.d"
+  "CMakeFiles/pcm_core.dir/core/series.cpp.o"
+  "CMakeFiles/pcm_core.dir/core/series.cpp.o.d"
+  "CMakeFiles/pcm_core.dir/core/validation.cpp.o"
+  "CMakeFiles/pcm_core.dir/core/validation.cpp.o.d"
+  "libpcm_core.a"
+  "libpcm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

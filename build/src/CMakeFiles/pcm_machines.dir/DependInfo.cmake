@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machines/builder.cpp" "src/CMakeFiles/pcm_machines.dir/machines/builder.cpp.o" "gcc" "src/CMakeFiles/pcm_machines.dir/machines/builder.cpp.o.d"
+  "/root/repo/src/machines/cm5.cpp" "src/CMakeFiles/pcm_machines.dir/machines/cm5.cpp.o" "gcc" "src/CMakeFiles/pcm_machines.dir/machines/cm5.cpp.o.d"
+  "/root/repo/src/machines/custom.cpp" "src/CMakeFiles/pcm_machines.dir/machines/custom.cpp.o" "gcc" "src/CMakeFiles/pcm_machines.dir/machines/custom.cpp.o.d"
+  "/root/repo/src/machines/gcel.cpp" "src/CMakeFiles/pcm_machines.dir/machines/gcel.cpp.o" "gcc" "src/CMakeFiles/pcm_machines.dir/machines/gcel.cpp.o.d"
+  "/root/repo/src/machines/local_compute.cpp" "src/CMakeFiles/pcm_machines.dir/machines/local_compute.cpp.o" "gcc" "src/CMakeFiles/pcm_machines.dir/machines/local_compute.cpp.o.d"
+  "/root/repo/src/machines/machine.cpp" "src/CMakeFiles/pcm_machines.dir/machines/machine.cpp.o" "gcc" "src/CMakeFiles/pcm_machines.dir/machines/machine.cpp.o.d"
+  "/root/repo/src/machines/maspar.cpp" "src/CMakeFiles/pcm_machines.dir/machines/maspar.cpp.o" "gcc" "src/CMakeFiles/pcm_machines.dir/machines/maspar.cpp.o.d"
+  "/root/repo/src/machines/maspar_xnet.cpp" "src/CMakeFiles/pcm_machines.dir/machines/maspar_xnet.cpp.o" "gcc" "src/CMakeFiles/pcm_machines.dir/machines/maspar_xnet.cpp.o.d"
+  "/root/repo/src/machines/t800.cpp" "src/CMakeFiles/pcm_machines.dir/machines/t800.cpp.o" "gcc" "src/CMakeFiles/pcm_machines.dir/machines/t800.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcm_machines.dir/machines/builder.cpp.o"
+  "CMakeFiles/pcm_machines.dir/machines/builder.cpp.o.d"
+  "CMakeFiles/pcm_machines.dir/machines/cm5.cpp.o"
+  "CMakeFiles/pcm_machines.dir/machines/cm5.cpp.o.d"
+  "CMakeFiles/pcm_machines.dir/machines/custom.cpp.o"
+  "CMakeFiles/pcm_machines.dir/machines/custom.cpp.o.d"
+  "CMakeFiles/pcm_machines.dir/machines/gcel.cpp.o"
+  "CMakeFiles/pcm_machines.dir/machines/gcel.cpp.o.d"
+  "CMakeFiles/pcm_machines.dir/machines/local_compute.cpp.o"
+  "CMakeFiles/pcm_machines.dir/machines/local_compute.cpp.o.d"
+  "CMakeFiles/pcm_machines.dir/machines/machine.cpp.o"
+  "CMakeFiles/pcm_machines.dir/machines/machine.cpp.o.d"
+  "CMakeFiles/pcm_machines.dir/machines/maspar.cpp.o"
+  "CMakeFiles/pcm_machines.dir/machines/maspar.cpp.o.d"
+  "CMakeFiles/pcm_machines.dir/machines/maspar_xnet.cpp.o"
+  "CMakeFiles/pcm_machines.dir/machines/maspar_xnet.cpp.o.d"
+  "CMakeFiles/pcm_machines.dir/machines/t800.cpp.o"
+  "CMakeFiles/pcm_machines.dir/machines/t800.cpp.o.d"
+  "libpcm_machines.a"
+  "libpcm_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcm_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcm_models.dir/models/logp.cpp.o"
+  "CMakeFiles/pcm_models.dir/models/logp.cpp.o.d"
+  "CMakeFiles/pcm_models.dir/models/params.cpp.o"
+  "CMakeFiles/pcm_models.dir/models/params.cpp.o.d"
+  "libpcm_models.a"
+  "libpcm_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcm_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/delta_router.cpp" "src/CMakeFiles/pcm_net.dir/net/delta_router.cpp.o" "gcc" "src/CMakeFiles/pcm_net.dir/net/delta_router.cpp.o.d"
+  "/root/repo/src/net/fat_tree.cpp" "src/CMakeFiles/pcm_net.dir/net/fat_tree.cpp.o" "gcc" "src/CMakeFiles/pcm_net.dir/net/fat_tree.cpp.o.d"
+  "/root/repo/src/net/mesh_router.cpp" "src/CMakeFiles/pcm_net.dir/net/mesh_router.cpp.o" "gcc" "src/CMakeFiles/pcm_net.dir/net/mesh_router.cpp.o.d"
+  "/root/repo/src/net/pattern.cpp" "src/CMakeFiles/pcm_net.dir/net/pattern.cpp.o" "gcc" "src/CMakeFiles/pcm_net.dir/net/pattern.cpp.o.d"
+  "/root/repo/src/net/xnet.cpp" "src/CMakeFiles/pcm_net.dir/net/xnet.cpp.o" "gcc" "src/CMakeFiles/pcm_net.dir/net/xnet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

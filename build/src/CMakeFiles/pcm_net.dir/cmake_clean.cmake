@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcm_net.dir/net/delta_router.cpp.o"
+  "CMakeFiles/pcm_net.dir/net/delta_router.cpp.o.d"
+  "CMakeFiles/pcm_net.dir/net/fat_tree.cpp.o"
+  "CMakeFiles/pcm_net.dir/net/fat_tree.cpp.o.d"
+  "CMakeFiles/pcm_net.dir/net/mesh_router.cpp.o"
+  "CMakeFiles/pcm_net.dir/net/mesh_router.cpp.o.d"
+  "CMakeFiles/pcm_net.dir/net/pattern.cpp.o"
+  "CMakeFiles/pcm_net.dir/net/pattern.cpp.o.d"
+  "CMakeFiles/pcm_net.dir/net/xnet.cpp.o"
+  "CMakeFiles/pcm_net.dir/net/xnet.cpp.o.d"
+  "libpcm_net.a"
+  "libpcm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/apsp_predict.cpp" "src/CMakeFiles/pcm_predict.dir/predict/apsp_predict.cpp.o" "gcc" "src/CMakeFiles/pcm_predict.dir/predict/apsp_predict.cpp.o.d"
+  "/root/repo/src/predict/bitonic_predict.cpp" "src/CMakeFiles/pcm_predict.dir/predict/bitonic_predict.cpp.o" "gcc" "src/CMakeFiles/pcm_predict.dir/predict/bitonic_predict.cpp.o.d"
+  "/root/repo/src/predict/matmul_predict.cpp" "src/CMakeFiles/pcm_predict.dir/predict/matmul_predict.cpp.o" "gcc" "src/CMakeFiles/pcm_predict.dir/predict/matmul_predict.cpp.o.d"
+  "/root/repo/src/predict/samplesort_predict.cpp" "src/CMakeFiles/pcm_predict.dir/predict/samplesort_predict.cpp.o" "gcc" "src/CMakeFiles/pcm_predict.dir/predict/samplesort_predict.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_machines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcm_predict.dir/predict/apsp_predict.cpp.o"
+  "CMakeFiles/pcm_predict.dir/predict/apsp_predict.cpp.o.d"
+  "CMakeFiles/pcm_predict.dir/predict/bitonic_predict.cpp.o"
+  "CMakeFiles/pcm_predict.dir/predict/bitonic_predict.cpp.o.d"
+  "CMakeFiles/pcm_predict.dir/predict/matmul_predict.cpp.o"
+  "CMakeFiles/pcm_predict.dir/predict/matmul_predict.cpp.o.d"
+  "CMakeFiles/pcm_predict.dir/predict/samplesort_predict.cpp.o"
+  "CMakeFiles/pcm_predict.dir/predict/samplesort_predict.cpp.o.d"
+  "libpcm_predict.a"
+  "libpcm_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcm_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

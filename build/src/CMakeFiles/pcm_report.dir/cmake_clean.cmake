@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcm_report.dir/report/ascii_plot.cpp.o"
+  "CMakeFiles/pcm_report.dir/report/ascii_plot.cpp.o.d"
+  "CMakeFiles/pcm_report.dir/report/csv.cpp.o"
+  "CMakeFiles/pcm_report.dir/report/csv.cpp.o.d"
+  "CMakeFiles/pcm_report.dir/report/table.cpp.o"
+  "CMakeFiles/pcm_report.dir/report/table.cpp.o.d"
+  "libpcm_report.a"
+  "libpcm_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcm_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/dist.cpp" "src/CMakeFiles/pcm_runtime.dir/runtime/dist.cpp.o" "gcc" "src/CMakeFiles/pcm_runtime.dir/runtime/dist.cpp.o.d"
+  "/root/repo/src/runtime/grid.cpp" "src/CMakeFiles/pcm_runtime.dir/runtime/grid.cpp.o" "gcc" "src/CMakeFiles/pcm_runtime.dir/runtime/grid.cpp.o.d"
+  "/root/repo/src/runtime/spmd.cpp" "src/CMakeFiles/pcm_runtime.dir/runtime/spmd.cpp.o" "gcc" "src/CMakeFiles/pcm_runtime.dir/runtime/spmd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcm_machines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcm_sim.dir/sim/clockset.cpp.o"
+  "CMakeFiles/pcm_sim.dir/sim/clockset.cpp.o.d"
+  "CMakeFiles/pcm_sim.dir/sim/fit.cpp.o"
+  "CMakeFiles/pcm_sim.dir/sim/fit.cpp.o.d"
+  "CMakeFiles/pcm_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/pcm_sim.dir/sim/rng.cpp.o.d"
+  "CMakeFiles/pcm_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/pcm_sim.dir/sim/stats.cpp.o.d"
+  "CMakeFiles/pcm_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/pcm_sim.dir/sim/trace.cpp.o.d"
+  "libpcm_sim.a"
+  "libpcm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpcm_sim.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vendor/cmssl.cpp" "src/CMakeFiles/pcm_vendor.dir/vendor/cmssl.cpp.o" "gcc" "src/CMakeFiles/pcm_vendor.dir/vendor/cmssl.cpp.o.d"
+  "/root/repo/src/vendor/maspar_matmul.cpp" "src/CMakeFiles/pcm_vendor.dir/vendor/maspar_matmul.cpp.o" "gcc" "src/CMakeFiles/pcm_vendor.dir/vendor/maspar_matmul.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcm_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_machines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

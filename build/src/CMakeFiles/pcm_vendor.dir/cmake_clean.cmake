@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcm_vendor.dir/vendor/cmssl.cpp.o"
+  "CMakeFiles/pcm_vendor.dir/vendor/cmssl.cpp.o.d"
+  "CMakeFiles/pcm_vendor.dir/vendor/maspar_matmul.cpp.o"
+  "CMakeFiles/pcm_vendor.dir/vendor/maspar_matmul.cpp.o.d"
+  "libpcm_vendor.a"
+  "libpcm_vendor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcm_vendor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitonic_test.dir/bitonic_test.cpp.o"
+  "CMakeFiles/bitonic_test.dir/bitonic_test.cpp.o.d"
+  "bitonic_test"
+  "bitonic_test.pdb"
+  "bitonic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitonic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

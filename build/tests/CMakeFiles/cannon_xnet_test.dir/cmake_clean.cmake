@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cannon_xnet_test.dir/cannon_xnet_test.cpp.o"
+  "CMakeFiles/cannon_xnet_test.dir/cannon_xnet_test.cpp.o.d"
+  "cannon_xnet_test"
+  "cannon_xnet_test.pdb"
+  "cannon_xnet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cannon_xnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

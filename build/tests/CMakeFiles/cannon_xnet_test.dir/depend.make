@@ -1,0 +1,2 @@
+# Empty dependencies file for cannon_xnet_test.
+# This may be replaced when dependencies are built.

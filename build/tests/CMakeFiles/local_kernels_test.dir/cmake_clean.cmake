@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_kernels_test.dir/local_kernels_test.cpp.o"
+  "CMakeFiles/local_kernels_test.dir/local_kernels_test.cpp.o.d"
+  "local_kernels_test"
+  "local_kernels_test.pdb"
+  "local_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_perm_test.dir/local_perm_test.cpp.o"
+  "CMakeFiles/local_perm_test.dir/local_perm_test.cpp.o.d"
+  "local_perm_test"
+  "local_perm_test.pdb"
+  "local_perm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_perm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logp_pram_test.dir/logp_pram_test.cpp.o"
+  "CMakeFiles/logp_pram_test.dir/logp_pram_test.cpp.o.d"
+  "logp_pram_test"
+  "logp_pram_test.pdb"
+  "logp_pram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logp_pram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

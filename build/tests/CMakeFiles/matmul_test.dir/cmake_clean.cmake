@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_test.dir/matmul_test.cpp.o"
+  "CMakeFiles/matmul_test.dir/matmul_test.cpp.o.d"
+  "matmul_test"
+  "matmul_test.pdb"
+  "matmul_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_delta_router_test.dir/net_delta_router_test.cpp.o"
+  "CMakeFiles/net_delta_router_test.dir/net_delta_router_test.cpp.o.d"
+  "net_delta_router_test"
+  "net_delta_router_test.pdb"
+  "net_delta_router_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_delta_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

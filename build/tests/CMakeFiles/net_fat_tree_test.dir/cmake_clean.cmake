@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_fat_tree_test.dir/net_fat_tree_test.cpp.o"
+  "CMakeFiles/net_fat_tree_test.dir/net_fat_tree_test.cpp.o.d"
+  "net_fat_tree_test"
+  "net_fat_tree_test.pdb"
+  "net_fat_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_fat_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

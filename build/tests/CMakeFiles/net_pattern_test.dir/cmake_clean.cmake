@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_pattern_test.dir/net_pattern_test.cpp.o"
+  "CMakeFiles/net_pattern_test.dir/net_pattern_test.cpp.o.d"
+  "net_pattern_test"
+  "net_pattern_test.pdb"
+  "net_pattern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_radix_test.dir/parallel_radix_test.cpp.o"
+  "CMakeFiles/parallel_radix_test.dir/parallel_radix_test.cpp.o.d"
+  "parallel_radix_test"
+  "parallel_radix_test.pdb"
+  "parallel_radix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_radix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

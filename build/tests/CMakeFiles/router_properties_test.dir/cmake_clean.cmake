@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_properties_test.dir/router_properties_test.cpp.o"
+  "CMakeFiles/router_properties_test.dir/router_properties_test.cpp.o.d"
+  "router_properties_test"
+  "router_properties_test.pdb"
+  "router_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

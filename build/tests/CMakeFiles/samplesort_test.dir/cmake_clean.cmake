@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samplesort_test.dir/samplesort_test.cpp.o"
+  "CMakeFiles/samplesort_test.dir/samplesort_test.cpp.o.d"
+  "samplesort_test"
+  "samplesort_test.pdb"
+  "samplesort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samplesort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_fit_test.dir/sim_fit_test.cpp.o"
+  "CMakeFiles/sim_fit_test.dir/sim_fit_test.cpp.o.d"
+  "sim_fit_test"
+  "sim_fit_test.pdb"
+  "sim_fit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_fit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <iostream>
@@ -9,6 +10,7 @@
 #include "core/registry.hpp"
 #include "core/series.hpp"
 #include "core/validation.hpp"
+#include "exec/sweep.hpp"
 #include "report/table.hpp"
 #include "sim/stats.hpp"
 
@@ -18,58 +20,79 @@
 // prediction with relative errors, an ASCII rendering of the figure, and —
 // when PCM_RESULTS_DIR is set — a CSV dump.
 //
-// Flags: --quick (smaller sweeps), --trials=K.
+// Flags: --quick (smaller sweeps), --trials=K, --jobs=N, --seed=S. Sweeps
+// run through the exec engine (exec/sweep.hpp): one fresh machine per
+// (x, trial) cell, seeded per cell, so output is bit-identical at any
+// --jobs value.
 
 namespace pcm::bench {
 
+// The sweep vocabulary lives in the engine; benches keep their old names.
+using exec::Predictor;
+using exec::SweepSpec;
+using exec::TrialContext;
+using exec::run_sweep;
+
 struct Env {
   bool quick = false;
-  int trials = 0;  ///< 0 = use the bench's default.
+  int trials = 0;         ///< 0 = use the bench's default.
+  int jobs = 1;           ///< Sweep workers; 0 = one per hardware thread.
+  std::uint64_t seed = 0; ///< 0 = use the bench's default seed.
 };
 
+[[noreturn]] inline void usage(const char* argv0, const std::string& error) {
+  if (!error.empty()) std::cerr << argv0 << ": " << error << "\n";
+  std::cerr << "usage: " << argv0 << " [--quick] [--trials=K] [--jobs=N] [--seed=S]\n"
+            << "  --quick      run a smaller sweep\n"
+            << "  --trials=K   trials per data point (K > 0)\n"
+            << "  --jobs=N     parallel sweep workers; 0 = all hardware threads\n"
+            << "  --seed=S     base seed for the deterministic per-cell streams\n";
+  std::exit(error.empty() ? 0 : 2);
+}
+
+/// Strict flag parser: unknown flags and malformed values are fatal.
 inline Env parse_env(int argc, char** argv) {
   Env env;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) env.quick = true;
-    if (std::strncmp(argv[i], "--trials=", 9) == 0) env.trials = std::atoi(argv[i] + 9);
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      env.quick = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0], "");
+    } else if (arg.rfind("--trials=", 0) == 0) {
+      char* end = nullptr;
+      env.trials = static_cast<int>(std::strtol(arg.c_str() + 9, &end, 10));
+      if (*end != '\0' || env.trials <= 0) {
+        usage(argv[0], "--trials expects a positive integer, got '" + arg + "'");
+      }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      char* end = nullptr;
+      env.jobs = static_cast<int>(std::strtol(arg.c_str() + 7, &end, 10));
+      if (*end != '\0' || env.jobs < 0) {
+        usage(argv[0], "--jobs expects a non-negative integer, got '" + arg + "'");
+      }
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      char* end = nullptr;
+      env.seed = std::strtoull(arg.c_str() + 7, &end, 10);
+      if (*end != '\0' || end == arg.c_str() + 7) {
+        usage(argv[0], "--seed expects an unsigned integer, got '" + arg + "'");
+      }
+    } else {
+      usage(argv[0], "unknown flag '" + arg + "'");
+    }
   }
   return env;
 }
 
-struct Predictor {
-  std::string model;
-  std::function<double(double)> fn;  ///< x -> predicted µs
-};
-
-struct SweepSpec {
-  std::string experiment;  ///< Registry id, e.g. "fig12".
-  std::string x_label;
-  std::string y_label = "time";
-  std::vector<double> xs;
-  int trials = 1;
-  std::function<double(double, int)> measure;  ///< (x, trial) -> µs
-  std::vector<Predictor> predictors;
-};
-
-inline core::ValidationSeries run_sweep(const SweepSpec& spec) {
-  core::ValidationSeries s;
-  s.experiment = spec.experiment;
-  s.x_label = spec.x_label;
-  s.y_label = spec.y_label;
-  for (const auto& p : spec.predictors) {
-    s.predictions.push_back({p.model, {}});
-  }
-  for (const double x : spec.xs) {
-    sim::Accumulator acc;
-    for (int t = 0; t < spec.trials; ++t) acc.add(spec.measure(x, t));
-    s.points.push_back({x, acc.summary()});
-    for (std::size_t i = 0; i < spec.predictors.size(); ++i) {
-      s.predictions[i].ys.push_back(spec.predictors[i].fn(x));
-    }
-    std::cerr << "  [" << spec.experiment << "] " << spec.x_label << "=" << x
-              << " done\n";
-  }
-  return s;
+/// Fill the engine-facing fields of a SweepSpec from the parsed flags: the
+/// per-cell machine recipe, worker count and base seed (seed also becomes
+/// the calibration-machine seed, keeping the whole bench one seed family).
+inline void apply_env(SweepSpec& spec, const Env& env,
+                      const machines::MachineSpec& machine) {
+  spec.machine = machine;
+  spec.jobs = env.jobs;
+  spec.seed = machine.seed;
+  if (env.trials > 0) spec.trials = env.trials;
 }
 
 /// Print everything for one experiment. `scale` converts µs to the unit in

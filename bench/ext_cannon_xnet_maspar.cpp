@@ -19,8 +19,10 @@
 int main(int argc, char** argv) {
   using namespace pcm;
   const auto env = bench::parse_env(argc, argv);
-  auto mx = machines::make_maspar_xnet(1301);
-  auto mr = machines::make_maspar(1301);
+  const std::uint64_t seed = env.seed != 0 ? env.seed : 1301;
+  auto mx = machines::make_maspar_xnet(seed);
+  auto mr = machines::make_machine(
+      {.platform = machines::Platform::MasPar, .seed = seed});
 
   // Cannon wants N % 32 == 0; the router algorithm wants N % 100 == 0.
   // Use nearby sizes and compare in Mflops.

@@ -76,16 +76,20 @@ void gallery(machines::Machine& m, long keys_per_node) {
 
 }  // namespace
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   using namespace pcm;
+  const auto env = bench::parse_env(argc, argv);
   report::banner(std::cout, "EXT: five-model prediction gallery",
                  "PRAM underestimates grossly; word-message models "
                  "overestimate block workloads; MP-BPRAM ~ LogGP (footnote 2)");
-  auto maspar = machines::make_maspar(1401);
+  auto maspar = machines::make_machine({.platform = machines::Platform::MasPar,
+                                        .seed = env.seed != 0 ? env.seed : 1401});
   gallery(*maspar, 256);
-  auto gcel = machines::make_gcel(1402);
+  auto gcel = machines::make_machine({.platform = machines::Platform::GCel,
+                                      .seed = env.seed != 0 ? env.seed : 1402});
   gallery(*gcel, 1024);
-  auto cm5 = machines::make_cm5(1403);
+  auto cm5 = machines::make_machine({.platform = machines::Platform::CM5,
+                                     .seed = env.seed != 0 ? env.seed : 1403});
   gallery(*cm5, 1024);
   return 0;
 }

@@ -10,7 +10,8 @@
 int main(int argc, char** argv) {
   using namespace pcm;
   const auto env = bench::parse_env(argc, argv);
-  auto m = machines::make_maspar(1101);
+  auto m = machines::make_machine({.platform = machines::Platform::MasPar,
+                                   .seed = env.seed != 0 ? env.seed : 1101});
   const int trials = env.trials > 0 ? env.trials : (env.quick ? 20 : 100);
 
   std::vector<int> hs{1, 2, 4, 8, 12, 16, 24, 32, 48, 64};

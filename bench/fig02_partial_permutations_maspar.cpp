@@ -10,7 +10,8 @@
 int main(int argc, char** argv) {
   using namespace pcm;
   const auto env = bench::parse_env(argc, argv);
-  auto m = machines::make_maspar(1102);
+  auto m = machines::make_machine({.platform = machines::Platform::MasPar,
+                                   .seed = env.seed != 0 ? env.seed : 1102});
   const int trials = env.trials > 0 ? env.trials : (env.quick ? 10 : 50);
 
   std::vector<int> actives{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 768, 1024};

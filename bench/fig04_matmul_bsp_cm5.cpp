@@ -15,7 +15,9 @@
 int main(int argc, char** argv) {
   using namespace pcm;
   const auto env = bench::parse_env(argc, argv);
-  auto m = machines::make_cm5(1104);
+  const machines::MachineSpec mspec{.platform = machines::Platform::CM5,
+                                    .seed = env.seed != 0 ? env.seed : 1104};
+  auto m = machines::make_machine(mspec);
   const int q = algos::matmul_q(*m);
 
   calibrate::CalibrationOptions copts;
@@ -36,8 +38,9 @@ int main(int argc, char** argv) {
     spec.y_label = staggered ? "time (ms, staggered)" : "time (ms, unstaggered)";
     spec.xs = xs;
     spec.trials = 1;
-    spec.measure = [&](double n, int) {
-      return bench::time_matmul<double>(*m, static_cast<int>(n),
+    bench::apply_env(spec, env, mspec);
+    spec.measure = [staggered](bench::TrialContext& ctx) {
+      return bench::time_matmul<double>(ctx.machine, static_cast<int>(ctx.x),
                                         staggered
                                             ? algos::MatmulVariant::BspStaggered
                                             : algos::MatmulVariant::BspUnstaggered)

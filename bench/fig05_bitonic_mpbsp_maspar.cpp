@@ -16,7 +16,9 @@
 int main(int argc, char** argv) {
   using namespace pcm;
   const auto env = bench::parse_env(argc, argv);
-  auto m = machines::make_maspar(1105);
+  const machines::MachineSpec mspec{.platform = machines::Platform::MasPar,
+                                    .seed = env.seed != 0 ? env.seed : 1105};
+  auto m = machines::make_machine(mspec);
 
   calibrate::CalibrationOptions copts;
   copts.trials = env.quick ? 5 : 20;
@@ -30,11 +32,13 @@ int main(int argc, char** argv) {
   spec.y_label = "time/key (ms)";
   spec.xs = env.quick ? std::vector<double>{16, 64} : std::vector<double>{16, 64, 256, 1024};
   spec.trials = 1;
-  spec.measure = [&](double mk, int trial) {
-    sim::Rng rng(500 + trial);
-    std::vector<std::uint32_t> keys(static_cast<std::size_t>(mk) * 1024);
+  bench::apply_env(spec, env, mspec);
+  spec.measure = [](bench::TrialContext& ctx) {
+    sim::Rng rng(ctx.cell_seed);
+    std::vector<std::uint32_t> keys(static_cast<std::size_t>(ctx.x) * 1024);
     for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_u64());
-    return algos::run_bitonic(*m, keys, algos::BitonicVariant::MpBsp).time_per_key;
+    return algos::run_bitonic(ctx.machine, keys, algos::BitonicVariant::MpBsp)
+        .time_per_key;
   };
   spec.predictors = {{"MP-BSP", [&](double mk) {
     return predict::bitonic_mp_bsp(params.bsp, m->compute(),

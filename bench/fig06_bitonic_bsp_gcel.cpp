@@ -15,7 +15,9 @@
 int main(int argc, char** argv) {
   using namespace pcm;
   const auto env = bench::parse_env(argc, argv);
-  auto m = machines::make_gcel(1106);
+  const machines::MachineSpec mspec{.platform = machines::Platform::GCel,
+                                    .seed = env.seed != 0 ? env.seed : 1106};
+  auto m = machines::make_machine(mspec);
 
   calibrate::CalibrationOptions copts;
   copts.trials = env.quick ? 3 : 10;
@@ -34,11 +36,12 @@ int main(int argc, char** argv) {
                                 : "time/key (ms, unsynchronized)";
     spec.xs = xs;
     spec.trials = 1;
-    spec.measure = [&](double mk, int trial) {
-      sim::Rng rng(600 + trial);
-      std::vector<std::uint32_t> keys(static_cast<std::size_t>(mk) * 64);
+    bench::apply_env(spec, env, mspec);
+    spec.measure = [synchronized](bench::TrialContext& ctx) {
+      sim::Rng rng(ctx.cell_seed);
+      std::vector<std::uint32_t> keys(static_cast<std::size_t>(ctx.x) * 64);
       for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_u64());
-      return algos::run_bitonic(*m, keys,
+      return algos::run_bitonic(ctx.machine, keys,
                                 synchronized
                                     ? algos::BitonicVariant::BspSynchronized
                                     : algos::BitonicVariant::Bsp)

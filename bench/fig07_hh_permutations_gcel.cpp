@@ -15,7 +15,8 @@
 int main(int argc, char** argv) {
   using namespace pcm;
   const auto env = bench::parse_env(argc, argv);
-  auto m = machines::make_gcel(1107);
+  auto m = machines::make_machine({.platform = machines::Platform::GCel,
+                                   .seed = env.seed != 0 ? env.seed : 1107});
   const int trials = env.trials > 0 ? env.trials : (env.quick ? 3 : 8);
 
   const std::vector<int> hs = env.quick

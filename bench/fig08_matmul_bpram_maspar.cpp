@@ -13,7 +13,9 @@
 int main(int argc, char** argv) {
   using namespace pcm;
   const auto env = bench::parse_env(argc, argv);
-  auto m = machines::make_maspar(1108);
+  const machines::MachineSpec mspec{.platform = machines::Platform::MasPar,
+                                    .seed = env.seed != 0 ? env.seed : 1108};
+  auto m = machines::make_machine(mspec);
   const int q = algos::matmul_q(*m);
 
   calibrate::CalibrationOptions copts;
@@ -29,8 +31,9 @@ int main(int argc, char** argv) {
   spec.xs = env.quick ? std::vector<double>{100, 300}
                       : std::vector<double>{100, 200, 300, 400, 500, 600, 700};
   spec.trials = 1;
-  spec.measure = [&](double n, int) {
-    return bench::time_matmul<float>(*m, static_cast<int>(n),
+  bench::apply_env(spec, env, mspec);
+  spec.measure = [](bench::TrialContext& ctx) {
+    return bench::time_matmul<float>(ctx.machine, static_cast<int>(ctx.x),
                                      algos::MatmulVariant::Bpram)
         .time;
   };

@@ -14,7 +14,9 @@
 int main(int argc, char** argv) {
   using namespace pcm;
   const auto env = bench::parse_env(argc, argv);
-  auto m = machines::make_maspar(1110);
+  const machines::MachineSpec mspec{.platform = machines::Platform::MasPar,
+                                    .seed = env.seed != 0 ? env.seed : 1110};
+  auto m = machines::make_machine(mspec);
 
   calibrate::CalibrationOptions copts;
   copts.trials = env.quick ? 5 : 20;
@@ -29,11 +31,13 @@ int main(int argc, char** argv) {
   spec.xs = env.quick ? std::vector<double>{64, 512}
                       : std::vector<double>{16, 64, 256, 1024, 4096};
   spec.trials = 1;
-  spec.measure = [&](double mk, int trial) {
-    sim::Rng rng(700 + trial);
-    std::vector<std::uint32_t> keys(static_cast<std::size_t>(mk) * 1024);
+  bench::apply_env(spec, env, mspec);
+  spec.measure = [](bench::TrialContext& ctx) {
+    sim::Rng rng(ctx.cell_seed);
+    std::vector<std::uint32_t> keys(static_cast<std::size_t>(ctx.x) * 1024);
     for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_u64());
-    return algos::run_bitonic(*m, keys, algos::BitonicVariant::Bpram).time_per_key;
+    return algos::run_bitonic(ctx.machine, keys, algos::BitonicVariant::Bpram)
+        .time_per_key;
   };
   spec.predictors = {{"MP-BPRAM", [&](double mk) {
     return predict::bitonic_bpram(params.bpram, m->compute(),

@@ -13,7 +13,9 @@
 int main(int argc, char** argv) {
   using namespace pcm;
   const auto env = bench::parse_env(argc, argv);
-  auto m = machines::make_gcel(1111);
+  const machines::MachineSpec mspec{.platform = machines::Platform::GCel,
+                                    .seed = env.seed != 0 ? env.seed : 1111};
+  auto m = machines::make_machine(mspec);
 
   calibrate::CalibrationOptions copts;
   copts.trials = env.quick ? 3 : 10;
@@ -28,11 +30,13 @@ int main(int argc, char** argv) {
   spec.xs = env.quick ? std::vector<double>{512, 4096}
                       : std::vector<double>{256, 512, 1024, 2048, 4096};
   spec.trials = 1;
-  spec.measure = [&](double mk, int trial) {
-    sim::Rng rng(710 + trial);
-    std::vector<std::uint32_t> keys(static_cast<std::size_t>(mk) * 64);
+  bench::apply_env(spec, env, mspec);
+  spec.measure = [](bench::TrialContext& ctx) {
+    sim::Rng rng(ctx.cell_seed);
+    std::vector<std::uint32_t> keys(static_cast<std::size_t>(ctx.x) * 64);
     for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_u64());
-    return algos::run_bitonic(*m, keys, algos::BitonicVariant::Bpram).time_per_key;
+    return algos::run_bitonic(ctx.machine, keys, algos::BitonicVariant::Bpram)
+        .time_per_key;
   };
   spec.predictors = {{"MP-BPRAM", [&](double mk) {
     return predict::bitonic_bpram(params.bpram, m->compute(),

@@ -15,7 +15,9 @@
 int main(int argc, char** argv) {
   using namespace pcm;
   const auto env = bench::parse_env(argc, argv);
-  auto m = machines::make_maspar(1112);
+  const machines::MachineSpec mspec{.platform = machines::Platform::MasPar,
+                                    .seed = env.seed != 0 ? env.seed : 1112};
+  auto m = machines::make_machine(mspec);
 
   calibrate::CalibrationOptions copts;
   copts.trials = env.quick ? 5 : 20;
@@ -30,8 +32,10 @@ int main(int argc, char** argv) {
   spec.xs = env.quick ? std::vector<double>{128, 256}
                       : std::vector<double>{64, 128, 256, 512};
   spec.trials = 1;
-  spec.measure = [&](double n, int) {
-    return bench::time_apsp(*m, static_cast<int>(n), algos::ApspVariant::MpBsp);
+  bench::apply_env(spec, env, mspec);
+  spec.measure = [](bench::TrialContext& ctx) {
+    return bench::time_apsp(ctx.machine, static_cast<int>(ctx.x),
+                            algos::ApspVariant::MpBsp);
   };
   spec.predictors = {
       {"MP-BSP", [&](double n) {

@@ -14,7 +14,9 @@
 int main(int argc, char** argv) {
   using namespace pcm;
   const auto env = bench::parse_env(argc, argv);
-  auto m = machines::make_gcel(1113);
+  const machines::MachineSpec mspec{.platform = machines::Platform::GCel,
+                                    .seed = env.seed != 0 ? env.seed : 1113};
+  auto m = machines::make_machine(mspec);
 
   calibrate::CalibrationOptions copts;
   copts.trials = env.quick ? 3 : 10;
@@ -29,8 +31,10 @@ int main(int argc, char** argv) {
   spec.xs = env.quick ? std::vector<double>{64, 128}
                       : std::vector<double>{64, 128, 256, 512};
   spec.trials = 1;
-  spec.measure = [&](double n, int) {
-    return bench::time_apsp(*m, static_cast<int>(n), algos::ApspVariant::Bsp);
+  bench::apply_env(spec, env, mspec);
+  spec.measure = [](bench::TrialContext& ctx) {
+    return bench::time_apsp(ctx.machine, static_cast<int>(ctx.x),
+                            algos::ApspVariant::Bsp);
   };
   spec.predictors = {
       {"BSP", [&](double n) {

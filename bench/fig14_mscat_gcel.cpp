@@ -13,7 +13,8 @@
 int main(int argc, char** argv) {
   using namespace pcm;
   const auto env = bench::parse_env(argc, argv);
-  auto m = machines::make_gcel(1114);
+  auto m = machines::make_machine({.platform = machines::Platform::GCel,
+                                   .seed = env.seed != 0 ? env.seed : 1114});
   const int trials = env.trials > 0 ? env.trials : (env.quick ? 3 : 10);
 
   const std::vector<int> hs = env.quick

@@ -13,7 +13,9 @@
 int main(int argc, char** argv) {
   using namespace pcm;
   const auto env = bench::parse_env(argc, argv);
-  auto m = machines::make_cm5(1115);
+  const machines::MachineSpec mspec{.platform = machines::Platform::CM5,
+                                    .seed = env.seed != 0 ? env.seed : 1115};
+  auto m = machines::make_machine(mspec);
 
   calibrate::CalibrationOptions copts;
   copts.trials = env.quick ? 3 : 10;
@@ -28,8 +30,10 @@ int main(int argc, char** argv) {
   spec.xs = env.quick ? std::vector<double>{64, 256}
                       : std::vector<double>{64, 128, 256, 512};
   spec.trials = 1;
-  spec.measure = [&](double n, int) {
-    return bench::time_apsp(*m, static_cast<int>(n), algos::ApspVariant::Bsp);
+  bench::apply_env(spec, env, mspec);
+  spec.measure = [](bench::TrialContext& ctx) {
+    return bench::time_apsp(ctx.machine, static_cast<int>(ctx.x),
+                            algos::ApspVariant::Bsp);
   };
   spec.predictors = {{"BSP", [&](double n) {
     return predict::apsp_bsp(params.bsp, m->compute(), static_cast<long>(n));

@@ -15,7 +15,8 @@
 int main(int argc, char** argv) {
   using namespace pcm;
   const auto env = bench::parse_env(argc, argv);
-  auto m = machines::make_maspar(1117);
+  auto m = machines::make_machine({.platform = machines::Platform::MasPar,
+                                   .seed = env.seed != 0 ? env.seed : 1117});
 
   const std::vector<long> ms = env.quick ? std::vector<long>{64, 256}
                                          : std::vector<long>{16, 64, 256, 1024};

@@ -15,7 +15,8 @@
 int main(int argc, char** argv) {
   using namespace pcm;
   const auto env = bench::parse_env(argc, argv);
-  auto m = machines::make_maspar(1119);
+  auto m = machines::make_machine({.platform = machines::Platform::MasPar,
+                                   .seed = env.seed != 0 ? env.seed : 1119});
 
   const std::vector<int> ns = env.quick ? std::vector<int>{300}
                                         : std::vector<int>{100, 300, 500, 700};

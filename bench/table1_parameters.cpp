@@ -25,9 +25,15 @@ int main(int argc, char** argv) {
     models::MachineModelParams paper;
   };
   Row rows[3] = {
-      {machines::make_maspar(1001), models::table1::maspar()},
-      {machines::make_gcel(1002), models::table1::gcel()},
-      {machines::make_cm5(1003), models::table1::cm5()},
+      {machines::make_machine({.platform = machines::Platform::MasPar,
+                               .seed = env.seed != 0 ? env.seed : 1001}),
+       models::table1::maspar()},
+      {machines::make_machine({.platform = machines::Platform::GCel,
+                               .seed = env.seed != 0 ? env.seed : 1002}),
+       models::table1::gcel()},
+      {machines::make_machine({.platform = machines::Platform::CM5,
+                               .seed = env.seed != 0 ? env.seed : 1003}),
+       models::table1::cm5()},
   };
 
   for (auto& row : rows) {

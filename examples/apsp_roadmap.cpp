@@ -54,7 +54,7 @@ int main() {
   const int n = side * side;
   const auto roads = road_network(side, rng);
 
-  auto maspar = machines::make_maspar(5);
+  auto maspar = machines::make_machine({.platform = machines::Platform::MasPar, .seed = 5});
   std::printf("computing APSP over %d towns on the simulated %.*s...\n", n,
               static_cast<int>(maspar->name().size()), maspar->name().data());
   const auto result = algos::run_apsp(*maspar, roads, n, algos::ApspVariant::MpBsp);

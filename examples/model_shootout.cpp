@@ -63,13 +63,13 @@ int main() {
   using namespace pcm;
   std::printf("Bitonic sort model shoot-out across the Table 1 platforms\n");
 
-  auto maspar = machines::make_maspar(21);
+  auto maspar = machines::make_machine({.platform = machines::Platform::MasPar, .seed = 21});
   shootout(*maspar, algos::BitonicVariant::MpBsp, 256);
 
-  auto gcel = machines::make_gcel(22);
+  auto gcel = machines::make_machine({.platform = machines::Platform::GCel, .seed = 22});
   shootout(*gcel, algos::BitonicVariant::BspSynchronized, 1024);
 
-  auto cm5 = machines::make_cm5(23);
+  auto cm5 = machines::make_machine({.platform = machines::Platform::CM5, .seed = 23});
   shootout(*cm5, algos::BitonicVariant::BspSynchronized, 1024);
 
   std::printf(

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <stdexcept>
 #include <string>
 
 #include "algos/apsp.hpp"
@@ -78,10 +79,14 @@ Options parse(int argc, char** argv) {
 
 std::unique_ptr<machines::Machine> make_machine_named(const std::string& name,
                                                       std::uint64_t seed) {
-  if (name == "maspar") return machines::make_maspar(seed);
-  if (name == "gcel") return machines::make_gcel(seed);
-  if (name == "cm5") return machines::make_cm5(seed);
-  return nullptr;
+  // Accepts full machine specs too, e.g. "gcel:procs=16:seed=7".
+  try {
+    auto spec = machines::parse_machine_spec(name);
+    if (name.find("seed=") == std::string::npos) spec.seed = seed;
+    return machines::make_machine(spec);
+  } catch (const std::invalid_argument&) {
+    return nullptr;
+  }
 }
 
 int usage() {
@@ -93,7 +98,8 @@ int usage() {
          "  matmul <machine> [--n= --variant= --breakdown]\n"
          "  sort   <machine> [--keys-per-node= --algo= --variant= --breakdown]\n"
          "  apsp   <machine> [--n= --breakdown]\n"
-         "machines: maspar, gcel, cm5\n";
+         "machines: maspar, gcel, cm5, t800 — or a spec like "
+         "\"gcel:procs=16:seed=7\"\n";
   return 2;
 }
 

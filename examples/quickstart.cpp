@@ -18,8 +18,11 @@
 int main() {
   using namespace pcm;
 
-  // 1. A simulated machine (Table 1 platform).
-  auto cm5 = machines::make_cm5(/*seed=*/2026);
+  // 1. A simulated machine, described as a value (Table 1 platform; procs 0
+  //    means the platform default, 64 nodes for the CM-5).
+  const machines::MachineSpec spec{.platform = machines::Platform::CM5,
+                                   .seed = 2026};
+  auto cm5 = machines::make_machine(spec);
   std::printf("machine: %.*s, P = %d, w = %d bytes\n",
               static_cast<int>(cm5->name().size()), cm5->name().data(),
               cm5->procs(), cm5->word_bytes());

@@ -77,9 +77,9 @@ int main() {
               models::block_gain(models::table1::cm5().bsp,
                                  models::table1::cm5().bpram));
 
-  auto gcel = machines::make_gcel(7);
+  auto gcel = machines::make_machine({.platform = machines::Platform::GCel, .seed = 7});
   study(*gcel, 1024);
-  auto cm5 = machines::make_cm5(8);
+  auto cm5 = machines::make_machine({.platform = machines::Platform::CM5, .seed = 8});
   study(*cm5, 1024);
 
   std::printf(

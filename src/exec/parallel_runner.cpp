@@ -1,0 +1,41 @@
+#include "exec/parallel_runner.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace pcm::exec {
+
+int ParallelRunner::hardware_jobs() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ParallelRunner::ParallelRunner(int jobs)
+    : jobs_(jobs <= 0 ? hardware_jobs() : jobs) {
+  if (jobs_ > 1) pool_ = std::make_unique<WorkStealingPool>(jobs_);
+}
+
+void ParallelRunner::for_each(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (pool_ == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::mutex mu;
+  std::exception_ptr first_error;
+  for (std::size_t i = 0; i < n; ++i) {
+    pool_->submit([&, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  pool_->wait();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace pcm::exec

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "exec/thread_pool.hpp"
+
+// ParallelRunner: fan an index space [0, n) out across a work-stealing pool.
+// The engine's determinism contract lives one level up — every cell must be
+// self-contained (own machine, own seed) — so the runner only promises that
+// fn(i) runs exactly once for every i and that for_each() returns after all
+// of them finished. jobs=1 never touches a thread, making the serial path
+// the parallel path with the scheduling removed, not a separate code path
+// to keep in sync.
+
+namespace pcm::exec {
+
+class ParallelRunner {
+ public:
+  /// jobs = 1: serial; jobs > 1: that many workers; jobs <= 0: one worker
+  /// per hardware thread.
+  explicit ParallelRunner(int jobs);
+
+  [[nodiscard]] int jobs() const { return jobs_; }
+
+  /// Run fn(i) for every i in [0, n), returning when all are done. The first
+  /// exception thrown by any fn is rethrown here (remaining tasks still run).
+  void for_each(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// One worker per hardware thread (>= 1 even if the runtime reports 0).
+  static int hardware_jobs();
+
+ private:
+  int jobs_;
+  std::unique_ptr<WorkStealingPool> pool_;  // null when jobs_ == 1
+};
+
+}  // namespace pcm::exec

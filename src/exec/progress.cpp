@@ -1,0 +1,28 @@
+#include "exec/progress.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace pcm::exec {
+
+ProgressReporter::ProgressReporter(std::ostream& out, std::string label,
+                                   std::size_t total)
+    : out_(out),
+      label_(std::move(label)),
+      total_(total),
+      start_(std::chrono::steady_clock::now()) {}
+
+void ProgressReporter::cell_done(double x, int trial) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++done_;
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start_;
+  const double rate =
+      elapsed.count() > 0.0 ? static_cast<double>(done_) / elapsed.count() : 0.0;
+  char rate_str[32];
+  std::snprintf(rate_str, sizeof(rate_str), "%.*f", rate < 10.0 ? 1 : 0, rate);
+  out_ << "  [" << label_ << "] x=" << x << " trial " << trial << " done ("
+       << done_ << "/" << total_ << ", " << rate_str << " cells/s)\n";
+}
+
+}  // namespace pcm::exec

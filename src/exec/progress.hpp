@@ -1,0 +1,35 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+// Mutex-guarded progress reporting for sweeps. Workers finish cells in
+// scheduling order, so every line must be written atomically from whichever
+// thread completed the cell; the reporter also tracks throughput so long
+// campaigns show cells/sec. These lines go to stderr (wall-clock rates are
+// inherently nondeterministic) — the experiment *results* on stdout/CSV stay
+// bit-identical across --jobs values.
+
+namespace pcm::exec {
+
+class ProgressReporter {
+ public:
+  ProgressReporter(std::ostream& out, std::string label, std::size_t total);
+
+  /// Mark one (x, trial) cell finished and print a progress line.
+  /// Thread-safe.
+  void cell_done(double x, int trial);
+
+ private:
+  std::ostream& out_;
+  std::string label_;
+  std::size_t total_;
+  std::mutex mu_;
+  std::size_t done_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace pcm::exec

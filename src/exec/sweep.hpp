@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/series.hpp"
+#include "exec/parallel_runner.hpp"
+#include "exec/progress.hpp"
+#include "machines/machine.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+// The deterministic parallel experiment engine. A sweep is a grid of
+// (x, trial) cells; every cell runs on its OWN freshly constructed machine,
+// seeded by a per-cell split of the sweep's base seed:
+//
+//   cell_seed(c) = Rng(base_seed).split(c)   with c = x_index * trials + trial
+//
+// Rng::split is a pure function of (state, key), so a cell's seed — and
+// therefore its entire simulation — depends only on the sweep definition,
+// never on which worker ran it or in what order. That is the determinism
+// contract: run_sweep(spec) is bit-identical for every jobs value.
+//
+// Machines are per-cell rather than shared precisely to make that hold: a
+// shared Machine's RNG stream would thread through cells in completion
+// order, welding the results to the schedule.
+
+namespace pcm::exec {
+
+struct Predictor {
+  std::string model;
+  std::function<double(double)> fn;  ///< x -> predicted µs
+};
+
+/// Everything a measure callback may touch: a machine freshly built for
+/// this one cell, the cell's coordinates, and the cell's seed (for any
+/// additional randomness, e.g. input-data generation).
+struct TrialContext {
+  machines::Machine& machine;
+  double x = 0.0;
+  int trial = 0;
+  std::uint64_t cell_seed = 0;
+};
+
+struct SweepSpec {
+  std::string experiment;  ///< Registry id, e.g. "fig12".
+  std::string x_label;
+  std::string y_label = "time";
+  machines::MachineSpec machine;  ///< Recipe for the per-cell machines.
+  std::vector<double> xs;
+  int trials = 1;
+  int jobs = 1;            ///< Worker count; <= 0 means one per hardware thread.
+  std::uint64_t seed = 0;  ///< Base seed for the cell stream; 0 = machine.seed.
+  std::function<double(TrialContext&)> measure;  ///< cell -> µs
+  std::vector<Predictor> predictors;
+};
+
+inline core::ValidationSeries run_sweep(const SweepSpec& spec) {
+  core::ValidationSeries s;
+  s.experiment = spec.experiment;
+  s.x_label = spec.x_label;
+  s.y_label = spec.y_label;
+
+  const std::size_t trials = spec.trials > 0 ? static_cast<std::size_t>(spec.trials) : 1;
+  const std::size_t cells = spec.xs.size() * trials;
+  const sim::Rng root(spec.seed != 0 ? spec.seed : spec.machine.seed);
+
+  std::vector<double> cell_us(cells, 0.0);
+  ProgressReporter progress(std::cerr, spec.experiment, cells);
+  ParallelRunner runner(spec.jobs);
+  runner.for_each(cells, [&](std::size_t c) {
+    const double x = spec.xs[c / trials];
+    const int trial = static_cast<int>(c % trials);
+    const std::uint64_t cell_seed = root.split(c).next_u64();
+    machines::MachineSpec mspec = spec.machine;
+    mspec.seed = cell_seed;
+    const auto machine = machines::make_machine(mspec);
+    TrialContext ctx{*machine, x, trial, cell_seed};
+    cell_us[c] = spec.measure(ctx);
+    progress.cell_done(x, trial);
+  });
+
+  // Assembly is serial and in cell order, so the statistics (and any
+  // floating-point accumulation inside them) are independent of scheduling.
+  for (std::size_t xi = 0; xi < spec.xs.size(); ++xi) {
+    sim::Accumulator acc;
+    for (std::size_t t = 0; t < trials; ++t) acc.add(cell_us[xi * trials + t]);
+    s.points.push_back({spec.xs[xi], acc.summary()});
+  }
+  for (const auto& p : spec.predictors) {
+    core::PredictedSeries pred{p.model, {}};
+    for (const double x : spec.xs) pred.ys.push_back(p.fn(x));
+    s.predictions.push_back(std::move(pred));
+  }
+  return s;
+}
+
+}  // namespace pcm::exec

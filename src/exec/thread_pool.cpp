@@ -1,0 +1,106 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace pcm::exec {
+
+namespace {
+// Maps each worker thread to its deque index so submit() can distinguish
+// worker-side pushes (own deque) from external ones (round-robin).
+thread_local const WorkStealingPool* tl_pool = nullptr;
+thread_local std::size_t tl_index = 0;
+}  // namespace
+
+WorkStealingPool::WorkStealingPool(int threads) {
+  const auto n = static_cast<std::size_t>(std::max(1, threads));
+  deques_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) deques_.push_back(std::make_unique<Deque>());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  wait();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t WorkStealingPool::self_index() const {
+  return tl_pool == this ? tl_index : deques_.size();
+}
+
+void WorkStealingPool::submit(Task task) {
+  std::size_t target = self_index();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (target == deques_.size()) target = next_++ % deques_.size();
+    ++queued_;
+    ++pending_;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(deques_[target]->mu);
+    deques_[target]->tasks.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+bool WorkStealingPool::try_pop(std::size_t self, Task& out) {
+  auto& d = *deques_[self];
+  const std::lock_guard<std::mutex> lock(d.mu);
+  if (d.tasks.empty()) return false;
+  out = std::move(d.tasks.back());
+  d.tasks.pop_back();
+  return true;
+}
+
+bool WorkStealingPool::try_steal(std::size_t self, Task& out) {
+  for (std::size_t k = 1; k < deques_.size(); ++k) {
+    auto& d = *deques_[(self + k) % deques_.size()];
+    const std::lock_guard<std::mutex> lock(d.mu);
+    if (d.tasks.empty()) continue;
+    out = std::move(d.tasks.front());
+    d.tasks.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void WorkStealingPool::worker_loop(std::size_t self) {
+  tl_pool = this;
+  tl_index = self;
+  while (true) {
+    Task task;
+    if (try_pop(self, task) || try_steal(self, task)) {
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        --queued_;
+      }
+      task();
+      bool drained = false;
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        drained = --pending_ == 0;
+      }
+      if (drained) done_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) return;
+    work_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    if (stop_ && queued_ == 0) return;
+  }
+}
+
+void WorkStealingPool::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+}  // namespace pcm::exec

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+// A work-stealing thread pool: each worker owns a deque and pops from its
+// back (LIFO, cache-friendly for task chains), idle workers steal from the
+// front of their neighbours' deques (FIFO, oldest-first). Submissions from
+// outside the pool are dealt round-robin so the initial load is spread even
+// before stealing kicks in; submissions from a worker go to its own deque.
+//
+// The pool carries no results and imposes no ordering — callers that need
+// deterministic output (the experiment engine does) index results by task
+// id into pre-sized storage and make every task independent.
+
+namespace pcm::exec {
+
+class WorkStealingPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns `threads` workers (at least 1).
+  explicit WorkStealingPool(int threads);
+  /// Waits for pending tasks, then joins the workers.
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  [[nodiscard]] int threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a task. Thread-safe; may be called from inside a task.
+  void submit(Task task);
+
+  /// Block until every submitted task has finished running.
+  void wait();
+
+ private:
+  struct Deque {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  bool try_pop(std::size_t self, Task& out);
+  bool try_steal(std::size_t self, Task& out);
+  void worker_loop(std::size_t self);
+  /// Index of the current thread's own deque, or deques_.size() if the
+  /// caller is not a pool worker.
+  [[nodiscard]] std::size_t self_index() const;
+
+  std::vector<std::unique_ptr<Deque>> deques_;
+  std::vector<std::thread> workers_;
+
+  // queued_ counts tasks sitting in deques (workers sleep on it); pending_
+  // counts tasks submitted but not yet finished (wait() sleeps on it). Both
+  // are guarded by mu_ so the condition variables cannot miss an update.
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::size_t queued_ = 0;
+  std::size_t pending_ = 0;
+  std::size_t next_ = 0;  // round-robin cursor for external submissions
+  bool stop_ = false;
+};
+
+}  // namespace pcm::exec

@@ -21,7 +21,7 @@ class CM5Machine final : public Machine {
 
 }  // namespace
 
-std::unique_ptr<Machine> make_cm5(std::uint64_t seed, int procs) {
+std::unique_ptr<Machine> detail::build_cm5(std::uint64_t seed, int procs) {
   return std::make_unique<CM5Machine>(seed, procs);
 }
 

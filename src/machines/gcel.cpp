@@ -34,7 +34,7 @@ class GCelMachine final : public Machine {
 
 }  // namespace
 
-std::unique_ptr<Machine> make_gcel(std::uint64_t seed, int procs) {
+std::unique_ptr<Machine> detail::build_gcel(std::uint64_t seed, int procs) {
   return std::make_unique<GCelMachine>(seed, procs);
 }
 

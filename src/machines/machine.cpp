@@ -2,7 +2,10 @@
 
 #include <cassert>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "net/delta_router.hpp"
 #include "net/fat_tree.hpp"
@@ -83,17 +86,85 @@ std::string_view to_string(Platform p) {
     case Platform::MasPar: return "maspar";
     case Platform::GCel: return "gcel";
     case Platform::CM5: return "cm5";
+    case Platform::T800: return "t800";
   }
   return "?";
 }
 
-std::unique_ptr<Machine> make_machine(Platform p, std::uint64_t seed) {
-  switch (p) {
-    case Platform::MasPar: return make_maspar(seed);
-    case Platform::GCel: return make_gcel(seed);
-    case Platform::CM5: return make_cm5(seed);
+Platform parse_platform(std::string_view text) {
+  if (text == "maspar") return Platform::MasPar;
+  if (text == "gcel") return Platform::GCel;
+  if (text == "cm5") return Platform::CM5;
+  if (text == "t800") return Platform::T800;
+  throw std::invalid_argument("unknown platform: '" + std::string(text) +
+                              "' (expected maspar, gcel, cm5 or t800)");
+}
+
+int default_procs(Platform p) {
+  return p == Platform::MasPar ? 1024 : 64;
+}
+
+std::string to_string(const MachineSpec& spec) {
+  return std::string(to_string(spec.platform)) +
+         ":procs=" + std::to_string(spec.resolved_procs()) +
+         ":seed=" + std::to_string(spec.seed);
+}
+
+MachineSpec parse_machine_spec(std::string_view text) {
+  std::vector<std::string_view> parts;
+  while (true) {
+    const auto colon = text.find(':');
+    parts.push_back(text.substr(0, colon));
+    if (colon == std::string_view::npos) break;
+    text.remove_prefix(colon + 1);
+  }
+  MachineSpec spec;
+  spec.platform = parse_platform(parts.front());
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const auto field = parts[i];
+    const auto eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("machine spec field without '=': '" +
+                                  std::string(field) + "'");
+    }
+    const auto key = field.substr(0, eq);
+    if (key != "procs" && key != "seed") {
+      throw std::invalid_argument("unknown machine spec field: '" +
+                                  std::string(key) + "'");
+    }
+    const std::string value(field.substr(eq + 1));
+    std::size_t used = 0;
+    try {
+      if (key == "procs") {
+        spec.procs = std::stoi(value, &used);
+      } else {
+        spec.seed = std::stoull(value, &used);
+      }
+    } catch (const std::logic_error&) {
+      used = 0;
+    }
+    if (used == 0 || used != value.size() ||
+        (key == "procs" && spec.procs <= 0)) {
+      throw std::invalid_argument("malformed machine spec value: '" +
+                                  std::string(field) + "'");
+    }
+  }
+  return spec;
+}
+
+std::unique_ptr<Machine> make_machine(const MachineSpec& spec) {
+  const int procs = spec.resolved_procs();
+  switch (spec.platform) {
+    case Platform::MasPar: return detail::build_maspar(spec.seed, procs);
+    case Platform::GCel: return detail::build_gcel(spec.seed, procs);
+    case Platform::CM5: return detail::build_cm5(spec.seed, procs);
+    case Platform::T800: return detail::build_t800(spec.seed, procs);
   }
   return nullptr;
+}
+
+std::unique_ptr<Machine> make_machine(Platform p, std::uint64_t seed) {
+  return make_machine(MachineSpec{.platform = p, .seed = seed});
 }
 
 }  // namespace pcm::machines

@@ -88,18 +88,65 @@ class Machine {
   std::vector<sim::Micros> finish_;  // scratch
 };
 
-/// Factory functions for the three platforms of the paper (Table 1).
-std::unique_ptr<Machine> make_maspar(std::uint64_t seed = 42, int procs = 1024);
-std::unique_ptr<Machine> make_gcel(std::uint64_t seed = 42, int procs = 64);
-std::unique_ptr<Machine> make_cm5(std::uint64_t seed = 42, int procs = 64);
-
-/// Extension: the T800/Parix platform of the authors' earlier study [15]
-/// (estimated parameters — exploration, not reproduction; see t800.cpp).
-std::unique_ptr<Machine> make_t800(std::uint64_t seed = 42, int procs = 64);
-
-enum class Platform { MasPar, GCel, CM5 };
+enum class Platform { MasPar, GCel, CM5, T800 };
 
 [[nodiscard]] std::string_view to_string(Platform p);
+/// Inverse of to_string(Platform). Throws std::invalid_argument.
+[[nodiscard]] Platform parse_platform(std::string_view text);
+/// The processor count the paper's Table 1 uses for the platform.
+[[nodiscard]] int default_procs(Platform p);
+
+/// A machine as a value: everything needed to (re)construct a simulator
+/// instance. The experiment-execution engine builds one fresh Machine per
+/// (x, trial) cell from a MachineSpec, so specs — not live Machine
+/// references — are what sweep definitions carry around.
+struct MachineSpec {
+  Platform platform = Platform::CM5;
+  int procs = 0;  ///< 0 = the platform's Table 1 default.
+  std::uint64_t seed = 42;
+
+  /// Processor count after resolving the platform default.
+  [[nodiscard]] int resolved_procs() const {
+    return procs > 0 ? procs : default_procs(platform);
+  }
+
+  friend bool operator==(const MachineSpec&, const MachineSpec&) = default;
+};
+
+/// Render as "platform:procs=P:seed=S" (round-trips via parse_machine_spec).
+[[nodiscard]] std::string to_string(const MachineSpec& spec);
+/// Parse "platform[:procs=P][:seed=S]". Throws std::invalid_argument on an
+/// unknown platform, unknown field or malformed value.
+[[nodiscard]] MachineSpec parse_machine_spec(std::string_view text);
+
+/// THE factory: build a simulator instance from a spec.
+std::unique_ptr<Machine> make_machine(const MachineSpec& spec);
 std::unique_ptr<Machine> make_machine(Platform p, std::uint64_t seed = 42);
+
+namespace detail {
+std::unique_ptr<Machine> build_maspar(std::uint64_t seed, int procs);
+std::unique_ptr<Machine> build_gcel(std::uint64_t seed, int procs);
+std::unique_ptr<Machine> build_cm5(std::uint64_t seed, int procs);
+std::unique_ptr<Machine> build_t800(std::uint64_t seed, int procs);
+}  // namespace detail
+
+// [[deprecated]] Legacy per-platform factories, kept as thin wrappers over
+// make_machine(MachineSpec). New code should construct a MachineSpec — it
+// is copyable, comparable and serialisable, which the engine needs.
+inline std::unique_ptr<Machine> make_maspar(std::uint64_t seed = 42,
+                                            int procs = 1024) {
+  return make_machine({.platform = Platform::MasPar, .procs = procs, .seed = seed});
+}
+inline std::unique_ptr<Machine> make_gcel(std::uint64_t seed = 42, int procs = 64) {
+  return make_machine({.platform = Platform::GCel, .procs = procs, .seed = seed});
+}
+inline std::unique_ptr<Machine> make_cm5(std::uint64_t seed = 42, int procs = 64) {
+  return make_machine({.platform = Platform::CM5, .procs = procs, .seed = seed});
+}
+// [[deprecated]] The T800/Parix platform of the authors' earlier study [15]
+// (estimated parameters — exploration, not reproduction; see t800.cpp).
+inline std::unique_ptr<Machine> make_t800(std::uint64_t seed = 42, int procs = 64) {
+  return make_machine({.platform = Platform::T800, .procs = procs, .seed = seed});
+}
 
 }  // namespace pcm::machines

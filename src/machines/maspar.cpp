@@ -23,7 +23,7 @@ class MasParMachine final : public Machine {
 
 }  // namespace
 
-std::unique_ptr<Machine> make_maspar(std::uint64_t seed, int procs) {
+std::unique_ptr<Machine> detail::build_maspar(std::uint64_t seed, int procs) {
   return std::make_unique<MasParMachine>(seed, procs);
 }
 

@@ -49,7 +49,7 @@ class T800Machine final : public Machine {
 
 }  // namespace
 
-std::unique_ptr<Machine> make_t800(std::uint64_t seed, int procs) {
+std::unique_ptr<Machine> detail::build_t800(std::uint64_t seed, int procs) {
   return std::make_unique<T800Machine>(seed, procs);
 }
 

@@ -96,4 +96,17 @@ std::vector<int> Rng::sample_without_replacement(int n, int k) {
 
 Rng Rng::fork() { return Rng(next_u64()); }
 
+Rng Rng::split(std::uint64_t key) const {
+  // Hash the four state words together with the key through a SplitMix64
+  // chain. Distinct keys land in distinct (with overwhelming probability)
+  // child streams; the parent state is read, never written.
+  std::uint64_t acc = 0x9e3779b97f4a7c15ull ^ key;
+  std::uint64_t seed = splitmix64(acc);
+  for (const auto s : s_) {
+    acc ^= s;
+    seed = splitmix64(acc) ^ rotl(seed, 29);
+  }
+  return Rng(seed);
+}
+
 }  // namespace pcm::sim

@@ -51,7 +51,16 @@ class Rng {
   std::vector<int> sample_without_replacement(int n, int k);
 
   /// Derive an independent child stream (for per-trial reproducibility).
+  /// Advances this stream by one draw.
   Rng fork();
+
+  /// Derive an independent child stream keyed by `key` *without* advancing
+  /// this stream. split() is a pure function of (current state, key), so the
+  /// same parent state yields the same child for a given key no matter how
+  /// many other keys are split off, in what order, or from which thread —
+  /// the property the parallel experiment engine's per-cell seeding relies
+  /// on.
+  [[nodiscard]] Rng split(std::uint64_t key) const;
 
  private:
   std::uint64_t s_[4];

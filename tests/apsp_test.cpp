@@ -83,7 +83,7 @@ TEST(Apsp, HandlesDisconnectedGraphs) {
 
 TEST(Apsp, GridSide) {
   EXPECT_EQ(apsp_grid_side(*test::small_cm5()), 4);
-  EXPECT_EQ(apsp_grid_side(*machines::make_maspar(1)), 32);
+  EXPECT_EQ(apsp_grid_side(*machines::make_machine({.platform = machines::Platform::MasPar, .seed = 1})), 32);
 }
 
 TEST(Apsp, ZeroDiagonalPreserved) {

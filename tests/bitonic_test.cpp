@@ -88,7 +88,7 @@ TEST(Bitonic, TimePerKeyTimesKeysIsTotal) {
 TEST(Bitonic, BlockTransfersCrushWordsOnTheGcel) {
   // Fig 6 vs Fig 11: on the GCel the MP-BPRAM bitonic is orders of
   // magnitude faster per key than the word-by-word BSP version.
-  auto m = machines::make_gcel(13);
+  auto m = machines::make_machine({.platform = machines::Platform::GCel, .seed = 13});
   auto keys = test::random_keys(64 * 256, 13);
   const auto word = run_bitonic(*m, keys, BitonicVariant::BspSynchronized);
   const auto block = run_bitonic(*m, keys, BitonicVariant::Bpram);
@@ -97,7 +97,7 @@ TEST(Bitonic, BlockTransfersCrushWordsOnTheGcel) {
 
 TEST(Bitonic, UnsynchronizedDriftsOnTheGcel) {
   // Fig 6/7: without barriers the per-key time keeps elevating.
-  auto m = machines::make_gcel(14);
+  auto m = machines::make_machine({.platform = machines::Platform::GCel, .seed = 14});
   auto keys = test::random_keys(64 * 512, 14);
   const auto unsync = run_bitonic(*m, keys, BitonicVariant::Bsp);
   const auto sync = run_bitonic(*m, keys, BitonicVariant::BspSynchronized);
@@ -106,7 +106,7 @@ TEST(Bitonic, UnsynchronizedDriftsOnTheGcel) {
 
 TEST(Bitonic, MasParBlockVersionFasterThanWordVersion) {
   // Fig 17: the MP-BPRAM bitonic beats MP-BSP by up to g+L/(w*sigma) ~ 3.3.
-  auto m = machines::make_maspar(15);
+  auto m = machines::make_machine({.platform = machines::Platform::MasPar, .seed = 15});
   auto keys = test::random_keys(1024 * 16, 15);
   const auto word = run_bitonic(*m, keys, BitonicVariant::MpBsp);
   const auto block = run_bitonic(*m, keys, BitonicVariant::Bpram);

@@ -85,7 +85,7 @@ TEST(Sweeps, BlockPermutationsLinearInBytes) {
 }
 
 TEST(Sweeps, HhPermutationsDriftWithoutBarriers) {
-  auto m = machines::make_gcel(31);
+  auto m = machines::make_machine({.platform = machines::Platform::GCel, .seed = 31});
   std::vector<int> hs{64, 1000};
   const auto unsync = run_hh_permutations(*m, hs, 4, /*barrier_every=*/0);
   const auto sync = run_hh_permutations(*m, hs, 4, /*barrier_every=*/256);
@@ -99,7 +99,7 @@ TEST(Sweeps, HhPermutationsDriftWithoutBarriers) {
 }
 
 TEST(Sweeps, ScatterCheaperThanFullRelationPerMessage) {
-  auto m = machines::make_gcel(32);
+  auto m = machines::make_machine({.platform = machines::Platform::GCel, .seed = 32});
   std::vector<int> hs{64, 256};
   const auto sc = run_multinode_scatter(*m, hs, 3);
   const auto fr = run_full_h_relations(*m, hs, 3, 4);
@@ -110,7 +110,7 @@ TEST(Sweeps, ScatterCheaperThanFullRelationPerMessage) {
 }
 
 TEST(Calibrate, RecoversTable1ShapeOnGcel) {
-  auto m = machines::make_gcel(33);
+  auto m = machines::make_machine({.platform = machines::Platform::GCel, .seed = 33});
   CalibrationOptions opts;
   opts.trials = 3;
   opts.fit_t_unb = false;
@@ -125,7 +125,7 @@ TEST(Calibrate, RecoversTable1ShapeOnGcel) {
 }
 
 TEST(Calibrate, RecoversTable1ShapeOnCm5) {
-  auto m = machines::make_cm5(34);
+  auto m = machines::make_machine({.platform = machines::Platform::CM5, .seed = 34});
   CalibrationOptions opts;
   opts.trials = 3;
   opts.fit_t_unb = false;
@@ -138,7 +138,7 @@ TEST(Calibrate, RecoversTable1ShapeOnCm5) {
 }
 
 TEST(Calibrate, MasParTUnbShape) {
-  auto m = machines::make_maspar(35);
+  auto m = machines::make_machine({.platform = machines::Platform::MasPar, .seed = 35});
   std::vector<int> actives{8, 32, 128, 512, 1024};
   const auto sweep = run_partial_permutations(*m, actives, 5);
   const auto t = fit_t_unb(sweep);

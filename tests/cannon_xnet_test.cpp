@@ -90,7 +90,7 @@ TEST(Cannon, BeatsTheRouterBasedMatmul) {
   // The extension's headline: locality pays on the MasPar, and no
   // router-based (BSP/BPRAM-expressible) variant can match it.
   auto mx = machines::make_maspar_xnet(8, 1024);
-  auto mr = machines::make_maspar(8, 1024);
+  auto mr = machines::make_machine({.platform = machines::Platform::MasPar, .procs = 1024, .seed = 8});
   const int n = 320;  // divisible by 32 (cannon) and by q^2=100? no — only cannon
   const auto a = test::random_matrix<float>(n, 17);
   const auto b = test::random_matrix<float>(n, 18);

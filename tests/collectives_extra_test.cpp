@@ -36,7 +36,7 @@ TEST(TreeBroadcast, BeatsLinearForWideGroupsOnCheapBarrierMachines) {
   // On the CM-5 (cheap control-network barrier) a 64-member single-word
   // broadcast is root-bottlenecked when done linearly; the tree spreads the
   // sends over log2(64) = 6 rounds.
-  auto m = machines::make_cm5(33);
+  auto m = machines::make_machine({.platform = machines::Platform::CM5, .seed = 33});
   std::vector<int> group(static_cast<std::size_t>(m->procs()));
   std::iota(group.begin(), group.end(), 0);
 

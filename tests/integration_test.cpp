@@ -22,7 +22,7 @@ namespace {
 // Section 5.1 / Fig 3: the MP-BSP matmul prediction lands within ~20% on the
 // MasPar (the residual being the 1-1 relation overcharge).
 TEST(Reproduction, MasParMatmulPredictionWithinBand) {
-  auto m = machines::make_maspar(51);
+  auto m = machines::make_machine({.platform = machines::Platform::MasPar, .seed = 51});
   const int q = algos::matmul_q(*m);
   const int n = 200;
   const auto a = test::random_matrix<float>(n, 1);
@@ -37,7 +37,7 @@ TEST(Reproduction, MasParMatmulPredictionWithinBand) {
 
 // Section 5.2 / Fig 8: the MP-BPRAM matmul prediction is tight.
 TEST(Reproduction, MasParBpramMatmulPredictionTight) {
-  auto m = machines::make_maspar(52);
+  auto m = machines::make_machine({.platform = machines::Platform::MasPar, .seed = 52});
   const int q = algos::matmul_q(*m);
   const int n = 200;
   const auto a = test::random_matrix<float>(n, 3);
@@ -51,7 +51,7 @@ TEST(Reproduction, MasParBpramMatmulPredictionTight) {
 // Section 5.1 / Fig 4: unstaggered BSP matmul is measurably slower than
 // staggered on the CM-5, and staggered is near the prediction.
 TEST(Reproduction, Cm5StaggeringEffect) {
-  auto m = machines::make_cm5(53);
+  auto m = machines::make_machine({.platform = machines::Platform::CM5, .seed = 53});
   const int n = 256;
   const auto a = test::random_matrix<double>(n, 5);
   const auto b = test::random_matrix<double>(n, 6);
@@ -69,7 +69,7 @@ TEST(Reproduction, Cm5StaggeringEffect) {
 // Section 5.1 / Fig 5: on the MasPar the bitonic exchange pattern routes
 // conflict-free, so the MP-BSP model overestimates by roughly 2x.
 TEST(Reproduction, MasParBitonicModelOverestimates) {
-  auto m = machines::make_maspar(54);
+  auto m = machines::make_machine({.platform = machines::Platform::MasPar, .seed = 54});
   auto keys = test::random_keys(1024 * 16, 54);
   const auto r = algos::run_bitonic(*m, keys, algos::BitonicVariant::MpBsp);
   const auto pred =
@@ -82,7 +82,7 @@ TEST(Reproduction, MasParBitonicModelOverestimates) {
 // Section 5.1 / Fig 6: the synchronized GCel bitonic matches the BSP
 // prediction closely.
 TEST(Reproduction, GcelSynchronizedBitonicMatchesBsp) {
-  auto m = machines::make_gcel(55);
+  auto m = machines::make_machine({.platform = machines::Platform::GCel, .seed = 55});
   auto keys = test::random_keys(64 * 256, 55);
   const auto r =
       algos::run_bitonic(*m, keys, algos::BitonicVariant::BspSynchronized);
@@ -95,7 +95,7 @@ TEST(Reproduction, GcelSynchronizedBitonicMatchesBsp) {
 // coincides with the measurement when the prediction uses parameters
 // calibrated on the same machine (as the paper's did).
 TEST(Reproduction, GcelBpramBitonicPredictionTight) {
-  auto m = machines::make_gcel(56);
+  auto m = machines::make_machine({.platform = machines::Platform::GCel, .seed = 56});
   calibrate::CalibrationOptions opts;
   opts.trials = 3;
   opts.fit_t_unb = false;
@@ -112,7 +112,7 @@ TEST(Reproduction, GcelBpramBitonicPredictionTight) {
 // the E-BSP refinements land close.
 TEST(Reproduction, ApspUnbalancedCommunication) {
   {
-    auto m = machines::make_maspar(57);
+    auto m = machines::make_machine({.platform = machines::Platform::MasPar, .seed = 57});
     const int n = 256;  // M = 8 < 32
     const auto d0 = algos::ref::random_digraph(n, 0.05, 57);
     const auto r = algos::run_apsp(*m, d0, n, algos::ApspVariant::MpBsp);
@@ -124,7 +124,7 @@ TEST(Reproduction, ApspUnbalancedCommunication) {
               0.8 * std::abs(mp_bsp - r.time) / r.time);
   }
   {
-    auto m = machines::make_gcel(58);
+    auto m = machines::make_machine({.platform = machines::Platform::GCel, .seed = 58});
     const int n = 128;
     const auto d0 = algos::ref::random_digraph(n, 0.05, 58);
     const auto r = algos::run_apsp(*m, d0, n, algos::ApspVariant::Bsp);
@@ -138,7 +138,7 @@ TEST(Reproduction, ApspUnbalancedCommunication) {
 
 // Section 5.3 / Fig 15: on the CM-5 the plain BSP APSP prediction is fine.
 TEST(Reproduction, Cm5ApspBspAccurate) {
-  auto m = machines::make_cm5(59);
+  auto m = machines::make_machine({.platform = machines::Platform::CM5, .seed = 59});
   const int n = 128;
   const auto d0 = algos::ref::random_digraph(n, 0.05, 59);
   const auto r = algos::run_apsp(*m, d0, n, algos::ApspVariant::Bsp);
@@ -150,7 +150,7 @@ TEST(Reproduction, Cm5ApspBspAccurate) {
 // Section 7 / Fig 19: the vendor intrinsic beats the model-derived matmul on
 // the MasPar, by an acceptable margin.
 TEST(Reproduction, MasParVendorComparison) {
-  auto m = machines::make_maspar(60);
+  auto m = machines::make_machine({.platform = machines::Platform::MasPar, .seed = 60});
   const int n = 300;
   const auto a = test::random_matrix<float>(n, 7);
   const auto b = test::random_matrix<float>(n, 8);
@@ -162,7 +162,7 @@ TEST(Reproduction, MasParVendorComparison) {
 
 // Section 7 / Fig 20: the model-derived matmul crushes CMSSL on the CM-5.
 TEST(Reproduction, Cm5VendorComparison) {
-  auto m = machines::make_cm5(61);
+  auto m = machines::make_machine({.platform = machines::Platform::CM5, .seed = 61});
   const int n = 256;
   const auto a = test::random_matrix<double>(n, 9);
   const auto b = test::random_matrix<double>(n, 10);
@@ -174,7 +174,7 @@ TEST(Reproduction, Cm5VendorComparison) {
 
 // Table 1 shape recovery end to end on the MasPar (g, L band).
 TEST(Reproduction, MasParCalibrationBand) {
-  auto m = machines::make_maspar(62);
+  auto m = machines::make_machine({.platform = machines::Platform::MasPar, .seed = 62});
   calibrate::CalibrationOptions opts;
   opts.trials = 3;
   opts.fit_mscat = false;

@@ -34,7 +34,7 @@ TEST(LocalPermutation, FullyActiveCoversEveryone) {
 TEST(LocalPermutation, CheaperThanGlobalOnTheMasPar) {
   // The locality effect the delta network rewards: a row-local full
   // permutation routes conflict-free, a global one does not.
-  auto m = machines::make_maspar(3);
+  auto m = machines::make_machine({.platform = machines::Platform::MasPar, .seed = 3});
   std::vector<int> actives{1024};
   const auto local = run_local_permutations(*m, actives, 32, 6);
   const auto global = run_partial_permutations(*m, actives, 6);
@@ -42,7 +42,7 @@ TEST(LocalPermutation, CheaperThanGlobalOnTheMasPar) {
 }
 
 TEST(LocalPermutation, FitGrowsWithActivity) {
-  auto m = machines::make_maspar(4);
+  auto m = machines::make_machine({.platform = machines::Platform::MasPar, .seed = 4});
   std::vector<int> actives{64, 256, 1024};
   const auto sweep = run_local_permutations(*m, actives, 32, 4);
   const auto fit = fit_t_unb_local(sweep);
@@ -50,7 +50,7 @@ TEST(LocalPermutation, FitGrowsWithActivity) {
 }
 
 TEST(Calibrate, FitsLocalityCurveOnTheMasPar) {
-  auto m = machines::make_maspar(5);
+  auto m = machines::make_machine({.platform = machines::Platform::MasPar, .seed = 5});
   CalibrationOptions opts;
   opts.trials = 3;
   opts.fit_mscat = false;
@@ -63,7 +63,7 @@ TEST(Calibrate, FitsLocalityCurveOnTheMasPar) {
 }
 
 TEST(ApspEbspLocal, TightensTheFig12Prediction) {
-  auto m = machines::make_maspar(6);
+  auto m = machines::make_machine({.platform = machines::Platform::MasPar, .seed = 6});
   CalibrationOptions opts;
   opts.trials = 4;
   opts.fit_mscat = false;

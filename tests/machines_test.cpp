@@ -9,16 +9,16 @@ namespace pcm::machines {
 namespace {
 
 TEST(Machines, FactoriesMatchTable1Configurations) {
-  auto mp = make_maspar();
+  auto mp = make_machine({.platform = Platform::MasPar});
   EXPECT_EQ(mp->procs(), 1024);
   EXPECT_EQ(mp->word_bytes(), 4);
   EXPECT_EQ(mp->name(), "MasPar MP-1");
 
-  auto gc = make_gcel();
+  auto gc = make_machine({.platform = Platform::GCel});
   EXPECT_EQ(gc->procs(), 64);
   EXPECT_EQ(gc->word_bytes(), 4);
 
-  auto cm = make_cm5();
+  auto cm = make_machine({.platform = Platform::CM5});
   EXPECT_EQ(cm->procs(), 64);
   EXPECT_EQ(cm->word_bytes(), 8);
 }

@@ -80,7 +80,7 @@ TEST(Matmul, QAndRounding) {
 TEST(Matmul, StaggeringHelpsOnTheCm5) {
   // The Fig 4 effect: the unstaggered word schedule converges on single
   // destinations and must not be faster than the staggered one.
-  auto m = machines::make_cm5(5);
+  auto m = machines::make_machine({.platform = machines::Platform::CM5, .seed = 5});
   const int n = 64;
   const auto a = test::random_matrix<double>(n, 5);
   const auto b = test::random_matrix<double>(n, 6);
@@ -91,7 +91,7 @@ TEST(Matmul, StaggeringHelpsOnTheCm5) {
 
 TEST(Matmul, BlockTransfersBeatWordsOnTheGcel) {
   // g/(w*sigma) ~ 120 on the GCel: the MP-BPRAM version must win big.
-  auto m = machines::make_gcel(6);
+  auto m = machines::make_machine({.platform = machines::Platform::GCel, .seed = 6});
   const int n = 32;
   const auto a = test::random_matrix<double>(n, 7);
   const auto b = test::random_matrix<double>(n, 8);

@@ -26,8 +26,8 @@ class ParallelRadixP : public ::testing::TestWithParam<RadixCase> {};
 std::unique_ptr<machines::Machine> machine_for(const std::string& name) {
   if (name == "cm5") return test::small_cm5();
   if (name == "gcel") return test::small_gcel();
-  if (name == "gcel64") return machines::make_gcel(41);
-  if (name == "maspar") return machines::make_maspar(42);
+  if (name == "gcel64") return machines::make_machine({.platform = machines::Platform::GCel, .seed = 41});
+  if (name == "maspar") return machines::make_machine({.platform = machines::Platform::MasPar, .seed = 42});
   return test::small_cm5();
 }
 
@@ -74,7 +74,7 @@ TEST(ParallelRadix, CompetitiveWithBitonicOnGcelBlocks) {
   // Radix moves each key 4 times (once per pass); bitonic moves it 21 times
   // — with block transfers, radix should be in the same league or better
   // for large runs.
-  auto m = machines::make_gcel(44);
+  auto m = machines::make_machine({.platform = machines::Platform::GCel, .seed = 44});
   auto keys = test::random_keys(64 * 2048, 44);
   const auto radix = run_parallel_radix(*m, keys);
   const auto bitonic = run_bitonic(*m, keys, BitonicVariant::Bpram);

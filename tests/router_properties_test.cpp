@@ -27,10 +27,10 @@ void PrintTo(const PropCase& c, std::ostream* os) {
 
 std::unique_ptr<machines::Machine> machine_for(const std::string& name,
                                                std::uint64_t seed) {
-  if (name == "cm5") return machines::make_cm5(seed);
-  if (name == "gcel") return machines::make_gcel(seed);
-  if (name == "t800") return machines::make_t800(seed);
-  return machines::make_maspar(seed);
+  if (name == "cm5") return machines::make_machine({.platform = machines::Platform::CM5, .seed = seed});
+  if (name == "gcel") return machines::make_machine({.platform = machines::Platform::GCel, .seed = seed});
+  if (name == "t800") return machines::make_machine({.platform = machines::Platform::T800, .seed = seed});
+  return machines::make_machine({.platform = machines::Platform::MasPar, .seed = seed});
 }
 
 net::CommPattern make_shape(Shape s, sim::Rng& rng, int procs, int bytes) {
@@ -170,8 +170,8 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(T800Extension, LighterStackThanGcel) {
   // Native Parix vs HPVM: the same balanced h-relation must be much cheaper
   // on the T800 grid, and the block-gain indicator much smaller.
-  auto t800 = machines::make_t800(20);
-  auto gcel = machines::make_gcel(20);
+  auto t800 = machines::make_machine({.platform = machines::Platform::T800, .seed = 20});
+  auto gcel = machines::make_machine({.platform = machines::Platform::GCel, .seed = 20});
   sim::Rng rng(20);
   const auto pat = calibrate::full_h_relation(rng, 64, 8, 4);
   t800->exchange(pat);

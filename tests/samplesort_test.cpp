@@ -43,7 +43,7 @@ INSTANTIATE_TEST_SUITE_P(
                       SampleCase{SampleSortVariant::StaggeredPacked, 512, 16, 5}));
 
 TEST(SampleSort, WorksOnTheGcel) {
-  auto m = machines::make_gcel(21);
+  auto m = machines::make_machine({.platform = machines::Platform::GCel, .seed = 21});
   auto keys = test::random_keys(64 * 128, 21);
   auto want = keys;
   std::sort(want.begin(), want.end());
@@ -70,7 +70,7 @@ TEST(SampleSort, HandlesConstantInput) {
 }
 
 TEST(SampleSort, OversamplingBoundsBucketImbalance) {
-  auto m = machines::make_gcel(23);
+  auto m = machines::make_machine({.platform = machines::Platform::GCel, .seed = 23});
   auto keys = test::random_keys(64 * 512, 23);
   const auto low = run_samplesort(*m, keys, 4, SampleSortVariant::StaggeredPacked);
   const auto high = run_samplesort(*m, keys, 64, SampleSortVariant::StaggeredPacked);
@@ -84,7 +84,7 @@ TEST(SampleSort, OversamplingBoundsBucketImbalance) {
 TEST(SampleSort, StaggeredPackedBeatsSinglePortRouting) {
   // Fig 18: packing all keys for a bucket into one message (violating the
   // single-port restriction) is about twice as fast on the GCel.
-  auto m = machines::make_gcel(24);
+  auto m = machines::make_machine({.platform = machines::Platform::GCel, .seed = 24});
   auto keys = test::random_keys(64 * 1024, 24);
   const auto bpram = run_samplesort(*m, keys, 64, SampleSortVariant::Bpram);
   const auto packed =

@@ -14,17 +14,17 @@ namespace pcm::test {
 
 /// A 256-PE MasPar (16 clusters — same delta-router topology class).
 inline std::unique_ptr<machines::Machine> small_maspar(std::uint64_t seed = 11) {
-  return machines::make_maspar(seed, 256);
+  return machines::make_machine({.platform = machines::Platform::MasPar, .procs = 256, .seed = seed});
 }
 
 /// A 16-node GCel (4x4 mesh).
 inline std::unique_ptr<machines::Machine> small_gcel(std::uint64_t seed = 12) {
-  return machines::make_gcel(seed, 16);
+  return machines::make_machine({.platform = machines::Platform::GCel, .procs = 16, .seed = seed});
 }
 
 /// A 16-node CM-5.
 inline std::unique_ptr<machines::Machine> small_cm5(std::uint64_t seed = 13) {
-  return machines::make_cm5(seed, 16);
+  return machines::make_machine({.platform = machines::Platform::CM5, .procs = 16, .seed = seed});
 }
 
 inline std::vector<std::uint32_t> random_keys(std::size_t n,

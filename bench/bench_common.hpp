@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "core/registry.hpp"
 #include "core/series.hpp"
 #include "core/validation.hpp"
@@ -20,7 +21,8 @@
 // prediction with relative errors, an ASCII rendering of the figure, and —
 // when PCM_RESULTS_DIR is set — a CSV dump.
 //
-// Flags: --quick (smaller sweeps), --trials=K, --jobs=N, --seed=S. Sweeps
+// Flags: --quick (smaller sweeps), --trials=K, --jobs=N, --seed=S, --audit
+// (run with the invariant auditor on; requires -DPCM_AUDIT=ON). Sweeps
 // run through the exec engine (exec/sweep.hpp): one fresh machine per
 // (x, trial) cell, seeded per cell, so output is bit-identical at any
 // --jobs value.
@@ -38,15 +40,20 @@ struct Env {
   int trials = 0;         ///< 0 = use the bench's default.
   int jobs = 1;           ///< Sweep workers; 0 = one per hardware thread.
   std::uint64_t seed = 0; ///< 0 = use the bench's default seed.
+  bool audit = false;     ///< Run with the invariant auditor enabled.
 };
 
 [[noreturn]] inline void usage(const char* argv0, const std::string& error) {
   if (!error.empty()) std::cerr << argv0 << ": " << error << "\n";
-  std::cerr << "usage: " << argv0 << " [--quick] [--trials=K] [--jobs=N] [--seed=S]\n"
+  std::cerr << "usage: " << argv0
+            << " [--quick] [--trials=K] [--jobs=N] [--seed=S] [--audit]\n"
             << "  --quick      run a smaller sweep\n"
             << "  --trials=K   trials per data point (K > 0)\n"
             << "  --jobs=N     parallel sweep workers; 0 = all hardware threads\n"
-            << "  --seed=S     base seed for the deterministic per-cell streams\n";
+            << "  --seed=S     base seed for the deterministic per-cell streams\n"
+            << "  --audit      check runtime invariants (packet conservation,\n"
+            << "               occupancy leaks, clock monotonicity) as the\n"
+            << "               sweep runs; needs a -DPCM_AUDIT=ON build\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -76,6 +83,13 @@ inline Env parse_env(int argc, char** argv) {
       env.seed = std::strtoull(arg.c_str() + 7, &end, 10);
       if (*end != '\0' || end == arg.c_str() + 7) {
         usage(argv[0], "--seed expects an unsigned integer, got '" + arg + "'");
+      }
+    } else if (arg == "--audit") {
+      env.audit = true;
+      if (!audit::set_enabled(true)) {
+        usage(argv[0],
+              "--audit requires a build with -DPCM_AUDIT=ON (the auditor was "
+              "compiled out)");
       }
     } else {
       usage(argv[0], "unknown flag '" + arg + "'");

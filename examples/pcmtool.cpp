@@ -18,6 +18,7 @@
 #include <string>
 
 #include "algos/apsp.hpp"
+#include "audit/audit.hpp"
 #include "algos/bitonic.hpp"
 #include "algos/matmul.hpp"
 #include "algos/reference.hpp"
@@ -99,7 +100,9 @@ int usage() {
          "  sort   <machine> [--keys-per-node= --algo= --variant= --breakdown]\n"
          "  apsp   <machine> [--n= --breakdown]\n"
          "machines: maspar, gcel, cm5, t800 — or a spec like "
-         "\"gcel:procs=16:seed=7\"\n";
+         "\"gcel:procs=16:seed=7\"\n"
+         "global flags: --audit  check runtime invariants while the command\n"
+         "                       runs (requires a -DPCM_AUDIT=ON build)\n";
   return 2;
 }
 
@@ -276,6 +279,11 @@ int cmd_apsp(machines::Machine& m, const Options& o) {
 
 int main(int argc, char** argv) {
   const auto o = parse(argc, argv);
+  if (o.has("audit") && !audit::set_enabled(true)) {
+    std::cerr << "pcmtool: --audit requires a build with -DPCM_AUDIT=ON (the "
+                 "auditor was compiled out)\n";
+    return 2;
+  }
   if (o.command == "list") return cmd_list();
   if (o.command == "params") return cmd_params();
 
@@ -283,9 +291,14 @@ int main(int argc, char** argv) {
   auto m = make_machine_named(o.machine, 2026);
   if (m == nullptr) return usage();
 
-  if (o.command == "calibrate") return cmd_calibrate(*m, o);
-  if (o.command == "matmul") return cmd_matmul(*m, o);
-  if (o.command == "sort") return cmd_sort(*m, o);
-  if (o.command == "apsp") return cmd_apsp(*m, o);
+  try {
+    if (o.command == "calibrate") return cmd_calibrate(*m, o);
+    if (o.command == "matmul") return cmd_matmul(*m, o);
+    if (o.command == "sort") return cmd_sort(*m, o);
+    if (o.command == "apsp") return cmd_apsp(*m, o);
+  } catch (const audit::AuditError& e) {
+    std::cerr << "pcmtool: " << e.what() << "\n";
+    return 3;
+  }
   return usage();
 }

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cmath>
+#include <map>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "audit/audit.hpp"
+#include "net/pattern.hpp"
+#include "sim/time.hpp"
+
+// Packet-conservation bookkeeping for the auditor. A communication step is
+// conserved when the multiset of (src, dst, bytes) injected into the router
+// equals what lands in the mailboxes: nothing dropped, nothing duplicated,
+// nothing re-addressed, no payload truncation. The per-endpoint byte totals
+// below are exactly that comparison (byte totals per ordered (src, dst)
+// pair distinguish every failure mode the routers could exhibit: a dropped
+// or duplicated parcel changes a total, a mis-delivery moves bytes between
+// keys, truncation shrinks one).
+//
+// std::map (ordered) rather than unordered on purpose: the auditor runs
+// inside the deterministic sweep engine and must not introduce
+// iteration-order dependence — the same rule pcm-lint enforces on the
+// simulators themselves.
+
+namespace pcm::audit {
+
+/// Ordered (src, dst) -> total payload bytes.
+using EndpointBytes = std::map<std::pair<int, int>, long>;
+
+/// Byte totals a CommPattern injects, keyed by (src, dst).
+inline EndpointBytes endpoint_bytes(const net::CommPattern& pattern) {
+  EndpointBytes out;
+  for (int p = 0; p < pattern.procs(); ++p) {
+    for (const auto& m : pattern.sends_of(p)) {
+      out[{m.src, m.dst}] += m.bytes;
+    }
+  }
+  return out;
+}
+
+/// Every message must carry a positive payload between valid processors,
+/// and sit in the send queue of its own source.
+inline void check_pattern_bounds(const net::CommPattern& pattern, int procs) {
+  for (int p = 0; p < pattern.procs(); ++p) {
+    for (const auto& m : pattern.sends_of(p)) {
+      if (m.src != p) {
+        fail("packet-conservation", "send-queue pe:" + std::to_string(p),
+             "queued message claims src=" + std::to_string(m.src));
+      }
+      if (m.dst < 0 || m.dst >= procs) {
+        fail("packet-conservation", "message src=" + std::to_string(m.src),
+             "destination " + std::to_string(m.dst) + " outside [0, " +
+                 std::to_string(procs) + ")");
+      }
+      if (m.bytes <= 0) {
+        fail("packet-conservation",
+             "message src=" + std::to_string(m.src) +
+                 " dst=" + std::to_string(m.dst),
+             "non-positive payload of " + std::to_string(m.bytes) + " bytes");
+      }
+    }
+  }
+  count_check();
+}
+
+/// Compare injected vs. delivered per-endpoint byte totals.
+inline void check_endpoints_conserved(const EndpointBytes& injected,
+                                      const EndpointBytes& delivered) {
+  auto describe = [](const std::pair<int, int>& key) {
+    return "channel src=" + std::to_string(key.first) +
+           " dst=" + std::to_string(key.second);
+  };
+  for (const auto& [key, bytes] : injected) {
+    const auto it = delivered.find(key);
+    const long got = it == delivered.end() ? 0 : it->second;
+    if (got != bytes) {
+      fail("packet-conservation", describe(key),
+           "injected " + std::to_string(bytes) + " bytes, delivered " +
+               std::to_string(got));
+    }
+  }
+  for (const auto& [key, bytes] : delivered) {
+    if (injected.find(key) == injected.end()) {
+      fail("packet-conservation", describe(key),
+           "delivered " + std::to_string(bytes) +
+               " bytes that were never injected");
+    }
+  }
+  count_check();
+}
+
+/// Router postcondition: every processor's finish time is finite and not
+/// before its start time (the simulated clock may never run backwards).
+inline void check_route_monotone(std::span<const sim::Micros> start,
+                                 std::span<const sim::Micros> finish) {
+  for (std::size_t p = 0; p < finish.size(); ++p) {
+    if (!std::isfinite(finish[p])) {
+      fail("clock-monotonicity", "pe:" + std::to_string(p),
+           "non-finite finish time");
+    }
+    if (finish[p] < start[p]) {
+      fail("clock-monotonicity", "pe:" + std::to_string(p),
+           "finish " + std::to_string(finish[p]) + " us precedes start " +
+               std::to_string(start[p]) + " us");
+    }
+  }
+  count_check();
+}
+
+}  // namespace pcm::audit

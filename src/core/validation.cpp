@@ -15,18 +15,22 @@ ModelErrors evaluate(const ValidationSeries& s, const std::string& model) {
   const auto* pred = s.prediction(model);
   if (pred == nullptr || s.points.empty()) return e;
   double sum = 0.0;
+  std::size_t counted = 0;
   for (std::size_t i = 0; i < s.points.size() && i < pred->ys.size(); ++i) {
     const double measured = s.points[i].measured.mean;
-    if (measured == 0.0) continue;
+    if (measured == 0.0) continue;  // relative error undefined at 0
     const double rel = (pred->ys[i] - measured) / measured;
     sum += std::abs(rel);
+    ++counted;
     if (std::abs(rel) > e.max_abs_rel) {
       e.max_abs_rel = std::abs(rel);
       e.worst_x = s.points[i].x;
       e.signed_at_worst = rel;
     }
   }
-  e.mean_abs_rel = sum / static_cast<double>(s.points.size());
+  // Average over the points that were actually comparable — skipped
+  // zero-measured points and a short prediction vector must not dilute it.
+  if (counted > 0) e.mean_abs_rel = sum / static_cast<double>(counted);
   return e;
 }
 

@@ -69,10 +69,16 @@ struct LocalCompute {
   [[nodiscard]] sim::Micros radix_sort_time(long n, int bits = 32) const;
 
   /// Merge producing n output keys.
-  [[nodiscard]] sim::Micros merge_time(long n) const { return merge_per_key * n; }
+  [[nodiscard]] sim::Micros merge_time(long n) const {
+    return merge_per_key * static_cast<double>(n);
+  }
 
-  [[nodiscard]] sim::Micros ops_time(long n) const { return op * n; }
-  [[nodiscard]] sim::Micros copy_time(long bytes) const { return mem_per_byte * bytes; }
+  [[nodiscard]] sim::Micros ops_time(long n) const {
+    return op * static_cast<double>(n);
+  }
+  [[nodiscard]] sim::Micros copy_time(long bytes) const {
+    return mem_per_byte * static_cast<double>(bytes);
+  }
 };
 
 /// The three platforms' coefficient sets (Section 3 / Section 4.1.1).

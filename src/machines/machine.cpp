@@ -1,12 +1,15 @@
 #include "machines/machine.hpp"
 
 #include <cassert>
+#include <cmath>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "audit/audit.hpp"
+#include "audit/conservation.hpp"
 #include "net/delta_router.hpp"
 #include "net/fat_tree.hpp"
 #include "net/mesh_router.hpp"
@@ -28,7 +31,39 @@ Machine::Machine(std::string name, int procs, LocalCompute compute,
   router_->new_trial(rng_);
 }
 
+void Machine::audit_fail(std::string invariant, std::string resource,
+                         std::string detail) const {
+  audit::AuditError e(std::move(invariant), std::move(resource),
+                      std::move(detail));
+  e.set_context(name_, superstep_);
+  throw e;
+}
+
+void Machine::annotate_audit_error() const {
+  try {
+    throw;
+  } catch (audit::AuditError& e) {
+    e.set_context(name_, superstep_);
+    throw;
+  }
+}
+
 void Machine::charge(int p, sim::Micros us) {
+  // Audit checks run before the asserts so a violation raises a structured
+  // AuditError in Debug builds too (instead of aborting).
+  if (audit::enabled()) {
+    if (p < 0 || p >= procs()) {
+      audit_fail("clock-monotonicity", "pe:" + std::to_string(p),
+                 "charge to processor outside [0, " + std::to_string(procs()) +
+                     ")");
+    }
+    if (!(us >= 0.0) || !std::isfinite(us)) {
+      audit_fail("clock-monotonicity", "pe:" + std::to_string(p),
+                 "negative or non-finite charge of " + std::to_string(us) +
+                     " us");
+    }
+    audit::count_check();
+  }
   assert(p >= 0 && p < procs());
   assert(us >= 0.0);
   clocks_.advance(p, us);
@@ -49,10 +84,26 @@ void Machine::charge_all(sim::Micros us) {
 }
 
 void Machine::exchange(const net::CommPattern& pattern) {
+  if (audit::enabled() && pattern.procs() != procs()) {
+    audit_fail("packet-conservation", "pattern",
+               "pattern built for " + std::to_string(pattern.procs()) +
+                   " processors on a " + std::to_string(procs()) +
+                   "-processor machine");
+  }
   assert(pattern.procs() == procs());
   if (pattern.empty()) return;
   const sim::Micros before = now();
-  router_->route(pattern, clocks_.raw(), finish_, rng_);
+  if (audit::enabled()) {
+    try {
+      audit::check_pattern_bounds(pattern, procs());
+      router_->route(pattern, clocks_.raw(), finish_, rng_);
+      audit::check_route_monotone(clocks_.raw(), finish_);
+    } catch (const audit::AuditError&) {
+      annotate_audit_error();
+    }
+  } else {
+    router_->route(pattern, clocks_.raw(), finish_, rng_);
+  }
   for (int p = 0; p < procs(); ++p) clocks_.ref(p) = finish_[static_cast<std::size_t>(p)];
   if (trace_.enabled()) {
     trace_.record({sim::PhaseKind::Communicate, "", before, now() - before,
@@ -64,16 +115,39 @@ void Machine::barrier() {
   const sim::Micros before = now();
   clocks_.barrier(barrier_cost_);
   router_->drain(now());
+  if (audit::enabled()) {
+    // Superstep boundary: every PE must sit on the same finite instant and
+    // the network must be quiescent (no circuit, link, port or queue
+    // occupancy may leak past a barrier).
+    const sim::Micros t = now();
+    if (!std::isfinite(t)) {
+      audit_fail("barrier-matching", "clockset", "non-finite barrier time");
+    }
+    for (int p = 0; p < procs(); ++p) {
+      if (clocks_.at(p) != t) {
+        audit_fail("barrier-matching", "pe:" + std::to_string(p),
+                   "clock at " + std::to_string(clocks_.at(p)) +
+                       " us after a barrier to " + std::to_string(t) + " us");
+      }
+    }
+    if (std::string leak = router_->audit_leak_report(t); !leak.empty()) {
+      audit_fail("occupancy-leak", leak,
+                 "router resource busy past the superstep boundary");
+    }
+    audit::count_check();
+  }
   if (trace_.enabled()) {
     trace_.record(
         {sim::PhaseKind::Barrier, "", before, now() - before, 0, 0});
   }
+  ++superstep_;
 }
 
 void Machine::reset() {
   clocks_.reset();
   router_->reset();
   router_->new_trial(rng_);
+  superstep_ = 0;
 }
 
 void Machine::reseed(std::uint64_t seed) {

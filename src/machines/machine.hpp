@@ -62,6 +62,10 @@ class Machine {
   [[nodiscard]] sim::Micros now(int p) const { return clocks_.at(p); }
   [[nodiscard]] const sim::ClockSet& clocks() const { return clocks_; }
 
+  /// Index of the current superstep (barriers completed since reset).
+  /// The invariant auditor uses it to locate violations in a run.
+  [[nodiscard]] long superstep() const { return superstep_; }
+
   /// Start a fresh measurement: clocks to zero, network drained and
   /// re-randomised (per-trial biases redrawn). The RNG stream continues, so
   /// successive trials differ but the whole sequence is seed-deterministic.
@@ -85,7 +89,16 @@ class Machine {
   sim::Micros barrier_cost_;
   sim::Rng rng_;
   sim::Trace trace_;
+  long superstep_ = 0;
   std::vector<sim::Micros> finish_;  // scratch
+
+  /// Throw an audit::AuditError annotated with this machine and the
+  /// current superstep.
+  [[noreturn]] void audit_fail(std::string invariant, std::string resource,
+                               std::string detail) const;
+  /// Rethrow a pending audit::AuditError (e.g. raised inside the router)
+  /// after annotating it with this machine and the current superstep.
+  [[noreturn]] void annotate_audit_error() const;
 };
 
 enum class Platform { MasPar, GCel, CM5, T800 };
@@ -130,21 +143,25 @@ std::unique_ptr<Machine> build_cm5(std::uint64_t seed, int procs);
 std::unique_ptr<Machine> build_t800(std::uint64_t seed, int procs);
 }  // namespace detail
 
-// [[deprecated]] Legacy per-platform factories, kept as thin wrappers over
+// Legacy per-platform factories, kept as thin wrappers over
 // make_machine(MachineSpec). New code should construct a MachineSpec — it
 // is copyable, comparable and serialisable, which the engine needs.
+[[deprecated("use make_machine(MachineSpec)")]]
 inline std::unique_ptr<Machine> make_maspar(std::uint64_t seed = 42,
                                             int procs = 1024) {
   return make_machine({.platform = Platform::MasPar, .procs = procs, .seed = seed});
 }
+[[deprecated("use make_machine(MachineSpec)")]]
 inline std::unique_ptr<Machine> make_gcel(std::uint64_t seed = 42, int procs = 64) {
   return make_machine({.platform = Platform::GCel, .procs = procs, .seed = seed});
 }
+[[deprecated("use make_machine(MachineSpec)")]]
 inline std::unique_ptr<Machine> make_cm5(std::uint64_t seed = 42, int procs = 64) {
   return make_machine({.platform = Platform::CM5, .procs = procs, .seed = seed});
 }
-// [[deprecated]] The T800/Parix platform of the authors' earlier study [15]
+// The T800/Parix platform of the authors' earlier study [15]
 // (estimated parameters — exploration, not reproduction; see t800.cpp).
+[[deprecated("use make_machine(MachineSpec)")]]
 inline std::unique_ptr<Machine> make_t800(std::uint64_t seed = 42, int procs = 64) {
   return make_machine({.platform = Platform::T800, .procs = procs, .seed = seed});
 }

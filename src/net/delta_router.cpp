@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <string>
+
+#include "audit/audit.hpp"
 
 namespace pcm::net {
 
@@ -57,7 +60,9 @@ DeltaRouter::StepCost DeltaRouter::simulate(const CommPattern& pattern) const {
   std::vector<int> link_used(static_cast<std::size_t>(stages_ * clusters_), -1);
   std::vector<int> dest_used(static_cast<std::size_t>(clusters_), -1);
 
+  const bool auditing = audit::enabled();
   std::size_t remaining = pattern.size();
+  std::size_t delivered = 0;
   int wave = 0;
   while (remaining > 0) {
     int wave_max_bytes = 0;
@@ -68,6 +73,13 @@ DeltaRouter::StepCost DeltaRouter::simulate(const CommPattern& pattern) const {
       if (q.empty()) continue;
       const Message& m = q.front();
       const int dst_cl = m.dst / params_.cluster_size;
+      if (auditing && m.src / params_.cluster_size != cl) {
+        audit::fail("packet-conservation",
+                    "cluster-channel " + std::to_string(cl),
+                    "queued message from pe " + std::to_string(m.src) +
+                        " belongs to channel " +
+                        std::to_string(m.src / params_.cluster_size));
+      }
 
       if (dest_used[static_cast<std::size_t>(dst_cl)] == wave) continue;
       bool free = true;
@@ -90,11 +102,25 @@ DeltaRouter::StepCost DeltaRouter::simulate(const CommPattern& pattern) const {
       wave_max_bytes = std::max(wave_max_bytes, m.bytes);
       q.pop_front();
       --remaining;
+      ++delivered;
     }
     // The first cluster probed always succeeds, so progress is guaranteed.
     assert(wave_max_bytes > 0);
+    if (auditing && wave_max_bytes <= 0) {
+      audit::fail("occupancy-leak", "wave " + std::to_string(wave),
+                  "no circuit could be established: a link or destination "
+                  "channel is still claimed from an earlier wave");
+    }
     cost.duration += params_.t_circuit + params_.t_byte * wave_max_bytes;
     ++wave;
+  }
+  if (auditing) {
+    if (delivered != pattern.size()) {
+      audit::fail("packet-conservation", "delta-network",
+                  "routed " + std::to_string(delivered) + " of " +
+                      std::to_string(pattern.size()) + " injected messages");
+    }
+    audit::count_check();
   }
   cost.waves = wave;
   cost.duration += params_.t_setup;
@@ -103,11 +129,10 @@ DeltaRouter::StepCost DeltaRouter::simulate(const CommPattern& pattern) const {
 
 sim::Micros DeltaRouter::step_duration(const CommPattern& pattern) {
   const std::uint64_t key = pattern.hash();
-  if (auto it = memo_.find(key); it != memo_.end()) return it->second.duration;
-  const StepCost c = simulate(pattern);
   if (memo_.size() >= 16384) memo_.clear();
-  memo_.emplace(key, c);
-  return c.duration;
+  const auto [it, inserted] = memo_.try_emplace(key);
+  if (inserted) it->second = simulate(pattern);
+  return it->second.duration;
 }
 
 int DeltaRouter::wave_count(const CommPattern& pattern) const {

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <queue>
+#include <string>
+
+#include "audit/audit.hpp"
 
 namespace pcm::net {
 
@@ -60,9 +63,11 @@ void FatTree::route(const CommPattern& pattern,
     }
   }
 
+  std::size_t processed = 0;
   while (!pq.empty()) {
     const auto [t, src] = pq.top();
     pq.pop();
+    ++processed;
     auto& cur = cursor[static_cast<std::size_t>(src)];
     const auto sends = pattern.sends_of(src);
     const Message& m = sends[cur.idx];
@@ -113,6 +118,25 @@ void FatTree::route(const CommPattern& pattern,
     ++cur.idx;
     if (cur.idx < sends.size()) pq.emplace(cpu, src);
   }
+  if (audit::enabled()) {
+    // The event loop must inject every message exactly once; a scheduling
+    // bug (missed re-enqueue, duplicate cursor advance) breaks conservation.
+    if (processed != pattern.size()) {
+      audit::fail("packet-conservation", "fat-tree",
+                  "injected " + std::to_string(processed) + " of " +
+                      std::to_string(pattern.size()) + " messages");
+    }
+    for (int p = 0; p < P; ++p) {
+      const auto sends = pattern.sends_of(p);
+      if (cursor[static_cast<std::size_t>(p)].idx != sends.size()) {
+        audit::fail("packet-conservation", "node " + std::to_string(p),
+                    "send queue stopped at message " +
+                        std::to_string(cursor[static_cast<std::size_t>(p)].idx) +
+                        " of " + std::to_string(sends.size()));
+      }
+    }
+    audit::count_check();
+  }
 
   for (int p = 0; p < P; ++p) {
     const bool sent = !pattern.sends_of(p).empty();
@@ -145,6 +169,36 @@ void FatTree::reset() {
     std::fill(q.per_sender.begin(), q.per_sender.end(), 0);
     q.distinct = 0;
   }
+}
+
+std::string FatTree::audit_leak_report(sim::Micros t) const {
+  for (std::size_t p = 0; p < cpu_free_.size(); ++p) {
+    if (cpu_free_[p] != t) {
+      return "node " + std::to_string(p) + " cpu busy until " +
+             std::to_string(cpu_free_[p]) + " us at barrier " +
+             std::to_string(t) + " us";
+    }
+  }
+  for (std::size_t p = 0; p < port_free_.size(); ++p) {
+    if (port_free_[p] > t) {
+      return "ejection port " + std::to_string(p) + " held until " +
+             std::to_string(port_free_[p]) + " us past barrier " +
+             std::to_string(t) + " us";
+    }
+  }
+  for (std::size_t p = 0; p < queues_.size(); ++p) {
+    const auto& q = queues_[p];
+    const bool dirty =
+        !q.entries.empty() || q.distinct != 0 ||
+        std::any_of(q.per_sender.begin(), q.per_sender.end(),
+                    [](int c) { return c != 0; });
+    if (dirty) {
+      return "ejection queue " + std::to_string(p) + " still holds " +
+             std::to_string(q.entries.size()) + " entries (" +
+             std::to_string(q.distinct) + " distinct senders) at barrier";
+    }
+  }
+  return {};
 }
 
 }  // namespace pcm::net

@@ -64,6 +64,7 @@ class FatTree final : public Router {
 
   void drain(sim::Micros t) override;
   void reset() override;
+  [[nodiscard]] std::string audit_leak_report(sim::Micros t) const override;
 
   [[nodiscard]] const FatTreeParams& params() const { return params_; }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string>
+
+#include "audit/audit.hpp"
 
 namespace pcm::net {
 
@@ -128,6 +131,28 @@ void MeshRouter::route(const CommPattern& pattern,
     }
     arrivals_.push_back(Arrival{t, f.m.dst, f.m.bytes});
   }
+  if (audit::enabled()) {
+    // Transit conservation: every injected message must arrive at its
+    // destination node exactly once (the XY walk cannot drop or duplicate).
+    if (arrivals_.size() != pattern.size()) {
+      audit::fail("packet-conservation", "mesh",
+                  "transited " + std::to_string(arrivals_.size()) + " of " +
+                      std::to_string(pattern.size()) + " injected messages");
+    }
+    std::vector<int> arrived(static_cast<std::size_t>(P), 0);
+    for (const auto& a : arrivals_) ++arrived[static_cast<std::size_t>(a.dst)];
+    for (int p = 0; p < P; ++p) {
+      if (arrived[static_cast<std::size_t>(p)] !=
+          recv_counts[static_cast<std::size_t>(p)]) {
+        audit::fail("packet-conservation", "node " + std::to_string(p),
+                    "expected " +
+                        std::to_string(recv_counts[static_cast<std::size_t>(p)]) +
+                        " arrivals, saw " +
+                        std::to_string(arrived[static_cast<std::size_t>(p)]));
+      }
+    }
+    audit::count_check();
+  }
 
   // Phase 3: receivers process deliveries in arrival order on the same CPU
   // that issued their sends.
@@ -192,6 +217,24 @@ void MeshRouter::drain(sim::Micros t) {
 void MeshRouter::reset() {
   std::fill(cpu_free_.begin(), cpu_free_.end(), 0.0);
   std::fill(link_free_.begin(), link_free_.end(), 0.0);
+}
+
+std::string MeshRouter::audit_leak_report(sim::Micros t) const {
+  for (std::size_t p = 0; p < cpu_free_.size(); ++p) {
+    if (cpu_free_[p] != t) {
+      return "node " + std::to_string(p) + " cpu busy until " +
+             std::to_string(cpu_free_[p]) + " us at barrier " +
+             std::to_string(t) + " us";
+    }
+  }
+  for (std::size_t l = 0; l < link_free_.size(); ++l) {
+    if (link_free_[l] > t) {
+      return "link " + std::to_string(l) + " held until " +
+             std::to_string(link_free_[l]) + " us past barrier " +
+             std::to_string(t) + " us";
+    }
+  }
+  return {};
 }
 
 }  // namespace pcm::net

@@ -71,6 +71,7 @@ class MeshRouter final : public Router {
   void drain(sim::Micros t) override;
   void reset() override;
   void new_trial(sim::Rng& rng) override { redraw_biases(rng); }
+  [[nodiscard]] std::string audit_leak_report(sim::Micros t) const override;
 
   [[nodiscard]] const MeshRouterParams& params() const { return params_; }
 

@@ -111,7 +111,7 @@ std::uint64_t CommPattern::hash() const {
   };
   mix(static_cast<std::uint64_t>(procs_));
   for (const auto& q : by_sender_) {
-    mix(q.size());
+    mix(static_cast<std::uint64_t>(q.size()));
     for (const auto& m : q) {
       mix(static_cast<std::uint64_t>(m.src) << 40 |
           static_cast<std::uint64_t>(m.dst) << 16 |

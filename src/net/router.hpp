@@ -1,6 +1,7 @@
 #pragma once
 
 #include <span>
+#include <string>
 
 #include "net/pattern.hpp"
 #include "sim/rng.hpp"
@@ -43,6 +44,16 @@ class Router {
   /// Begin a new measurement trial: redraw any per-run randomness (e.g. the
   /// GCel per-node speed biases). Default: nothing to redraw.
   virtual void new_trial(sim::Rng& rng) { (void)rng; }
+
+  /// Audit hook (pcm::audit): called by the machine's barrier *after*
+  /// drain(t). Returns a description of any internal resource that is not
+  /// quiescent at time `t` — a link or port still claimed beyond the
+  /// barrier, a non-empty receive queue — or an empty string when clean.
+  /// Stateless routers are clean by construction.
+  [[nodiscard]] virtual std::string audit_leak_report(sim::Micros t) const {
+    (void)t;
+    return {};
+  }
 
  protected:
   explicit Router(int procs) : procs_(procs) {}

@@ -2,6 +2,9 @@
 
 #include <cassert>
 #include <cmath>
+#include <string>
+
+#include "audit/audit.hpp"
 
 namespace pcm::net {
 
@@ -12,9 +15,25 @@ XNet::XNet(int procs, XNetParams params) : procs_(procs), params_(params) {
 sim::Micros XNet::shift_cost(int distance, int bytes) const {
   assert(distance >= 0);
   assert(bytes >= 0);
+  if (audit::enabled() && (distance < 0 || bytes < 0)) {
+    audit::fail("clock-monotonicity", "xnet",
+                "shift of distance " + std::to_string(distance) + ", " +
+                    std::to_string(bytes) + " bytes requested");
+  }
   if (distance == 0 || bytes == 0) return 0.0;
-  return params_.t_setup + params_.t_hop * distance +
-         params_.t_bitplane * 8.0 * static_cast<double>(bytes) * distance;
+  const sim::Micros cost =
+      params_.t_setup + params_.t_hop * distance +
+      params_.t_bitplane * 8.0 * static_cast<double>(bytes) * distance;
+  if (audit::enabled()) {
+    if (!std::isfinite(cost) || cost < 0.0) {
+      audit::fail("clock-monotonicity", "xnet",
+                  "shift cost " + std::to_string(cost) + " us for distance " +
+                      std::to_string(distance) + ", " + std::to_string(bytes) +
+                      " bytes");
+    }
+    audit::count_check();
+  }
+  return cost;
 }
 
 sim::Micros XNet::offset_cost(int dx, int dy, int bytes) const {

@@ -1,12 +1,12 @@
 #pragma once
 
-#include <cassert>
 #include <cmath>
 #include <vector>
 
 #include "runtime/dist.hpp"
 #include "runtime/exchange.hpp"
 #include "runtime/grid.hpp"
+#include "sim/check.hpp"
 
 // The communication primitives the paper's algorithms are built from:
 //
@@ -54,7 +54,7 @@ std::vector<T> two_phase_broadcast(machines::Machine& m, int root,
                                    const std::vector<T>& data,
                                    TransferMode mode) {
   const int g = static_cast<int>(group.size());
-  assert(g > 0);
+  PCM_CHECK(g > 0);
   BlockDist dist{static_cast<long>(data.size()), g};
 
   // Superstep 1: scatter chunks across the group.
@@ -94,12 +94,12 @@ std::vector<std::vector<T>> multiscan(machines::Machine& m,
                                       const std::vector<std::vector<T>>& counts,
                                       TransferMode mode) {
   const int P = m.procs();
-  assert(static_cast<int>(counts.size()) == P);
+  PCM_CHECK(static_cast<int>(counts.size()) == P);
 
   // Superstep 1: transpose — processor p sends counts[p][b] to processor b.
   Exchange<T> ex1(m, mode);
   for (int p = 0; p < P; ++p) {
-    assert(static_cast<int>(counts[static_cast<std::size_t>(p)].size()) == P);
+    PCM_CHECK(static_cast<int>(counts[static_cast<std::size_t>(p)].size()) == P);
     for (int d = 0; d < P; ++d) {
       const int b = (p + d) % P;  // staggered
       ex1.send_value(p, b, counts[static_cast<std::size_t>(p)][static_cast<std::size_t>(b)], p);
@@ -154,10 +154,10 @@ template <typename T>
 std::vector<std::vector<T>> bpram_transpose(
     machines::Machine& m, const std::vector<std::vector<T>>& rows) {
   const int P = m.procs();
-  assert(static_cast<int>(rows.size()) == P);
+  PCM_CHECK(static_cast<int>(rows.size()) == P);
   const Grid2 grid = Grid2::fit(P);
   const int s = grid.side;
-  assert(s * s == P && "bpram_transpose needs a perfect-square P");
+  PCM_CHECK(s * s == P && "bpram_transpose needs a perfect-square P");
 
   // Phase 1: row owner p = (a, pl) sends its segment for column block b to
   // the transposer u = (a, b), staggered over b.
@@ -171,7 +171,7 @@ std::vector<std::vector<T>> bpram_transpose(
       const int b = (pl + t) % s;
       const int u = a * s + b;
       const auto& row = rows[static_cast<std::size_t>(p)];
-      assert(static_cast<int>(row.size()) == P);
+      PCM_CHECK(static_cast<int>(row.size()) == P);
       std::vector<T> seg(row.begin() + b * s, row.begin() + (b + 1) * s);
       if (u == p) {
         for (int c = 0; c < s; ++c)
@@ -256,10 +256,10 @@ template <typename T>
 std::vector<std::vector<T>> bpram_allgather_one(machines::Machine& m,
                                                 const std::vector<T>& value) {
   const int P = m.procs();
-  assert(static_cast<int>(value.size()) == P);
+  PCM_CHECK(static_cast<int>(value.size()) == P);
   const Grid2 grid = Grid2::fit(P);
   const int s = grid.side;
-  assert(s * s == P && "bpram_allgather_one needs a perfect-square P");
+  PCM_CHECK(s * s == P && "bpram_allgather_one needs a perfect-square P");
 
   // Phase 1: sqrt(P) single-port steps. In step t, processor c = (cb, cl)
   // sends s copies of its value to the submatrix transposer u = (a, cb)
@@ -328,7 +328,7 @@ std::vector<T> tree_broadcast(machines::Machine& m, int root,
                               const std::vector<int>& group,
                               const std::vector<T>& data, TransferMode mode) {
   const int g = static_cast<int>(group.size());
-  assert(g > 0);
+  PCM_CHECK(g > 0);
   // Rotate the group so the root sits at position 0.
   int root_pos = 0;
   for (int i = 0; i < g; ++i) {
@@ -356,7 +356,7 @@ template <typename T, typename Op>
 T tree_reduce(machines::Machine& m, int root, const std::vector<int>& group,
               const std::vector<T>& contribution, Op op, TransferMode mode) {
   const int g = static_cast<int>(group.size());
-  assert(static_cast<int>(contribution.size()) == g &&
+  PCM_CHECK(static_cast<int>(contribution.size()) == g &&
          "one contribution per group member, indexed by group position");
   int root_pos = 0;
   for (int i = 0; i < g; ++i) {
@@ -400,7 +400,7 @@ template <typename T>
 std::vector<T> prefix_scan(machines::Machine& m, const std::vector<T>& value,
                            TransferMode mode) {
   const int P = m.procs();
-  assert(static_cast<int>(value.size()) == P);
+  PCM_CHECK(static_cast<int>(value.size()) == P);
   std::vector<T> incl = value;
   for (int d = 1; d < P; d <<= 1) {
     Exchange<T> ex(m, mode);

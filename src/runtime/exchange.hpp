@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "audit/conservation.hpp"
 #include "machines/machine.hpp"
 #include "net/pattern.hpp"
 #include "runtime/mailbox.hpp"
@@ -53,6 +54,13 @@ class Exchange {
   /// Execute the communication step on the machine and deliver payloads.
   /// The Exchange is reusable afterwards (cleared).
   Mailbox<T> run() {
+    // Under --audit: snapshot the injected per-endpoint byte totals before
+    // the pattern is consumed, and require the mailbox to account for every
+    // one of them afterwards (each parcel delivered exactly once, to the
+    // right destination, payload bytes conserved).
+    const bool auditing = audit::enabled();
+    audit::EndpointBytes injected;
+    if (auditing) injected = audit::endpoint_bytes(pattern_);
     machine_.exchange(pattern_);
     Mailbox<T> box(machine_.procs());
     for (auto& s : staged_) {
@@ -60,6 +68,16 @@ class Exchange {
     }
     staged_.clear();
     pattern_.clear();
+    if (auditing) {
+      audit::EndpointBytes delivered;
+      for (int p = 0; p < box.procs(); ++p) {
+        for (const auto& parcel : box.at(p)) {
+          delivered[{parcel.src, p}] +=
+              static_cast<long>(parcel.data.size() * sizeof(T));
+        }
+      }
+      audit::check_endpoints_conserved(injected, delivered);
+    }
     return box;
   }
 

@@ -1,9 +1,10 @@
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "sim/check.hpp"
 
 // Delivered data. An Exchange produces a Mailbox: per destination processor,
 // the parcels it received in a deterministic order (sender id, then send
@@ -27,17 +28,17 @@ class Mailbox {
   [[nodiscard]] int procs() const { return static_cast<int>(by_proc_.size()); }
 
   void deliver(int dst, Parcel<T> parcel) {
-    assert(dst >= 0 && dst < procs());
+    PCM_CHECK(dst >= 0 && dst < procs());
     by_proc_[static_cast<std::size_t>(dst)].push_back(std::move(parcel));
   }
 
   /// All parcels received by processor p, ordered by (src, send order).
   [[nodiscard]] std::span<const Parcel<T>> at(int p) const {
-    assert(p >= 0 && p < procs());
+    PCM_CHECK(p >= 0 && p < procs());
     return by_proc_[static_cast<std::size_t>(p)];
   }
   [[nodiscard]] std::span<Parcel<T>> at(int p) {
-    assert(p >= 0 && p < procs());
+    PCM_CHECK(p >= 0 && p < procs());
     return by_proc_[static_cast<std::size_t>(p)];
   }
 

@@ -1,10 +1,10 @@
 #pragma once
 
 #include <algorithm>
-#include <cassert>
 #include <vector>
 
 #include "runtime/exchange.hpp"
+#include "sim/check.hpp"
 
 // A Split-C-flavoured global address space (Culler et al. [10]) — the
 // programming layer the paper's CM-5 implementations were written in. The
@@ -37,7 +37,7 @@ class GlobalArray {
 
   [[nodiscard]] long size() const { return size_; }
   [[nodiscard]] int owner(long i) const {
-    assert(i >= 0 && i < size_);
+    PCM_CHECK(i >= 0 && i < size_);
     return static_cast<int>(i % m_.procs());
   }
   [[nodiscard]] long slot(long i) const { return i / m_.procs(); }

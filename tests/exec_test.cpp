@@ -101,7 +101,11 @@ TEST(MachineSpec, FactoryHonoursSpec) {
   EXPECT_EQ(m->name(), "Parsytec GCel");
   EXPECT_EQ(m->procs(), 16);
   // The legacy wrappers agree with the spec factory (they are wrappers).
+  // This test deliberately exercises the deprecated API.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   auto legacy = machines::make_gcel(3, 16);
+#pragma GCC diagnostic pop
   EXPECT_EQ(legacy->name(), m->name());
   EXPECT_EQ(legacy->procs(), m->procs());
 }

@@ -1,0 +1,94 @@
+#include "core/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+// evaluate()/evaluate_all() on degenerate series: zero-measured points,
+// single points, missing or short prediction vectors. The mean must be
+// taken over the points that were actually comparable.
+
+namespace pcm::core {
+namespace {
+
+ValidationSeries series(std::vector<double> measured,
+                        std::vector<double> predicted) {
+  ValidationSeries s;
+  s.experiment = "test";
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    MeasuredPoint pt;
+    pt.x = static_cast<double>(i + 1);
+    pt.measured.mean = measured[i];
+    s.points.push_back(pt);
+  }
+  s.predictions.push_back({"M", std::move(predicted)});
+  return s;
+}
+
+TEST(Evaluate, SimpleRelativeErrors) {
+  const auto s = series({100.0, 200.0}, {110.0, 180.0});
+  const auto e = evaluate(s, "M");
+  EXPECT_NEAR(e.mean_abs_rel, (0.1 + 0.1) / 2.0, 1e-12);
+  EXPECT_NEAR(e.max_abs_rel, 0.1, 1e-12);
+}
+
+TEST(Evaluate, SinglePoint) {
+  const auto s = series({50.0}, {60.0});
+  const auto e = evaluate(s, "M");
+  EXPECT_NEAR(e.mean_abs_rel, 0.2, 1e-12);
+  EXPECT_NEAR(e.max_abs_rel, 0.2, 1e-12);
+  EXPECT_EQ(e.worst_x, 1.0);
+  EXPECT_NEAR(e.signed_at_worst, 0.2, 1e-12);
+}
+
+TEST(Evaluate, ZeroMeasuredPointsAreSkippedNotAveragedIn) {
+  // Relative error is undefined where the measured mean is 0; those points
+  // must neither crash (division by zero) nor dilute the mean.
+  const auto s = series({0.0, 100.0, 0.0}, {5.0, 150.0, 7.0});
+  const auto e = evaluate(s, "M");
+  EXPECT_NEAR(e.mean_abs_rel, 0.5, 1e-12);  // only the middle point counts
+  EXPECT_NEAR(e.max_abs_rel, 0.5, 1e-12);
+  EXPECT_EQ(e.worst_x, 2.0);
+}
+
+TEST(Evaluate, AllZeroMeasuredYieldsZeroErrors) {
+  const auto s = series({0.0, 0.0}, {5.0, 7.0});
+  const auto e = evaluate(s, "M");
+  EXPECT_EQ(e.mean_abs_rel, 0.0);
+  EXPECT_EQ(e.max_abs_rel, 0.0);
+}
+
+TEST(Evaluate, UnknownModelAndEmptySeries) {
+  const auto s = series({100.0}, {110.0});
+  const auto missing = evaluate(s, "no-such-model");
+  EXPECT_EQ(missing.model, "no-such-model");
+  EXPECT_EQ(missing.mean_abs_rel, 0.0);
+
+  ValidationSeries empty;
+  empty.predictions.push_back({"M", {}});
+  const auto e = evaluate(empty, "M");
+  EXPECT_EQ(e.mean_abs_rel, 0.0);
+  EXPECT_EQ(e.max_abs_rel, 0.0);
+}
+
+TEST(Evaluate, ShortPredictionVectorAveragesOverComparedPoints) {
+  // Prediction covers only the first 2 of 4 points: the mean is over those
+  // 2, not diluted by the uncompared tail.
+  const auto s = series({100.0, 100.0, 100.0, 100.0}, {120.0, 80.0});
+  const auto e = evaluate(s, "M");
+  EXPECT_NEAR(e.mean_abs_rel, 0.2, 1e-12);
+}
+
+TEST(EvaluateAll, OnePerPrediction) {
+  auto s = series({100.0}, {110.0});
+  s.predictions.push_back({"N", {90.0}});
+  const auto all = evaluate_all(s);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].model, "M");
+  EXPECT_EQ(all[1].model, "N");
+  EXPECT_NEAR(all[1].mean_abs_rel, 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace pcm::core

@@ -1,0 +1,369 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace pcm::lint {
+
+namespace {
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Split into lines without the trailing newline.
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : s) {
+    if (c == '\n') {
+      lines.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  lines.push_back(std::move(cur));
+  return lines;
+}
+
+/// Rules suppressed per line (`pcm-lint:allow(rule)`) and per file
+/// (`pcm-lint:allow-file(rule)`). Scanned on the raw source, because the
+/// markers live in comments that stripping removes.
+struct Suppressions {
+  std::set<std::pair<int, std::string>> line_rules;  // (1-based line, rule)
+  std::set<std::string> file_rules;
+
+  [[nodiscard]] bool allows(int line, const std::string& rule) const {
+    return file_rules.count(rule) > 0 ||
+           line_rules.count({line, rule}) > 0;
+  }
+};
+
+Suppressions scan_suppressions(const std::vector<std::string>& lines) {
+  Suppressions sup;
+  static const std::regex line_re(R"(pcm-lint:allow\(([a-z-]+)\))");
+  static const std::regex file_re(R"(pcm-lint:allow-file\(([a-z-]+)\))");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const int ln = static_cast<int>(i) + 1;
+    auto begin = std::sregex_iterator(lines[i].begin(), lines[i].end(), line_re);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      sup.line_rules.insert({ln, (*it)[1].str()});
+    }
+    begin = std::sregex_iterator(lines[i].begin(), lines[i].end(), file_re);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      sup.file_rules.insert((*it)[1].str());
+    }
+  }
+  return sup;
+}
+
+/// True when the match at `pos` is a standalone token (not the tail of a
+/// longer identifier).
+bool token_boundary_before(const std::string& line, std::size_t pos) {
+  return pos == 0 || !is_ident(line[pos - 1]);
+}
+
+// --- rule: wallclock -------------------------------------------------------
+
+const std::regex& wallclock_call_re() {
+  // Optional std:: prefix, then a wall-clock / libc-randomness function
+  // applied with '('. The preceding-character check (done by the caller)
+  // keeps ops_time( / static_assert(-style identifiers out.
+  static const std::regex re(
+      R"((?:std\s*::\s*)?(rand|srand|rand_r|drand48|lrand48|time|clock|gettimeofday|clock_gettime)\s*\()");
+  return re;
+}
+
+void check_wallclock(const std::string& rel_path,
+                     const std::vector<std::string>& lines,
+                     std::vector<Diagnostic>* out) {
+  static const std::regex device_re(R"(\brandom_device\b)");
+  static const std::regex now_re(R"(_clock\s*::\s*now\b)");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const int ln = static_cast<int>(i) + 1;
+    for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                        wallclock_call_re());
+         it != std::sregex_iterator(); ++it) {
+      const auto pos = static_cast<std::size_t>(it->position(0));
+      if (!token_boundary_before(line, pos)) continue;
+      // Member access (obj.time(...)) is somebody's accessor, not libc.
+      if (pos > 0 && (line[pos - 1] == '.' ||
+                      (pos > 1 && line[pos - 1] == '>' && line[pos - 2] == '-')))
+        continue;
+      out->push_back(
+          {rel_path, ln, "wallclock",
+           "call to '" + (*it)[1].str() +
+               "' reads host state; all randomness/time must come from the "
+               "seeded sim::Rng / simulated clocks (allowed only in src/exec/)"});
+    }
+    if (std::regex_search(line, device_re)) {
+      out->push_back({rel_path, ln, "wallclock",
+                      "std::random_device is nondeterministic; seed a sim::Rng "
+                      "instead (allowed only in src/exec/)"});
+    }
+    if (std::regex_search(line, now_re)) {
+      out->push_back({rel_path, ln, "wallclock",
+                      "std::chrono ::now() reads the host clock; simulated "
+                      "time must come from the machine's clocks (allowed only "
+                      "in src/exec/)"});
+    }
+  }
+}
+
+// --- rule: unordered-iteration ---------------------------------------------
+
+void check_unordered_iteration(const std::string& rel_path,
+                               const std::vector<std::string>& lines,
+                               std::vector<Diagnostic>* out) {
+  // Pass 1: names declared (anywhere in this file) with an unordered type.
+  static const std::regex decl_re(
+      R"(unordered_(?:flat_)?(?:map|set|multimap|multiset)\s*<[^;{}=]*>\s+([A-Za-z_]\w*))");
+  std::set<std::string> names;
+  for (const auto& line : lines) {
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), decl_re);
+         it != std::sregex_iterator(); ++it) {
+      names.insert((*it)[1].str());
+    }
+  }
+  if (names.empty()) return;
+
+  // Pass 2: range-for over such a name, or explicit begin()/end() walks.
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const int ln = static_cast<int>(i) + 1;
+    for (const auto& name : names) {
+      const std::regex range_re(R"(for\s*\([^;)]*:\s*)" + name + R"(\s*\))");
+      const std::regex begin_re(
+          R"(\b)" + name + R"(\s*\.\s*(?:begin|end|cbegin|cend|rbegin|rend)\s*\()");
+      if (std::regex_search(line, range_re) ||
+          std::regex_search(line, begin_re)) {
+        out->push_back(
+            {rel_path, ln, "unordered-iteration",
+             "iterating '" + name +
+                 "' (declared std::unordered_*) — hash iteration order is "
+                 "implementation-defined and leaks into simulated timings; "
+                 "use an ordered container or sort the keys first"});
+      }
+    }
+  }
+}
+
+// --- rule: float-time ------------------------------------------------------
+
+void check_float_time(const std::string& rel_path,
+                      const std::vector<std::string>& lines,
+                      std::vector<Diagnostic>* out) {
+  static const std::regex float_re(R"(\bfloat\b)");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (std::regex_search(lines[i], float_re)) {
+      out->push_back({rel_path, static_cast<int>(i) + 1, "float-time",
+                      "'float' in the timing core — simulated time is "
+                      "sim::Micros (double); single-precision rounds "
+                      "differently across optimisation levels"});
+    }
+  }
+}
+
+// --- rule: assert-in-header ------------------------------------------------
+
+void check_assert_in_header(const std::string& rel_path,
+                            const std::vector<std::string>& lines,
+                            std::vector<Diagnostic>* out) {
+  static const std::regex assert_re(R"(assert\s*\()");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), assert_re);
+         it != std::sregex_iterator(); ++it) {
+      const auto pos = static_cast<std::size_t>(it->position(0));
+      if (!token_boundary_before(line, pos)) continue;  // static_assert( etc.
+      out->push_back({rel_path, static_cast<int>(i) + 1, "assert-in-header",
+                      "assert() in a header is stripped from Release bench "
+                      "builds by NDEBUG; use PCM_CHECK (sim/check.hpp)"});
+    }
+  }
+}
+
+}  // namespace
+
+std::string strip_comments_and_strings(const std::string& src) {
+  std::string out;
+  out.reserve(src.size());
+  enum class State { Code, LineComment, BlockComment, String, Char, Raw };
+  State state = State::Code;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  auto emit = [&](char c) { out.push_back(c == '\n' ? '\n' : c); };
+  auto blank = [&](char c) { out.push_back(c == '\n' ? '\n' : ' '); };
+
+  while (i < n) {
+    const char c = src[i];
+    const char next = (i + 1 < n) ? src[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          blank(c);
+          blank(next);
+          i += 2;
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          blank(c);
+          blank(next);
+          i += 2;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !is_ident(src[i - 1]))) {
+          // Raw string: R"delim( ... )delim"
+          std::size_t j = i + 2;
+          raw_delim.clear();
+          while (j < n && src[j] != '(') raw_delim.push_back(src[j++]);
+          for (std::size_t k = i; k < j && k < n; ++k) blank(src[k]);
+          if (j < n) blank(src[j]);  // the '('
+          i = j + 1;
+          state = State::Raw;
+        } else if (c == '"') {
+          state = State::String;
+          blank(c);
+          ++i;
+        } else if (c == '\'') {
+          state = State::Char;
+          blank(c);
+          ++i;
+        } else {
+          emit(c);
+          ++i;
+        }
+        break;
+      case State::LineComment:
+        if (c == '\n') state = State::Code;
+        blank(c);
+        ++i;
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          blank(c);
+          blank(next);
+          i += 2;
+          state = State::Code;
+        } else {
+          blank(c);
+          ++i;
+        }
+        break;
+      case State::String:
+        if (c == '\\' && i + 1 < n) {
+          blank(c);
+          blank(next);
+          i += 2;
+        } else {
+          if (c == '"') state = State::Code;
+          blank(c);
+          ++i;
+        }
+        break;
+      case State::Char:
+        if (c == '\\' && i + 1 < n) {
+          blank(c);
+          blank(next);
+          i += 2;
+        } else {
+          if (c == '\'') state = State::Code;
+          blank(c);
+          ++i;
+        }
+        break;
+      case State::Raw: {
+        const std::string close = ")" + raw_delim + "\"";
+        if (src.compare(i, close.size(), close) == 0) {
+          for (std::size_t k = 0; k < close.size(); ++k) blank(src[i + k]);
+          i += close.size();
+          state = State::Code;
+        } else {
+          blank(c);
+          ++i;
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> lint_file(const std::string& rel_path,
+                                  const std::string& contents) {
+  const auto raw_lines = split_lines(contents);
+  const auto sup = scan_suppressions(raw_lines);
+  const auto lines = split_lines(strip_comments_and_strings(contents));
+
+  const bool in_src = starts_with(rel_path, "src/");
+  const bool in_exec = starts_with(rel_path, "src/exec/");
+  const bool in_tools = starts_with(rel_path, "tools/");
+  const bool is_header = rel_path.size() > 4 &&
+                         rel_path.compare(rel_path.size() - 4, 4, ".hpp") == 0;
+  const bool order_sensitive = starts_with(rel_path, "src/net/") ||
+                               starts_with(rel_path, "src/machines/") ||
+                               starts_with(rel_path, "src/algos/");
+  const bool timing_core = starts_with(rel_path, "src/net/") ||
+                           starts_with(rel_path, "src/machines/") ||
+                           starts_with(rel_path, "src/sim/");
+
+  std::vector<Diagnostic> found;
+  if (!in_exec && !in_tools) check_wallclock(rel_path, lines, &found);
+  if (order_sensitive) check_unordered_iteration(rel_path, lines, &found);
+  if (timing_core) check_float_time(rel_path, lines, &found);
+  if (in_src && is_header) check_assert_in_header(rel_path, lines, &found);
+
+  std::vector<Diagnostic> kept;
+  for (auto& d : found) {
+    if (!sup.allows(d.line, d.rule)) kept.push_back(std::move(d));
+  }
+  return kept;
+}
+
+std::vector<Diagnostic> lint_tree(const std::filesystem::path& root,
+                                  const std::vector<std::string>& subdirs) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const auto& sub : subdirs) {
+    const fs::path dir = root / sub;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension().string();
+      if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Diagnostic> all;
+  for (const auto& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string rel =
+        fs::relative(f, root).generic_string();  // forward slashes
+    auto diags = lint_file(rel, buf.str());
+    all.insert(all.end(), std::make_move_iterator(diags.begin()),
+               std::make_move_iterator(diags.end()));
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  return all;
+}
+
+}  // namespace pcm::lint

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+// pcm-lint: a token/regex-level determinism linter for the simulator tree.
+//
+// The reproduction's whole value rests on runs being bit-identical across
+// --jobs values and machines, so the linter rejects the constructs that have
+// historically broken that promise:
+//
+//   wallclock            rand()/time()/std::random_device/chrono ::now()
+//                        anywhere outside src/exec/ (the only component
+//                        allowed to look at the host) and tools/.
+//   unordered-iteration  iterating a std::unordered_* container in src/net,
+//                        src/machines or src/algos — hash iteration order is
+//                        implementation-defined and leaks straight into
+//                        simulated timings.
+//   float-time           the `float` keyword in src/net, src/machines or
+//                        src/sim — simulated time is sim::Micros (double);
+//                        mixing float into it loses ulps differently on
+//                        different optimisation levels.
+//   assert-in-header     assert( in a header under src/ — headers are
+//                        compiled into Release bench binaries where NDEBUG
+//                        strips the check; use PCM_CHECK instead.
+//
+// Suppressions (placed in a comment on the offending line / anywhere in the
+// file):
+//   pcm-lint:allow(<rule>)        silence <rule> on this line
+//   pcm-lint:allow-file(<rule>)   silence <rule> for the whole file
+//
+// Deliberately not libclang: the linter must build and run in the bare
+// toolchain image, and every construct it hunts is lexically recognisable.
+
+namespace pcm::lint {
+
+struct Diagnostic {
+  std::string file;  ///< Path as given (repo-relative when walking a tree).
+  int line = 0;      ///< 1-based.
+  std::string rule;
+  std::string message;
+};
+
+/// Replace comments and string/char literals (including raw strings) with
+/// spaces, preserving line structure so diagnostics keep their line numbers.
+[[nodiscard]] std::string strip_comments_and_strings(const std::string& src);
+
+/// Lint one file's contents. `rel_path` decides which rules apply and must
+/// use forward slashes (e.g. "src/net/mesh_router.cpp").
+[[nodiscard]] std::vector<Diagnostic> lint_file(const std::string& rel_path,
+                                                const std::string& contents);
+
+/// Walk `subdirs` under `root`, lint every *.hpp / *.cpp, and return all
+/// diagnostics ordered by (file, line). Missing subdirs are skipped.
+[[nodiscard]] std::vector<Diagnostic> lint_tree(
+    const std::filesystem::path& root, const std::vector<std::string>& subdirs);
+
+}  // namespace pcm::lint

@@ -1,0 +1,204 @@
+#include "lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace pcm::lint {
+namespace {
+
+std::vector<Diagnostic> of_rule(const std::vector<Diagnostic>& diags,
+                                const std::string& rule) {
+  std::vector<Diagnostic> out;
+  for (const auto& d : diags) {
+    if (d.rule == rule) out.push_back(d);
+  }
+  return out;
+}
+
+bool has(const std::vector<Diagnostic>& diags, const std::string& file,
+         int line, const std::string& rule) {
+  return std::any_of(diags.begin(), diags.end(), [&](const Diagnostic& d) {
+    return d.file == file && d.line == line && d.rule == rule;
+  });
+}
+
+// --- stripping -------------------------------------------------------------
+
+TEST(Strip, RemovesCommentsAndStringsKeepingLines) {
+  const std::string src =
+      "int a; // time(nullptr)\n"
+      "/* rand() spans\n"
+      "   two lines */ int b;\n"
+      "const char* s = \"std::rand()\";\n";
+  const std::string out = strip_comments_and_strings(src);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+  EXPECT_EQ(out.find("time"), std::string::npos);
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(Strip, HandlesRawStringsAndEscapes) {
+  const std::string src =
+      "auto r = R\"(rand() inside raw)\";\n"
+      "char c = '\\\"'; int rand_free;\n";
+  const std::string out = strip_comments_and_strings(src);
+  EXPECT_EQ(out.find("rand()"), std::string::npos);
+  EXPECT_NE(out.find("rand_free"), std::string::npos);
+}
+
+// --- wallclock -------------------------------------------------------------
+
+TEST(Wallclock, FlagsLibcAndChrono) {
+  const std::string src =
+      "int a = rand();\n"
+      "long t = std::time(nullptr);\n"
+      "std::random_device dev;\n"
+      "auto n = std::chrono::steady_clock::now();\n";
+  const auto diags = lint_file("src/net/x.cpp", src);
+  EXPECT_TRUE(has(diags, "src/net/x.cpp", 1, "wallclock"));
+  EXPECT_TRUE(has(diags, "src/net/x.cpp", 2, "wallclock"));
+  EXPECT_TRUE(has(diags, "src/net/x.cpp", 3, "wallclock"));
+  EXPECT_TRUE(has(diags, "src/net/x.cpp", 4, "wallclock"));
+}
+
+TEST(Wallclock, IgnoresIdentifierTailsAndMembers) {
+  const std::string src =
+      "double d = ops_time(3);\n"
+      "double e = step.time();\n"
+      "double f = obj->clock();\n";
+  EXPECT_TRUE(of_rule(lint_file("src/net/x.cpp", src), "wallclock").empty());
+}
+
+TEST(Wallclock, ExemptsExecAndTools) {
+  const std::string src = "auto n = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(lint_file("src/exec/progress.cpp", src).empty());
+  EXPECT_TRUE(lint_file("tools/pcm-lint/lint.cpp", src).empty());
+  EXPECT_FALSE(lint_file("bench/fig01.cpp", src).empty());
+}
+
+// --- unordered-iteration ---------------------------------------------------
+
+TEST(UnorderedIteration, FlagsRangeForAndBegin) {
+  const std::string src =
+      "std::unordered_map<int, int> memo_;\n"
+      "void f() { for (const auto& kv : memo_) { (void)kv; } }\n"
+      "auto g() { return memo_.begin(); }\n";
+  const auto diags = lint_file("src/machines/x.cpp", src);
+  EXPECT_TRUE(has(diags, "src/machines/x.cpp", 2, "unordered-iteration"));
+  EXPECT_TRUE(has(diags, "src/machines/x.cpp", 3, "unordered-iteration"));
+}
+
+TEST(UnorderedIteration, AllowsLookups) {
+  const std::string src =
+      "std::unordered_map<int, int> memo_;\n"
+      "bool f() { return memo_.find(3) != memo_.end(); }\n";
+  // find() is fine; the paired end() comparison is the idiomatic lookup, but
+  // end() alone is indistinguishable from iteration at token level, so the
+  // rule flags it — the lookup should use count()/contains() instead.
+  const std::string clean =
+      "std::unordered_map<int, int> memo_;\n"
+      "bool f() { return memo_.count(3) > 0; }\n";
+  EXPECT_TRUE(lint_file("src/net/x.cpp", clean).empty());
+  EXPECT_FALSE(lint_file("src/net/x.cpp", src).empty());
+}
+
+TEST(UnorderedIteration, OnlyOrderSensitiveDirs) {
+  const std::string src =
+      "std::unordered_set<int> s;\n"
+      "void f() { for (int v : s) { (void)v; } }\n";
+  EXPECT_FALSE(lint_file("src/algos/x.cpp", src).empty());
+  EXPECT_TRUE(lint_file("src/report/x.cpp", src).empty());
+}
+
+// --- float-time ------------------------------------------------------------
+
+TEST(FloatTime, FlagsFloatInTimingCore) {
+  const std::string src = "float t = 0;\n";
+  EXPECT_TRUE(has(lint_file("src/sim/x.cpp", src), "src/sim/x.cpp", 1,
+                  "float-time"));
+  EXPECT_TRUE(has(lint_file("src/net/x.cpp", src), "src/net/x.cpp", 1,
+                  "float-time"));
+  // Algorithms legitimately move float payload data (e.g. cannon<float>).
+  EXPECT_TRUE(lint_file("src/algos/x.cpp", src).empty());
+}
+
+TEST(FloatTime, IgnoresCommentsAndWords) {
+  const std::string src =
+      "// a float lives here\n"
+      "int floaty = 1; int afloat = 2;\n";
+  EXPECT_TRUE(lint_file("src/sim/x.cpp", src).empty());
+}
+
+// --- assert-in-header ------------------------------------------------------
+
+TEST(AssertInHeader, FlagsHeadersOnly) {
+  const std::string src = "inline void f(int v) { assert(v >= 0); }\n";
+  EXPECT_TRUE(has(lint_file("src/runtime/x.hpp", src), "src/runtime/x.hpp", 1,
+                  "assert-in-header"));
+  EXPECT_TRUE(lint_file("src/runtime/x.cpp", src).empty());
+}
+
+TEST(AssertInHeader, IgnoresStaticAssertAndPcmCheck) {
+  const std::string src =
+      "static_assert(sizeof(int) >= 4);\n"
+      "inline void f(int v) { PCM_CHECK(v >= 0); }\n";
+  EXPECT_TRUE(lint_file("src/runtime/x.hpp", src).empty());
+}
+
+// --- suppressions ----------------------------------------------------------
+
+TEST(Suppressions, LineAndFileLevel) {
+  const std::string line_sup =
+      "int a = rand();  // pcm-lint:allow(wallclock)\n"
+      "int b = rand();\n";
+  auto diags = lint_file("src/net/x.cpp", line_sup);
+  EXPECT_FALSE(has(diags, "src/net/x.cpp", 1, "wallclock"));
+  EXPECT_TRUE(has(diags, "src/net/x.cpp", 2, "wallclock"));
+
+  const std::string file_sup =
+      "// pcm-lint:allow-file(wallclock)\n"
+      "int a = rand();\n"
+      "int b = rand();\n";
+  EXPECT_TRUE(of_rule(lint_file("src/net/x.cpp", file_sup), "wallclock").empty());
+}
+
+// --- the seeded fixture tree -----------------------------------------------
+
+TEST(FixtureTree, EveryViolationClassCaught) {
+  const auto diags = lint_tree(PCM_LINT_TESTDATA, {"src", "bench"});
+
+  EXPECT_TRUE(has(diags, "src/net/bad_unordered.cpp", 10, "unordered-iteration"));
+  EXPECT_TRUE(has(diags, "src/net/bad_unordered.cpp", 13, "unordered-iteration"));
+  EXPECT_EQ(of_rule(diags, "unordered-iteration").size(), 2u);  // line 15 suppressed
+
+  EXPECT_TRUE(has(diags, "src/sim/bad_float.cpp", 7, "float-time"));
+  EXPECT_EQ(of_rule(diags, "float-time").size(), 1u);
+
+  EXPECT_TRUE(has(diags, "src/runtime/bad_assert.hpp", 11, "assert-in-header"));
+  EXPECT_EQ(of_rule(diags, "assert-in-header").size(), 1u);
+
+  EXPECT_TRUE(has(diags, "bench/bad_wallclock.cpp", 12, "wallclock"));
+  EXPECT_TRUE(has(diags, "bench/bad_wallclock.cpp", 13, "wallclock"));
+  EXPECT_TRUE(has(diags, "bench/bad_wallclock.cpp", 14, "wallclock"));
+  EXPECT_TRUE(has(diags, "bench/bad_wallclock.cpp", 16, "wallclock"));
+
+  // src/exec/ fixture must stay clean.
+  for (const auto& d : diags) {
+    EXPECT_TRUE(d.file.find("src/exec/") == std::string::npos) << d.file;
+  }
+
+  // Output is deterministically ordered by (file, line).
+  const bool sorted = std::is_sorted(
+      diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
+        return a.file != b.file ? a.file < b.file : a.line < b.line;
+      });
+  EXPECT_TRUE(sorted);
+}
+
+}  // namespace
+}  // namespace pcm::lint

@@ -1,0 +1,22 @@
+// Fixture: host clocks and libc randomness outside src/exec/.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+long ops_time(long x) { return x; }  // identifier tail: not flagged
+
+long bad() {
+  long acc = std::rand();                          // line 12: flagged
+  acc += static_cast<long>(std::time(nullptr));    // line 13: flagged
+  std::random_device dev;                          // line 14: flagged
+  acc += static_cast<long>(dev());
+  const auto t0 = std::chrono::steady_clock::now();  // line 16: flagged
+  (void)t0;
+  acc += ops_time(3);  // not flagged
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: src/exec/ is the sanctioned host boundary — wall clocks are
+// allowed here (progress reporting, worker scheduling).
+#include <chrono>
+
+namespace fixture {
+
+double elapsed_seconds() {
+  const auto t0 = std::chrono::steady_clock::now();  // not flagged (src/exec/)
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace fixture

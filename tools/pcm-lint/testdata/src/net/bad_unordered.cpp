@@ -1,0 +1,21 @@
+// Fixture: iterating an unordered container in the network layer.
+#include <unordered_map>
+
+namespace fixture {
+
+int sum_values() {
+  std::unordered_map<int, int> table;
+  table[1] = 2;
+  int sum = 0;
+  for (const auto& kv : table) {  // line 10: flagged
+    sum += kv.second;
+  }
+  auto it = table.begin();  // line 13: flagged
+  (void)it;
+  for (const auto& kv : table) {  // pcm-lint:allow(unordered-iteration)
+    sum -= kv.second;
+  }
+  return sum + static_cast<int>(table.count(1));  // lookup: not flagged
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+#pragma once
+
+// Fixture: assert() in a header (stripped by NDEBUG in Release benches).
+#include <cassert>
+
+namespace fixture {
+
+static_assert(sizeof(int) >= 4, "not flagged: static_assert");
+
+inline int checked_increment(int v) {
+  assert(v >= 0);  // line 11: flagged
+  return v + 1;
+}
+
+}  // namespace fixture

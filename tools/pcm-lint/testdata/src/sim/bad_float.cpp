@@ -1,0 +1,11 @@
+// Fixture: float in the timing core. The word float in this comment must
+// not be flagged, nor the string literal below.
+namespace fixture {
+
+const char* describe() { return "float is fine inside a string"; }
+
+float accumulate(float a, float b) { return a + b; }  // line 7: flagged
+
+double ok(double a, double b) { return a + b; }  // not flagged
+
+}  // namespace fixture

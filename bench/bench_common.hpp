@@ -9,6 +9,7 @@
 
 #include "audit/audit.hpp"
 #include "core/registry.hpp"
+#include "race/race.hpp"
 #include "core/series.hpp"
 #include "core/validation.hpp"
 #include "exec/sweep.hpp"
@@ -22,7 +23,8 @@
 // when PCM_RESULTS_DIR is set — a CSV dump.
 //
 // Flags: --quick (smaller sweeps), --trials=K, --jobs=N, --seed=S, --audit
-// (run with the invariant auditor on; requires -DPCM_AUDIT=ON). Sweeps
+// (run with the invariant auditor on; requires -DPCM_AUDIT=ON), --race
+// (run with the superstep race detector on; requires -DPCM_RACE=ON). Sweeps
 // run through the exec engine (exec/sweep.hpp): one fresh machine per
 // (x, trial) cell, seeded per cell, so output is bit-identical at any
 // --jobs value.
@@ -41,19 +43,23 @@ struct Env {
   int jobs = 1;           ///< Sweep workers; 0 = one per hardware thread.
   std::uint64_t seed = 0; ///< 0 = use the bench's default seed.
   bool audit = false;     ///< Run with the invariant auditor enabled.
+  bool race = false;      ///< Run with the superstep race detector enabled.
 };
 
 [[noreturn]] inline void usage(const char* argv0, const std::string& error) {
   if (!error.empty()) std::cerr << argv0 << ": " << error << "\n";
   std::cerr << "usage: " << argv0
-            << " [--quick] [--trials=K] [--jobs=N] [--seed=S] [--audit]\n"
+            << " [--quick] [--trials=K] [--jobs=N] [--seed=S] [--audit] [--race]\n"
             << "  --quick      run a smaller sweep\n"
             << "  --trials=K   trials per data point (K > 0)\n"
             << "  --jobs=N     parallel sweep workers; 0 = all hardware threads\n"
             << "  --seed=S     base seed for the deterministic per-cell streams\n"
             << "  --audit      check runtime invariants (packet conservation,\n"
             << "               occupancy leaks, clock monotonicity) as the\n"
-            << "               sweep runs; needs a -DPCM_AUDIT=ON build\n";
+            << "               sweep runs; needs a -DPCM_AUDIT=ON build\n"
+            << "  --race       check BSP superstep ordering (write-write,\n"
+            << "               read-before-sync, stale mailbox reads, bypass\n"
+            << "               writes) as the sweep runs; needs -DPCM_RACE=ON\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -90,6 +96,13 @@ inline Env parse_env(int argc, char** argv) {
         usage(argv[0],
               "--audit requires a build with -DPCM_AUDIT=ON (the auditor was "
               "compiled out)");
+      }
+    } else if (arg == "--race") {
+      env.race = true;
+      if (!race::set_enabled(true)) {
+        usage(argv[0],
+              "--race requires a build with -DPCM_RACE=ON (the race detector "
+              "was compiled out)");
       }
     } else {
       usage(argv[0], "unknown flag '" + arg + "'");

@@ -19,6 +19,7 @@
 
 #include "algos/apsp.hpp"
 #include "audit/audit.hpp"
+#include "race/race.hpp"
 #include "algos/bitonic.hpp"
 #include "algos/matmul.hpp"
 #include "algos/reference.hpp"
@@ -102,7 +103,10 @@ int usage() {
          "machines: maspar, gcel, cm5, t800 — or a spec like "
          "\"gcel:procs=16:seed=7\"\n"
          "global flags: --audit  check runtime invariants while the command\n"
-         "                       runs (requires a -DPCM_AUDIT=ON build)\n";
+         "                       runs (requires a -DPCM_AUDIT=ON build)\n"
+         "              --race   check BSP superstep ordering (split-phase\n"
+         "                       conflicts, stale mailbox reads) while the\n"
+         "                       command runs (requires a -DPCM_RACE=ON build)\n";
   return 2;
 }
 
@@ -284,6 +288,11 @@ int main(int argc, char** argv) {
                  "auditor was compiled out)\n";
     return 2;
   }
+  if (o.has("race") && !race::set_enabled(true)) {
+    std::cerr << "pcmtool: --race requires a build with -DPCM_RACE=ON (the "
+                 "race detector was compiled out)\n";
+    return 2;
+  }
   if (o.command == "list") return cmd_list();
   if (o.command == "params") return cmd_params();
 
@@ -297,6 +306,9 @@ int main(int argc, char** argv) {
     if (o.command == "sort") return cmd_sort(*m, o);
     if (o.command == "apsp") return cmd_apsp(*m, o);
   } catch (const audit::AuditError& e) {
+    std::cerr << "pcmtool: " << e.what() << "\n";
+    return 3;
+  } catch (const race::RaceError& e) {
     std::cerr << "pcmtool: " << e.what() << "\n";
     return 3;
   }

@@ -10,6 +10,7 @@
 
 #include "audit/audit.hpp"
 #include "audit/conservation.hpp"
+#include "race/race.hpp"
 #include "net/delta_router.hpp"
 #include "net/fat_tree.hpp"
 #include "net/mesh_router.hpp"
@@ -141,6 +142,10 @@ void Machine::barrier() {
         {sim::PhaseKind::Barrier, "", before, now() - before, 0, 0});
   }
   ++superstep_;
+  // The superstep counter is the race detector's happens-before epoch;
+  // advancing it here is what orders pre-barrier writes before post-barrier
+  // reads in the shadow state.
+  if (race::enabled()) race::count_check();
 }
 
 void Machine::reset() {
@@ -148,6 +153,7 @@ void Machine::reset() {
   router_->reset();
   router_->new_trial(rng_);
   superstep_ = 0;
+  ++trial_;
 }
 
 void Machine::reseed(std::uint64_t seed) {

@@ -66,6 +66,12 @@ class Machine {
   /// The invariant auditor uses it to locate violations in a run.
   [[nodiscard]] long superstep() const { return superstep_; }
 
+  /// Trials started on this machine (reset() calls since construction).
+  /// (trial, superstep) is the happens-before epoch of the race detector:
+  /// a reset() tears down the old trial's barrier chain, so data delivered
+  /// under it is stale on the new timeline.
+  [[nodiscard]] long trial() const { return trial_; }
+
   /// Start a fresh measurement: clocks to zero, network drained and
   /// re-randomised (per-trial biases redrawn). The RNG stream continues, so
   /// successive trials differ but the whole sequence is seed-deterministic.
@@ -90,6 +96,7 @@ class Machine {
   sim::Rng rng_;
   sim::Trace trace_;
   long superstep_ = 0;
+  long trial_ = 0;
   std::vector<sim::Micros> finish_;  // scratch
 
   /// Throw an audit::AuditError annotated with this machine and the

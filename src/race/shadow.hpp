@@ -1,0 +1,123 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "race/race.hpp"
+#include "sim/check.hpp"
+
+// Shadow memory for the race detector: one ShadowCell per GlobalArray slot,
+// recording who last wrote it (and in which superstep epoch) plus any
+// split-phase write staged but not yet committed by sync(). The shadow is
+// allocated lazily by GlobalArray only while race detection is enabled, so
+// un-instrumented runs carry no per-cell state at all.
+//
+// The cell machine: put()/store() stage a pending write (note_staged_write);
+// sync() commits it (commit), stamping the writer and the superstep epoch
+// and clearing the pending mark. Any second staged write, local write or
+// read that meets a pending mark is, by the BSP/split-phase contract,
+// concurrent with the uncommitted put — exactly the (a) write-write and
+// (b) read-before-sync classes. Ownership violations ((d) bypass-write) are
+// checked against the acting PE declared via race::ScopedPe.
+
+namespace pcm::race {
+
+struct ShadowCell {
+  int pending_writer = -1;   ///< PE with a staged, un-synced put/store.
+  bool pending_is_store = false;
+  int last_writer = -1;      ///< PE whose committed write the cell holds.
+  long write_epoch = -1;     ///< Superstep of the last committed write.
+};
+
+class ShadowArray {
+ public:
+  explicit ShadowArray(long size)
+      : cells_(static_cast<std::size_t>(size > 0 ? size : 0)) {}
+
+  /// A put/store staged by `pe` for global slot `i`. Two staged writes to
+  /// one cell inside a batch are concurrent: write-write.
+  void note_staged_write(int pe, long i, bool is_store,
+                         std::string_view machine, long superstep) {
+    ShadowCell& c = cell(i);
+    if (c.pending_writer >= 0) {
+      fail("write-write", std::string(machine), superstep, pe,
+           c.pending_writer, i,
+           std::string(is_store ? "store" : "put") + " collides with a " +
+               (c.pending_is_store ? "store" : "put") + " from pe " +
+               std::to_string(c.pending_writer) +
+               " staged in the same split-phase batch; the cell's value "
+               "after sync() is nondeterministic");
+    }
+    c.pending_writer = pe;
+    c.pending_is_store = is_store;
+    count_check();
+  }
+
+  /// A get() or local read issued by `pe` against slot `i`. Reading a cell
+  /// with a pending put races the write that only commits at sync().
+  void note_read(int pe, long i, std::string_view machine, long superstep) {
+    const ShadowCell& c = cell(i);
+    if (c.pending_writer >= 0) {
+      fail("read-before-sync", std::string(machine), superstep, pe,
+           c.pending_writer, i,
+           "read of a slot with a pending split-phase " +
+               std::string(c.pending_is_store ? "store" : "put") +
+               " from pe " + std::to_string(c.pending_writer) +
+               "; the value is only defined after sync()");
+    }
+    count_check();
+  }
+
+  /// A direct local-slice access (GlobalArray::local, mutable). `acting_pe`
+  /// is race::current_pe() — when declared, it must own the slot; writes
+  /// from any other PE bypassed the router and were never timed.
+  void note_local_access(int acting_pe, int owner_pe, long i,
+                         std::string_view machine, long superstep) {
+    if (acting_pe >= 0 && acting_pe != owner_pe) {
+      fail("bypass-write", std::string(machine), superstep, acting_pe,
+           owner_pe, i,
+           "local-slice access to a slot owned by pe " +
+               std::to_string(owner_pe) +
+               "; cross-PE data must travel through put/get so the router "
+               "charges for it");
+    }
+    ShadowCell& c = cell(i);
+    if (c.pending_writer >= 0) {
+      fail("read-before-sync", std::string(machine), superstep,
+           acting_pe >= 0 ? acting_pe : owner_pe, c.pending_writer, i,
+           "local access to a slot with a pending split-phase " +
+               std::string(c.pending_is_store ? "store" : "put") +
+               " from pe " + std::to_string(c.pending_writer) +
+               "; stage the access or sync() first");
+    }
+    c.last_writer = owner_pe;
+    c.write_epoch = superstep;
+    count_check();
+  }
+
+  /// sync() commits the staged write by `pe`: the cell now holds pe's value,
+  /// written in epoch `superstep`, and the pending mark is cleared.
+  void commit(int pe, long i, long superstep) {
+    ShadowCell& c = cell(i);
+    c.pending_writer = -1;
+    c.pending_is_store = false;
+    c.last_writer = pe;
+    c.write_epoch = superstep;
+  }
+
+  [[nodiscard]] const ShadowCell& peek(long i) const {
+    PCM_CHECK(i >= 0 && i < static_cast<long>(cells_.size()));
+    return cells_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  ShadowCell& cell(long i) {
+    PCM_CHECK(i >= 0 && i < static_cast<long>(cells_.size()));
+    return cells_[static_cast<std::size_t>(i)];
+  }
+
+  std::vector<ShadowCell> cells_;
+};
+
+}  // namespace pcm::race

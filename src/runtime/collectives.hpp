@@ -26,7 +26,10 @@
 //
 // All primitives run on real data and charge real (simulated) time through
 // the Exchange layer; `mode` picks word (BSP-style) or block (MP-BPRAM
-// style) transfers.
+// style) transfers. Because every data motion goes through Exchange/Mailbox,
+// the collectives are fully covered by the race detector (--race): each
+// mailbox consumption below re-checks the delivery epoch, so a collective
+// that leaked a parcel across a reset() would be caught as a stale read.
 
 namespace pcm::runtime {
 

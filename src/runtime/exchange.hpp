@@ -8,6 +8,7 @@
 #include "audit/conservation.hpp"
 #include "machines/machine.hpp"
 #include "net/pattern.hpp"
+#include "race/race.hpp"
 #include "runtime/mailbox.hpp"
 
 // One communication step: algorithms stage sends (in the order they want
@@ -63,6 +64,10 @@ class Exchange {
     if (auditing) injected = audit::endpoint_bytes(pattern_);
     machine_.exchange(pattern_);
     Mailbox<T> box(machine_.procs());
+    // Under --race: stamp the mailbox with the delivery epoch so consuming
+    // it after a reset() (stale read) is caught. Unstamped mailboxes carry
+    // no machine pointer, so runs without the detector cannot dangle.
+    if (race::enabled()) box.race_stamp(machine_);
     for (auto& s : staged_) {
       box.deliver(s.dst, Parcel<T>{s.src, s.tag, std::move(s.data)});
     }

@@ -1,8 +1,11 @@
 #pragma once
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
+#include "race/race.hpp"
+#include "race/shadow.hpp"
 #include "runtime/exchange.hpp"
 #include "sim/check.hpp"
 
@@ -19,6 +22,13 @@
 //
 // The layer is deliberately thin: it maps directly onto Exchange, so every
 // access is timed by the machine's router like any other message.
+//
+// Race detection (--race / PCM_RACE=1): while the detector is enabled the
+// array lazily allocates shadow state (race/shadow.hpp) and every access is
+// checked against the split-phase contract — two puts to one cell in a
+// batch are write-write, reading a cell with a pending put is
+// read-before-sync, and a local() access by a declared PE (race::ScopedPe)
+// that does not own the slot is a bypass-write that dodged the router.
 
 namespace pcm::runtime {
 
@@ -42,22 +52,55 @@ class GlobalArray {
   }
   [[nodiscard]] long slot(long i) const { return i / m_.procs(); }
 
-  /// Direct local access (no communication; the caller is the owner).
+  /// Direct local access (no communication; the caller is the owner —
+  /// declare the acting PE with race::ScopedPe to have that enforced).
   [[nodiscard]] T& local(long i) {
+    if (auto* sh = race_shadow()) {
+      sh->note_local_access(race::current_pe(), owner(i), i, m_.name(),
+                            m_.superstep());
+    }
     return slices_[static_cast<std::size_t>(owner(i))][static_cast<std::size_t>(slot(i))];
   }
   [[nodiscard]] const T& local(long i) const {
-    return slices_[static_cast<std::size_t>(owner(i))][static_cast<std::size_t>(slot(i))];
+    if (auto* sh = race_shadow()) {
+      const int reader = race::current_pe();
+      sh->note_read(reader >= 0 ? reader : owner(i), i, m_.name(),
+                    m_.superstep());
+    }
+    return peek(i);
   }
 
   [[nodiscard]] std::vector<T>& slice_of(int p) {
     return slices_[static_cast<std::size_t>(p)];
   }
 
+  /// Shadow state for the race detector; null while detection is off. The
+  /// shadow survives a disable/re-enable cycle but is only consulted (and
+  /// first allocated) while race::enabled().
+  [[nodiscard]] race::ShadowArray* race_shadow() const {
+    if (!race::enabled()) return nullptr;
+    if (!race_shadow_) race_shadow_ = std::make_shared<race::ShadowArray>(size_);
+    return race_shadow_.get();
+  }
+
+  /// The shadow if one was ever allocated, regardless of the runtime flag —
+  /// sync() commits through this so pending marks cannot survive a
+  /// disable/re-enable cycle.
+  [[nodiscard]] race::ShadowArray* race_shadow_if_allocated() const {
+    return race_shadow_.get();
+  }
+
+  /// Uninstrumented read — sync() internals, which move data the router has
+  /// already timed and the shadow has already accounted for, use this.
+  [[nodiscard]] const T& peek(long i) const {
+    return slices_[static_cast<std::size_t>(owner(i))][static_cast<std::size_t>(slot(i))];
+  }
+
  private:
   machines::Machine& m_;
   long size_;
   std::vector<std::vector<T>> slices_;
+  mutable std::shared_ptr<race::ShadowArray> race_shadow_;
 };
 
 template <typename T>
@@ -67,18 +110,29 @@ class SplitPhase {
 
   /// Split-phase remote write issued by `src`: ga[i] = value at sync().
   void put(GlobalArray<T>& ga, int src, long i, T value) {
+    if (auto* sh = ga.race_shadow()) {
+      sh->note_staged_write(src, i, /*is_store=*/false, m_.name(),
+                            m_.superstep());
+    }
     staged_writes_.push_back({&ga, src, i, value});
   }
 
   /// One-way store (Split-C's `:-` operator): same data motion as put; kept
   /// separate because all_store_sync only waits for stores.
   void store(GlobalArray<T>& ga, int src, long i, T value) {
+    if (auto* sh = ga.race_shadow()) {
+      sh->note_staged_write(src, i, /*is_store=*/true, m_.name(),
+                            m_.superstep());
+    }
     staged_writes_.push_back({&ga, src, i, value});
     ++stores_;
   }
 
   /// Split-phase remote read issued by `src`: *out = ga[i] after sync().
   void get(const GlobalArray<T>& ga, int src, long i, T* out) {
+    if (auto* sh = ga.race_shadow()) {
+      sh->note_read(src, i, m_.name(), m_.superstep());
+    }
     staged_reads_.push_back({&ga, src, i, out});
   }
 
@@ -91,6 +145,16 @@ class SplitPhase {
   /// writes and the read *requests*, a second carrying the read replies,
   /// then a barrier (Split-C's sync()).
   void sync() {
+    // Commit the batch to the shadow first: after this point the staged
+    // values are the cells' committed contents (epoch = the superstep the
+    // batch executes in) and the pending marks are gone, so the data
+    // movement below runs against a consistent shadow.
+    for (const auto& w : staged_writes_) {
+      if (auto* sh = w.ga->race_shadow_if_allocated()) {
+        sh->commit(w.src, w.index, m_.superstep());
+      }
+    }
+
     // Writes, grouped per target array (one communication step each; a
     // single-array sync — the common case — costs one step).
     std::vector<GlobalArray<T>*> arrays;
@@ -105,7 +169,8 @@ class SplitPhase {
         if (w.ga != ga) continue;
         const int dst = ga->owner(w.index);
         if (dst == w.src) {
-          ga->local(w.index) = w.value;
+          ga->slice_of(dst)[static_cast<std::size_t>(ga->slot(w.index))] =
+              w.value;
         } else {
           writes.send_value(w.src, dst, w.value, static_cast<int>(ga->slot(w.index)));
         }
@@ -135,7 +200,7 @@ class SplitPhase {
       for (const auto& parcel : reqbox.at(p)) {
         const auto r = static_cast<std::size_t>(parcel.data.front());
         const auto& rd = staged_reads_[r];
-        replies.send_value(p, rd.src, rd.ga->local(rd.index), static_cast<int>(r));
+        replies.send_value(p, rd.src, rd.ga->peek(rd.index), static_cast<int>(r));
       }
     }
     auto repbox = replies.run();
@@ -147,7 +212,7 @@ class SplitPhase {
     }
     // Local reads resolve at sync too.
     for (const auto& rd : staged_reads_) {
-      if (rd.ga->owner(rd.index) == rd.src) *rd.out = rd.ga->local(rd.index);
+      if (rd.ga->owner(rd.index) == rd.src) *rd.out = rd.ga->peek(rd.index);
     }
     m_.barrier();
     staged_writes_.clear();

@@ -1,0 +1,310 @@
+#include "race/race.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "machines/machine.hpp"
+#include "race/shadow.hpp"
+#include "runtime/exchange.hpp"
+#include "runtime/splitc.hpp"
+#include "test_util.hpp"
+
+// The superstep happens-before race detector (src/race/). Each of the four
+// violation classes is seeded deliberately and must raise a RaceError naming
+// the machine, the superstep, both PEs and the global index; golden-path
+// Split-C programs on the paper machines must run clean with checks actually
+// executed.
+//
+// gtest_discover_tests runs every TEST in its own process, so toggling the
+// process-global race flag here cannot leak between tests; the RAII guard
+// still restores it for in-process reruns.
+
+namespace pcm {
+namespace {
+
+class RaceOn {
+ public:
+  RaceOn() { race::set_enabled(true); }
+  ~RaceOn() { race::set_enabled(false); }
+};
+
+// Tests that need the hooks live skip themselves in -DPCM_RACE=OFF builds.
+#define PCM_REQUIRE_RACE_COMPILED_IN() \
+  if (!race::compiled_in()) GTEST_SKIP() << "built with -DPCM_RACE=OFF"
+
+// --- error type ------------------------------------------------------------
+
+TEST(RaceError, ComposesContextIntoMessage) {
+  race::RaceError e("write-write", 3, 7, 42, "second put to the cell");
+  EXPECT_EQ(e.violation(), "write-write");
+  EXPECT_EQ(e.pe(), 3);
+  EXPECT_EQ(e.other_pe(), 7);
+  EXPECT_EQ(e.index(), 42);
+  EXPECT_EQ(e.superstep(), -1);
+  const std::string before = e.what();
+  EXPECT_NE(before.find("write-write"), std::string::npos);
+  EXPECT_NE(before.find("pe 3"), std::string::npos);
+  EXPECT_NE(before.find("pe 7"), std::string::npos);
+  EXPECT_NE(before.find("global index 42"), std::string::npos);
+  EXPECT_NE(before.find("second put to the cell"), std::string::npos);
+  EXPECT_EQ(before.find("superstep"), std::string::npos);
+
+  e.set_context("CM-5", 4);
+  const std::string after = e.what();
+  EXPECT_EQ(e.machine(), "CM-5");
+  EXPECT_EQ(e.superstep(), 4);
+  EXPECT_NE(after.find("CM-5"), std::string::npos);
+  EXPECT_NE(after.find("superstep 4"), std::string::npos);
+}
+
+TEST(RaceError, OmitsUnknownFields) {
+  race::RaceError e("stale-mailbox-read", 2, -1, -1, "");
+  const std::string msg = e.what();
+  EXPECT_NE(msg.find("pe 2"), std::string::npos);
+  EXPECT_EQ(msg.find("vs pe"), std::string::npos);
+  EXPECT_EQ(msg.find("global index"), std::string::npos);
+}
+
+// --- enable/disable --------------------------------------------------------
+
+TEST(RaceToggle, CompiledInAndDisabledByDefault) {
+  PCM_REQUIRE_RACE_COMPILED_IN();
+  if (std::getenv("PCM_RACE") != nullptr) {
+    GTEST_SKIP() << "PCM_RACE set in the environment; default-off not testable";
+  }
+  EXPECT_TRUE(race::compiled_in());
+  EXPECT_FALSE(race::enabled());  // runtime default is off
+  EXPECT_TRUE(race::set_enabled(true));
+  EXPECT_TRUE(race::enabled());
+  EXPECT_TRUE(race::set_enabled(false));
+  EXPECT_FALSE(race::enabled());
+}
+
+// --- epoch bookkeeping -----------------------------------------------------
+
+TEST(RaceEpoch, BarrierAdvancesSuperstepResetAdvancesTrial) {
+  auto m = test::small_cm5();
+  const long trial0 = m->trial();
+  EXPECT_EQ(m->superstep(), 0);
+  m->barrier();
+  m->barrier();
+  EXPECT_EQ(m->superstep(), 2);
+  EXPECT_EQ(m->trial(), trial0);
+  m->reset();
+  EXPECT_EQ(m->superstep(), 0);
+  EXPECT_EQ(m->trial(), trial0 + 1);
+}
+
+// --- seeded violations -----------------------------------------------------
+
+TEST(RaceViolation, WriteWriteInOneBatch) {
+  PCM_REQUIRE_RACE_COMPILED_IN();
+  RaceOn on;
+  auto m = test::small_cm5();
+  runtime::GlobalArray<int> ga(*m, 64);
+  runtime::SplitPhase<int> sp(*m);
+  sp.put(ga, /*src=*/0, /*i=*/5, 10);
+  try {
+    sp.put(ga, /*src=*/1, /*i=*/5, 20);  // same cell, same batch
+    FAIL() << "expected RaceError";
+  } catch (const race::RaceError& e) {
+    EXPECT_EQ(e.violation(), "write-write");
+    EXPECT_EQ(e.pe(), 1);
+    EXPECT_EQ(e.other_pe(), 0);
+    EXPECT_EQ(e.index(), 5);
+    EXPECT_EQ(e.machine(), m->name());
+    EXPECT_EQ(e.superstep(), 0);
+  }
+}
+
+TEST(RaceViolation, StoreCollidingWithPut) {
+  PCM_REQUIRE_RACE_COMPILED_IN();
+  RaceOn on;
+  auto m = test::small_gcel();
+  runtime::GlobalArray<int> ga(*m, 32);
+  runtime::SplitPhase<int> sp(*m);
+  sp.put(ga, 2, 9, 1);
+  try {
+    sp.store(ga, 3, 9, 2);
+    FAIL() << "expected RaceError";
+  } catch (const race::RaceError& e) {
+    EXPECT_EQ(e.violation(), "write-write");
+    EXPECT_NE(std::string(e.what()).find("store"), std::string::npos);
+  }
+}
+
+TEST(RaceViolation, ReadBeforeSyncViaGet) {
+  PCM_REQUIRE_RACE_COMPILED_IN();
+  RaceOn on;
+  auto m = test::small_cm5();
+  runtime::GlobalArray<int> ga(*m, 64);
+  runtime::SplitPhase<int> sp(*m);
+  sp.put(ga, /*src=*/0, /*i=*/17, 99);
+  int out = 0;
+  try {
+    sp.get(ga, /*src=*/4, /*i=*/17, &out);  // races the uncommitted put
+    FAIL() << "expected RaceError";
+  } catch (const race::RaceError& e) {
+    EXPECT_EQ(e.violation(), "read-before-sync");
+    EXPECT_EQ(e.pe(), 4);
+    EXPECT_EQ(e.other_pe(), 0);
+    EXPECT_EQ(e.index(), 17);
+    EXPECT_EQ(e.machine(), m->name());
+  }
+}
+
+TEST(RaceViolation, ReadBeforeSyncViaLocalRead) {
+  PCM_REQUIRE_RACE_COMPILED_IN();
+  RaceOn on;
+  auto m = test::small_cm5();
+  runtime::GlobalArray<int> ga(*m, 16);
+  runtime::SplitPhase<int> sp(*m);
+  sp.put(ga, /*src=*/2, /*i=*/3, 7);
+  const auto& cga = ga;
+  EXPECT_THROW((void)cga.local(3), race::RaceError);
+}
+
+TEST(RaceViolation, StaleMailboxReadAfterReset) {
+  PCM_REQUIRE_RACE_COMPILED_IN();
+  RaceOn on;
+  auto m = test::small_cm5();
+  runtime::Exchange<int> ex(*m, runtime::TransferMode::Word);
+  ex.send_value(0, 1, 42);
+  auto box = ex.run();
+  EXPECT_NO_THROW((void)box.at(1));  // fresh: same trial
+  m->reset();                        // tears down the delivering trial
+  try {
+    (void)box.at(1);
+    FAIL() << "expected RaceError";
+  } catch (const race::RaceError& e) {
+    EXPECT_EQ(e.violation(), "stale-mailbox-read");
+    EXPECT_EQ(e.pe(), 1);
+    EXPECT_EQ(e.machine(), m->name());
+    EXPECT_NE(std::string(e.what()).find("reset()"), std::string::npos);
+  }
+}
+
+TEST(RaceViolation, BypassWriteByNonOwner) {
+  PCM_REQUIRE_RACE_COMPILED_IN();
+  RaceOn on;
+  auto m = test::small_cm5();  // P = 16
+  runtime::GlobalArray<int> ga(*m, 64);
+  {
+    race::ScopedPe pe(0);
+    EXPECT_NO_THROW(ga.local(0) = 1);  // pe 0 owns index 0
+  }
+  race::ScopedPe pe(1);
+  try {
+    ga.local(0) = 2;  // index 0 is owned by pe 0
+    FAIL() << "expected RaceError";
+  } catch (const race::RaceError& e) {
+    EXPECT_EQ(e.violation(), "bypass-write");
+    EXPECT_EQ(e.pe(), 1);
+    EXPECT_EQ(e.other_pe(), 0);
+    EXPECT_EQ(e.index(), 0);
+    EXPECT_EQ(e.machine(), m->name());
+  }
+}
+
+TEST(RaceViolation, UndeclaredPeSkipsOwnershipCheck) {
+  PCM_REQUIRE_RACE_COMPILED_IN();
+  RaceOn on;
+  auto m = test::small_cm5();
+  runtime::GlobalArray<int> ga(*m, 16);
+  EXPECT_EQ(race::current_pe(), -1);
+  // Without a declared acting PE the pre-detector trust-the-caller
+  // behaviour is kept: any local() access is allowed.
+  EXPECT_NO_THROW(ga.local(5) = 3);
+}
+
+TEST(RaceViolation, SyncClearsPendingMarks) {
+  PCM_REQUIRE_RACE_COMPILED_IN();
+  RaceOn on;
+  auto m = test::small_cm5();
+  runtime::GlobalArray<int> ga(*m, 64);
+  runtime::SplitPhase<int> sp(*m);
+  sp.put(ga, 0, 5, 10);
+  sp.sync();
+  // Committed: both another write and a read of the cell are now fine.
+  sp.put(ga, 1, 5, 20);
+  sp.sync();
+  int out = 0;
+  sp.get(ga, 2, 5, &out);
+  sp.sync();
+  EXPECT_EQ(out, 20);
+  const auto* sh = ga.race_shadow_if_allocated();
+  ASSERT_NE(sh, nullptr);
+  EXPECT_EQ(sh->peek(5).pending_writer, -1);
+  EXPECT_EQ(sh->peek(5).last_writer, 1);
+}
+
+TEST(RaceViolation, SilentWhenDisabled) {
+  // With detection off the hooks must not interfere: the seeded races run
+  // unchecked (the simulator just times a buggy program, as before).
+  if (std::getenv("PCM_RACE") != nullptr) {
+    GTEST_SKIP() << "PCM_RACE set in the environment; default-off not testable";
+  }
+  ASSERT_FALSE(race::enabled());
+  auto m = test::small_cm5();
+  runtime::GlobalArray<int> ga(*m, 64);
+  runtime::SplitPhase<int> sp(*m);
+  sp.put(ga, 0, 5, 10);
+  EXPECT_NO_THROW(sp.put(ga, 1, 5, 20));
+  int out = 0;
+  EXPECT_NO_THROW(sp.get(ga, 4, 5, &out));
+  EXPECT_NO_THROW(sp.sync());
+  runtime::Exchange<int> ex(*m, runtime::TransferMode::Word);
+  ex.send_value(0, 1, 42);
+  auto box = ex.run();
+  m->reset();
+  EXPECT_NO_THROW((void)box.at(1));
+  EXPECT_EQ(ga.race_shadow(), nullptr);  // no shadow allocated while off
+}
+
+// --- golden path on the paper machines -------------------------------------
+
+void run_raced_smoke(machines::Platform platform) {
+  PCM_REQUIRE_RACE_COMPILED_IN();
+  RaceOn on;
+  const auto before = race::checks_passed();
+  auto m = machines::make_machine(
+      machines::MachineSpec{.platform = platform, .procs = 16, .seed = 11});
+  const int P = m->procs();
+
+  // A correct Split-C program: every PE stores one value, syncs, then gets
+  // its neighbour's — plus a raw Exchange consumed on the same trial.
+  runtime::GlobalArray<long> ga(*m, P);
+  runtime::SplitPhase<long> sp(*m);
+  for (int p = 0; p < P; ++p) sp.store(ga, p, p, p + 1);
+  sp.sync();
+  std::vector<long> got(static_cast<std::size_t>(P));
+  for (int p = 0; p < P; ++p) {
+    sp.get(ga, p, (p + 1) % P, &got[static_cast<std::size_t>(p)]);
+  }
+  sp.sync();
+  for (int p = 0; p < P; ++p) {
+    EXPECT_EQ(got[static_cast<std::size_t>(p)], (p + 1) % P + 1);
+  }
+
+  runtime::Exchange<std::uint32_t> ex(*m, runtime::TransferMode::Block);
+  for (int src = 0; src < P; ++src) {
+    ex.send(src, (src + 1) % P,
+            std::vector<std::uint32_t>{static_cast<std::uint32_t>(src)});
+  }
+  const auto box = ex.run();
+  for (int p = 0; p < P; ++p) EXPECT_EQ(box.at(p).size(), 1u);
+  m->barrier();
+
+  EXPECT_GT(race::checks_passed(), before)
+      << "instrumentation did not run on " << m->name();
+}
+
+TEST(RaceGoldenPath, MasPar) { run_raced_smoke(machines::Platform::MasPar); }
+TEST(RaceGoldenPath, GCel) { run_raced_smoke(machines::Platform::GCel); }
+TEST(RaceGoldenPath, CM5) { run_raced_smoke(machines::Platform::CM5); }
+
+}  // namespace
+}  // namespace pcm

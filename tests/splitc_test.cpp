@@ -20,6 +20,60 @@ TEST(GlobalArray, CyclicLayout) {
   EXPECT_EQ(ga.slice_of(4).size(), 6u);
 }
 
+TEST(GlobalArray, SizeNotDivisibleByProcs) {
+  auto m = test::small_cm5();  // P = 16
+  GlobalArray<int> ga(*m, 37);  // 37 = 2*16 + 5: procs 0..4 hold 3, rest 2
+  EXPECT_EQ(ga.size(), 37);
+  for (int p = 0; p < 5; ++p) EXPECT_EQ(ga.slice_of(p).size(), 3u) << p;
+  for (int p = 5; p < 16; ++p) EXPECT_EQ(ga.slice_of(p).size(), 2u) << p;
+  long total = 0;
+  for (int p = 0; p < 16; ++p) total += static_cast<long>(ga.slice_of(p).size());
+  EXPECT_EQ(total, 37);
+}
+
+TEST(GlobalArray, ZeroLength) {
+  auto m = test::small_cm5();
+  GlobalArray<int> ga(*m, 0);
+  EXPECT_EQ(ga.size(), 0);
+  for (int p = 0; p < m->procs(); ++p) EXPECT_TRUE(ga.slice_of(p).empty());
+  // A sync with nothing staged is a plain barrier over an empty batch.
+  SplitPhase<int> sp(*m);
+  EXPECT_EQ(sp.pending(), 0u);
+  EXPECT_NO_THROW(sp.sync());
+}
+
+TEST(GlobalArray, LastElementOwnerAndSlot) {
+  auto m = test::small_cm5();  // P = 16
+  // Non-divisible: the last element sits in the final slot of a long slice.
+  GlobalArray<int> odd(*m, 37);
+  EXPECT_EQ(odd.owner(36), 36 % 16);  // = 4
+  EXPECT_EQ(odd.slot(36), 36 / 16);   // = 2
+  EXPECT_EQ(odd.slot(36),
+            static_cast<long>(odd.slice_of(odd.owner(36)).size()) - 1);
+  odd.local(36) = 7;
+  EXPECT_EQ(odd.slice_of(4).back(), 7);
+
+  // Divisible: the last element belongs to the last processor.
+  GlobalArray<int> even(*m, 64);
+  EXPECT_EQ(even.owner(63), 15);
+  EXPECT_EQ(even.slot(63), 3);
+  EXPECT_EQ(even.slot(63),
+            static_cast<long>(even.slice_of(15).size()) - 1);
+  even.local(63) = 9;
+  EXPECT_EQ(even.slice_of(15).back(), 9);
+}
+
+TEST(GlobalArray, FewerElementsThanProcs) {
+  auto m = test::small_cm5();  // P = 16
+  GlobalArray<int> ga(*m, 3);
+  for (int p = 0; p < 3; ++p) EXPECT_EQ(ga.slice_of(p).size(), 1u);
+  for (int p = 3; p < 16; ++p) EXPECT_TRUE(ga.slice_of(p).empty());
+  SplitPhase<int> sp(*m);
+  for (long i = 0; i < 3; ++i) sp.put(ga, /*src=*/15, i, static_cast<int>(i));
+  sp.sync();
+  for (long i = 0; i < 3; ++i) EXPECT_EQ(ga.local(i), i);
+}
+
 TEST(SplitPhase, PutsLandAtSync) {
   auto m = test::small_cm5();
   m->reset();

@@ -174,6 +174,60 @@ void check_float_time(const std::string& rel_path,
   }
 }
 
+// --- rule: include-layer ---------------------------------------------------
+
+/// The simulator tree's layer order. Lower layers must not include higher
+/// ones; same-layer includes are fine (audit and net are mutually aware by
+/// design, which is why they share a layer). Directories the map does not
+/// know (new subsystems) are skipped rather than guessed at.
+int layer_of(const std::string& dir) {
+  if (dir == "sim") return 0;
+  if (dir == "report") return 1;
+  if (dir == "audit" || dir == "net" || dir == "race" || dir == "core")
+    return 2;
+  if (dir == "machines") return 3;
+  if (dir == "models" || dir == "runtime") return 4;
+  if (dir == "algos" || dir == "predict" || dir == "calibrate") return 5;
+  if (dir == "vendor" || dir == "exec") return 6;
+  return -1;
+}
+
+constexpr const char* kLayerOrder =
+    "sim -> report -> audit/net/race/core -> machines -> models/runtime -> "
+    "algos/predict/calibrate -> vendor/exec";
+
+/// Scans the *raw* lines: stripping blanks string contents, and an #include
+/// target is a string.
+void check_include_layer(const std::string& rel_path,
+                         const std::vector<std::string>& raw_lines,
+                         std::vector<Diagnostic>* out) {
+  const auto slash1 = rel_path.find('/');  // past "src"
+  const auto slash2 = rel_path.find('/', slash1 + 1);
+  if (slash2 == std::string::npos) return;  // file directly under src/
+  const std::string own_dir = rel_path.substr(slash1 + 1, slash2 - slash1 - 1);
+  const int own_layer = layer_of(own_dir);
+  if (own_layer < 0) return;
+
+  static const std::regex inc_re(R"(^\s*#\s*include\s*"([^"]+)\")");
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(raw_lines[i], m, inc_re)) continue;
+    const std::string target = m[1].str();
+    const auto slash = target.find('/');
+    if (slash == std::string::npos) continue;  // not a subsystem include
+    const std::string target_dir = target.substr(0, slash);
+    const int target_layer = layer_of(target_dir);
+    if (target_layer < 0 || target_layer <= own_layer) continue;
+    out->push_back(
+        {rel_path, static_cast<int>(i) + 1, "include-layer",
+         "src/" + own_dir + "/ (layer " + std::to_string(own_layer) +
+             ") includes \"" + target + "\" from src/" + target_dir +
+             "/ (layer " + std::to_string(target_layer) +
+             ") — a backward edge in the layer order " + kLayerOrder +
+             "; invert the dependency or move the shared piece down"});
+  }
+}
+
 // --- rule: assert-in-header ------------------------------------------------
 
 void check_assert_in_header(const std::string& rel_path,
@@ -191,6 +245,36 @@ void check_assert_in_header(const std::string& rel_path,
                       "builds by NDEBUG; use PCM_CHECK (sim/check.hpp)"});
     }
   }
+}
+
+/// Length of the raw-string introducer ([u8|u|U|L]R"delim() starting at `i`
+/// — through the opening '(' — filling `delim`; 0 when `i` does not start a
+/// well-formed raw string. Delimiters are capped at 16 d-chars with no
+/// quote/paren/backslash/space/newline (the standard's rules); anything
+/// malformed falls back to ordinary scanning.
+std::size_t raw_intro_len(const std::string& src, std::size_t i,
+                          std::string* delim) {
+  const std::size_t n = src.size();
+  std::size_t j = i;
+  if (j + 1 < n && src[j] == 'u' && src[j + 1] == '8') {
+    j += 2;
+  } else if (j < n && (src[j] == 'u' || src[j] == 'U' || src[j] == 'L')) {
+    ++j;
+  }
+  if (j + 1 >= n || src[j] != 'R' || src[j + 1] != '"') return 0;
+  j += 2;
+  delim->clear();
+  while (j < n && src[j] != '(') {
+    const char d = src[j];
+    if (delim->size() >= 16 || d == ')' || d == '\\' || d == ' ' ||
+        d == '"' || d == '\n') {
+      return 0;
+    }
+    delim->push_back(d);
+    ++j;
+  }
+  if (j >= n) return 0;
+  return j + 1 - i;
 }
 
 }  // namespace
@@ -221,16 +305,20 @@ std::string strip_comments_and_strings(const std::string& src) {
           blank(c);
           blank(next);
           i += 2;
-        } else if (c == 'R' && next == '"' &&
+        } else if ((c == 'R' || c == 'u' || c == 'U' || c == 'L') &&
                    (i == 0 || !is_ident(src[i - 1]))) {
-          // Raw string: R"delim( ... )delim"
-          std::size_t j = i + 2;
-          raw_delim.clear();
-          while (j < n && src[j] != '(') raw_delim.push_back(src[j++]);
-          for (std::size_t k = i; k < j && k < n; ++k) blank(src[k]);
-          if (j < n) blank(src[j]);  // the '('
-          i = j + 1;
-          state = State::Raw;
+          // Possibly a raw string: R"delim( — or a prefixed LR" / uR" /
+          // UR" / u8R" form. Anything else (L'x', u8"s", a bare
+          // identifier) re-enters ordinary scanning one char on.
+          const std::size_t intro = raw_intro_len(src, i, &raw_delim);
+          if (intro > 0) {
+            for (std::size_t k = 0; k < intro; ++k) blank(src[i + k]);
+            i += intro;
+            state = State::Raw;
+          } else {
+            emit(c);
+            ++i;
+          }
         } else if (c == '"') {
           state = State::String;
           blank(c);
@@ -322,6 +410,8 @@ std::vector<Diagnostic> lint_file(const std::string& rel_path,
   if (order_sensitive) check_unordered_iteration(rel_path, lines, &found);
   if (timing_core) check_float_time(rel_path, lines, &found);
   if (in_src && is_header) check_assert_in_header(rel_path, lines, &found);
+  // Include targets are strings, so this rule reads the raw lines.
+  if (in_src) check_include_layer(rel_path, raw_lines, &found);
 
   std::vector<Diagnostic> kept;
   for (auto& d : found) {

@@ -24,6 +24,19 @@
 //   assert-in-header     assert( in a header under src/ — headers are
 //                        compiled into Release bench binaries where NDEBUG
 //                        strips the check; use PCM_CHECK instead.
+//   include-layer        a quoted #include under src/ pointing *up* the
+//                        subsystem layer order
+//                          sim -> report -> audit/net/race/core ->
+//                          machines -> models/runtime ->
+//                          algos/predict/calibrate -> vendor/exec
+//                        (report is a leaf presentation layer consumed by
+//                        core, and exec sits on top of the machine layer —
+//                        the map encodes the tree as actually built, not the
+//                        conceptual data-flow order). Same-layer includes
+//                        are allowed: audit and net are mutually aware by
+//                        design. Directories the map does not know are
+//                        skipped, so a new subsystem must be added here
+//                        before the rule constrains it.
 //
 // Suppressions (placed in a comment on the offending line / anywhere in the
 // file):
@@ -42,7 +55,8 @@ struct Diagnostic {
   std::string message;
 };
 
-/// Replace comments and string/char literals (including raw strings) with
+/// Replace comments and string/char literals (including raw strings, in
+/// every prefix form R" LR" uR" UR" u8R" and with custom delimiters) with
 /// spaces, preserving line structure so diagnostics keep their line numbers.
 [[nodiscard]] std::string strip_comments_and_strings(const std::string& src);
 

@@ -51,6 +51,50 @@ TEST(Strip, HandlesRawStringsAndEscapes) {
   EXPECT_NE(out.find("rand_free"), std::string::npos);
 }
 
+TEST(Strip, HandlesPrefixedRawStrings) {
+  const std::string src =
+      "auto a = LR\"(rand() wide)\";\n"
+      "auto b = uR\"(time(nullptr))\";\n"
+      "auto c = UR\"(clock())\";\n"
+      "auto d = u8R\"x(srand(1))x\";\n"
+      "int rand_free;\n";
+  const std::string out = strip_comments_and_strings(src);
+  EXPECT_EQ(out.find("rand()"), std::string::npos);
+  EXPECT_EQ(out.find("time"), std::string::npos);
+  EXPECT_EQ(out.find("clock"), std::string::npos);
+  EXPECT_EQ(out.find("srand"), std::string::npos);
+  EXPECT_NE(out.find("rand_free"), std::string::npos);
+}
+
+TEST(Strip, PrefixedOrdinaryLiteralsStillStripped) {
+  const std::string src =
+      "auto a = L\"rand()\"; auto b = u8\"time(0)\"; char c = L'x';\n"
+      "int keep_me;\n";
+  const std::string out = strip_comments_and_strings(src);
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_EQ(out.find("time"), std::string::npos);
+  EXPECT_NE(out.find("keep_me"), std::string::npos);
+}
+
+TEST(Strip, RawPrefixInsideIdentifierIsNotARawString) {
+  // FOO_uR"..." — the u is the tail of an identifier, so this is the
+  // identifier FOO_uR followed by an ordinary string.
+  const std::string src = "auto x = FOO_uR\"not raw\";\n";
+  const std::string out = strip_comments_and_strings(src);
+  EXPECT_NE(out.find("FOO_uR"), std::string::npos);
+  EXPECT_EQ(out.find("not raw"), std::string::npos);
+}
+
+TEST(Strip, MalformedRawDelimiterFallsBack) {
+  // A ')' cannot appear in a raw delimiter; scanning must not swallow the
+  // rest of the file looking for one.
+  const std::string src =
+      "auto x = R\")\";\n"
+      "int still_code;\n";
+  const std::string out = strip_comments_and_strings(src);
+  EXPECT_NE(out.find("still_code"), std::string::npos);
+}
+
 // --- wallclock -------------------------------------------------------------
 
 TEST(Wallclock, FlagsLibcAndChrono) {
@@ -150,6 +194,51 @@ TEST(AssertInHeader, IgnoresStaticAssertAndPcmCheck) {
   EXPECT_TRUE(lint_file("src/runtime/x.hpp", src).empty());
 }
 
+// --- include-layer ---------------------------------------------------------
+
+TEST(IncludeLayer, FlagsBackwardEdges) {
+  const std::string src =
+      "#include \"machines/machine.hpp\"\n"
+      "#include \"exec/sweep.hpp\"\n";
+  const auto diags = lint_file("src/net/x.cpp", src);
+  EXPECT_TRUE(has(diags, "src/net/x.cpp", 1, "include-layer"));
+  EXPECT_TRUE(has(diags, "src/net/x.cpp", 2, "include-layer"));
+}
+
+TEST(IncludeLayer, AllowsDownwardAndSameLayer) {
+  const std::string src =
+      "#include \"sim/rng.hpp\"\n"
+      "#include \"net/pattern.hpp\"\n"
+      "#include \"audit/audit.hpp\"\n"  // audit and net share a layer
+      "#include <vector>\n";
+  EXPECT_TRUE(of_rule(lint_file("src/net/x.cpp", src), "include-layer").empty());
+  // net -> audit's mirror image is fine too.
+  EXPECT_TRUE(of_rule(lint_file("src/audit/x.hpp",
+                                "#include \"net/pattern.hpp\"\n"),
+                      "include-layer")
+                  .empty());
+}
+
+TEST(IncludeLayer, TopLayersMayReachDown) {
+  const std::string src =
+      "#include \"core/registry.hpp\"\n"
+      "#include \"machines/machine.hpp\"\n"
+      "#include \"algos/matmul.hpp\"\n";
+  EXPECT_TRUE(of_rule(lint_file("src/exec/x.cpp", src), "include-layer").empty());
+}
+
+TEST(IncludeLayer, OnlyConstrainsSrc) {
+  // Benches, tests and tools sit outside the layered tree and may include
+  // anything; so do includes of directories the map does not know.
+  const std::string src = "#include \"machines/machine.hpp\"\n";
+  EXPECT_TRUE(of_rule(lint_file("bench/fig01.cpp", src), "include-layer").empty());
+  EXPECT_TRUE(of_rule(lint_file("tests/x.cpp", src), "include-layer").empty());
+  EXPECT_TRUE(
+      of_rule(lint_file("src/net/x.cpp", "#include \"newdir/thing.hpp\"\n"),
+              "include-layer")
+          .empty());
+}
+
 // --- suppressions ----------------------------------------------------------
 
 TEST(Suppressions, LineAndFileLevel) {
@@ -186,6 +275,16 @@ TEST(FixtureTree, EveryViolationClassCaught) {
   EXPECT_TRUE(has(diags, "bench/bad_wallclock.cpp", 13, "wallclock"));
   EXPECT_TRUE(has(diags, "bench/bad_wallclock.cpp", 14, "wallclock"));
   EXPECT_TRUE(has(diags, "bench/bad_wallclock.cpp", 16, "wallclock"));
+
+  EXPECT_TRUE(has(diags, "src/net/bad_layering.cpp", 8, "include-layer"));
+  EXPECT_TRUE(has(diags, "src/net/bad_layering.cpp", 9, "include-layer"));
+  EXPECT_EQ(of_rule(diags, "include-layer").size(), 2u);  // line 10 suppressed
+
+  // Raw strings in every prefix form are data, not code.
+  for (const auto& d : diags) {
+    EXPECT_TRUE(d.file.find("raw_strings") == std::string::npos)
+        << d.file << ":" << d.line << " " << d.rule;
+  }
 
   // src/exec/ fixture must stay clean.
   for (const auto& d : diags) {

@@ -1,0 +1,13 @@
+// Fixture: a src/net file reaching up the layer order. The two backward
+// edges must be flagged; the suppressed one must not; downward and
+// same-layer includes are fine.
+
+#include "sim/rng.hpp"
+#include "net/pattern.hpp"
+#include "audit/audit.hpp"
+#include "machines/machine.hpp"
+#include "exec/sweep.hpp"
+#include "runtime/dist.hpp"  // pcm-lint:allow(include-layer)
+#include <vector>
+
+int net_bad_layering_anchor = 0;

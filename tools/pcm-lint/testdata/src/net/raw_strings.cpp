@@ -1,0 +1,14 @@
+// Fixture: raw string literals in every prefix form. Their contents are
+// data, not code — nothing in this file may be flagged, even though src/net
+// is subject to the wallclock, unordered-iteration and float-time rules.
+
+const char* a = R"(rand() and time(nullptr) as text)";
+const char* b = R"delim(std::random_device dev; srand(7);)delim";
+const wchar_t* c = LR"(clock() in an L-prefixed raw string)";
+const char16_t* d = uR"(drand48() here)";
+const char32_t* e = UR"(gettimeofday(now, 0))";
+const char* f = reinterpret_cast<const char*>(u8R"x(float t = time(0);)x");
+const char* g = R"(a raw string spanning
+lines with rand() and
+std::unordered_map<int, int> h; iterated for (auto& kv : h))";
+int raw_strings_anchor = 0;

@@ -1,14 +1,18 @@
 #pragma once
 
+#include <charconv>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <iostream>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "audit/audit.hpp"
 #include "core/registry.hpp"
+#include "fault/plan.hpp"
 #include "race/race.hpp"
 #include "core/series.hpp"
 #include "core/validation.hpp"
@@ -24,10 +28,16 @@
 //
 // Flags: --quick (smaller sweeps), --trials=K, --jobs=N, --seed=S, --audit
 // (run with the invariant auditor on; requires -DPCM_AUDIT=ON), --race
-// (run with the superstep race detector on; requires -DPCM_RACE=ON). Sweeps
-// run through the exec engine (exec/sweep.hpp): one fresh machine per
-// (x, trial) cell, seeded per cell, so output is bit-identical at any
-// --jobs value.
+// (run with the superstep race detector on; requires -DPCM_RACE=ON),
+// --fault=SPEC (deterministic fault injection, e.g. drop:rate=0.05:seed=7),
+// --retries=K / --cell-timeout-ms=T (per-cell resilience policy), and
+// --checkpoint=DIR / --resume (crash-safe journal + resumption). Sweeps run
+// through the exec engine (exec/sweep.hpp): one fresh machine per (x, trial)
+// cell, seeded per cell, so output is bit-identical at any --jobs value.
+//
+// All numeric flag values are parsed strictly (std::from_chars): trailing
+// garbage, signs where they make no sense, and out-of-range values are
+// usage errors, never silent wraparound.
 
 namespace pcm::bench {
 
@@ -44,12 +54,19 @@ struct Env {
   std::uint64_t seed = 0; ///< 0 = use the bench's default seed.
   bool audit = false;     ///< Run with the invariant auditor enabled.
   bool race = false;      ///< Run with the superstep race detector enabled.
+  std::string fault;        ///< The --fault spec as given (empty = none).
+  int retries = 0;          ///< Extra attempts per failing cell.
+  double cell_timeout_ms = 0.0;  ///< Watchdog budget per cell; 0 = off.
+  std::string checkpoint;   ///< Journal directory (empty = no journal).
+  bool resume = false;      ///< Resume from the checkpoint journal.
 };
 
 [[noreturn]] inline void usage(const char* argv0, const std::string& error) {
   if (!error.empty()) std::cerr << argv0 << ": " << error << "\n";
   std::cerr << "usage: " << argv0
             << " [--quick] [--trials=K] [--jobs=N] [--seed=S] [--audit] [--race]\n"
+            << "       [--fault=SPEC] [--retries=K] [--cell-timeout-ms=T]\n"
+            << "       [--checkpoint=DIR] [--resume]\n"
             << "  --quick      run a smaller sweep\n"
             << "  --trials=K   trials per data point (K > 0)\n"
             << "  --jobs=N     parallel sweep workers; 0 = all hardware threads\n"
@@ -59,9 +76,35 @@ struct Env {
             << "               sweep runs; needs a -DPCM_AUDIT=ON build\n"
             << "  --race       check BSP superstep ordering (write-write,\n"
             << "               read-before-sync, stale mailbox reads, bypass\n"
-            << "               writes) as the sweep runs; needs -DPCM_RACE=ON\n";
+            << "               writes) as the sweep runs; needs -DPCM_RACE=ON\n"
+            << "  --fault=SPEC inject deterministic faults; SPEC is\n"
+            << "               kind[:rate=R][:severity=X][:seed=S][:from=A][:to=B]\n"
+            << "               with kind one of drop, dup, dead-channel,\n"
+            << "               corrupt, straggler, barrier-stall\n"
+            << "  --retries=K  re-run a failing cell up to K more times\n"
+            << "               (reseeded per attempt, deterministically)\n"
+            << "  --cell-timeout-ms=T  cancel a cell stuck for T wall-clock ms\n"
+            << "  --checkpoint=DIR     journal finished cells under DIR\n"
+            << "  --resume     skip cells already in the checkpoint journal\n";
   std::exit(error.empty() ? 0 : 2);
 }
+
+namespace detail {
+
+/// Strict whole-token numeric parse: no leading whitespace or '+', no
+/// trailing garbage, range-checked by from_chars. Returns false on any of
+/// those — the caller turns that into a usage error instead of accepting a
+/// silently wrapped value.
+template <typename T>
+inline bool parse_number(std::string_view text, T* out) {
+  if (text.empty()) return false;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last;
+}
+
+}  // namespace detail
 
 /// Strict flag parser: unknown flags and malformed values are fatal.
 inline Env parse_env(int argc, char** argv) {
@@ -73,23 +116,44 @@ inline Env parse_env(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0], "");
     } else if (arg.rfind("--trials=", 0) == 0) {
-      char* end = nullptr;
-      env.trials = static_cast<int>(std::strtol(arg.c_str() + 9, &end, 10));
-      if (*end != '\0' || env.trials <= 0) {
+      if (!detail::parse_number(arg.substr(9), &env.trials) ||
+          env.trials <= 0) {
         usage(argv[0], "--trials expects a positive integer, got '" + arg + "'");
       }
     } else if (arg.rfind("--jobs=", 0) == 0) {
-      char* end = nullptr;
-      env.jobs = static_cast<int>(std::strtol(arg.c_str() + 7, &end, 10));
-      if (*end != '\0' || env.jobs < 0) {
+      if (!detail::parse_number(arg.substr(7), &env.jobs) || env.jobs < 0) {
         usage(argv[0], "--jobs expects a non-negative integer, got '" + arg + "'");
       }
     } else if (arg.rfind("--seed=", 0) == 0) {
-      char* end = nullptr;
-      env.seed = std::strtoull(arg.c_str() + 7, &end, 10);
-      if (*end != '\0' || end == arg.c_str() + 7) {
+      if (!detail::parse_number(arg.substr(7), &env.seed)) {
         usage(argv[0], "--seed expects an unsigned integer, got '" + arg + "'");
       }
+    } else if (arg.rfind("--fault=", 0) == 0) {
+      env.fault = arg.substr(8);
+      try {
+        fault::set_plan(fault::parse_fault_plan(env.fault));
+      } catch (const std::invalid_argument& e) {
+        usage(argv[0], std::string("--fault: ") + e.what());
+      }
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      if (!detail::parse_number(arg.substr(10), &env.retries) ||
+          env.retries < 0) {
+        usage(argv[0],
+              "--retries expects a non-negative integer, got '" + arg + "'");
+      }
+    } else if (arg.rfind("--cell-timeout-ms=", 0) == 0) {
+      if (!detail::parse_number(arg.substr(18), &env.cell_timeout_ms) ||
+          env.cell_timeout_ms <= 0.0) {
+        usage(argv[0],
+              "--cell-timeout-ms expects a positive number, got '" + arg + "'");
+      }
+    } else if (arg.rfind("--checkpoint=", 0) == 0) {
+      env.checkpoint = arg.substr(13);
+      if (env.checkpoint.empty()) {
+        usage(argv[0], "--checkpoint expects a directory path");
+      }
+    } else if (arg == "--resume") {
+      env.resume = true;
     } else if (arg == "--audit") {
       env.audit = true;
       if (!audit::set_enabled(true)) {
@@ -108,18 +172,26 @@ inline Env parse_env(int argc, char** argv) {
       usage(argv[0], "unknown flag '" + arg + "'");
     }
   }
+  if (env.resume && env.checkpoint.empty()) {
+    usage(argv[0], "--resume requires --checkpoint=DIR");
+  }
   return env;
 }
 
 /// Fill the engine-facing fields of a SweepSpec from the parsed flags: the
-/// per-cell machine recipe, worker count and base seed (seed also becomes
-/// the calibration-machine seed, keeping the whole bench one seed family).
+/// per-cell machine recipe, worker count, base seed (seed also becomes the
+/// calibration-machine seed, keeping the whole bench one seed family), and
+/// the resilience policy (retries, watchdog, checkpoint journal).
 inline void apply_env(SweepSpec& spec, const Env& env,
                       const machines::MachineSpec& machine) {
   spec.machine = machine;
   spec.jobs = env.jobs;
   spec.seed = machine.seed;
   if (env.trials > 0) spec.trials = env.trials;
+  spec.max_attempts = env.retries + 1;
+  spec.cell_timeout_ms = env.cell_timeout_ms;
+  spec.checkpoint_dir = env.checkpoint;
+  spec.resume = env.resume;
 }
 
 /// Print everything for one experiment. `scale` converts µs to the unit in
@@ -136,6 +208,26 @@ inline void report(const core::ValidationSeries& s, double scale = 1.0,
   core::print_series(std::cout, s, scale, precision);
   core::plot_series(std::cout, s, log_x, log_y);
   core::csv_series(s);
+}
+
+/// Report a full sweep result: the series as above, then the failure ledger
+/// (cell-index order — deterministic across --jobs like everything else).
+inline void report(const exec::SweepResult& r, double scale = 1.0,
+                   bool log_x = false, bool log_y = false, int precision = 1) {
+  report(r.series, scale, log_x, log_y, precision);
+  if (r.cells_resumed > 0) {
+    std::cerr << r.series.experiment << ": resumed " << r.cells_resumed << "/"
+              << r.cells_total << " cells from the checkpoint journal\n";
+  }
+  if (!r.failures.empty()) {
+    std::cout << "cell failures (" << r.failures.size() << " of "
+              << r.cells_total << " cells):\n";
+    for (const auto& f : r.failures) {
+      std::cout << "  cell " << f.cell << "  x=" << f.x << " trial=" << f.trial
+                << " attempts=" << f.attempts << " [" << f.kind << "] "
+                << f.message << "\n";
+    }
+  }
 }
 
 }  // namespace pcm::bench

@@ -46,8 +46,9 @@ int main(int argc, char** argv) {
            mk;
   }}};
 
-  const auto s = bench::run_sweep(spec);
-  bench::report(s, 1e-3, false, false, 1);
+  const auto r = bench::run_sweep(spec);
+  const auto& s = r.series;
+  bench::report(r, 1e-3, false, false, 1);
   const auto err = core::evaluate(s, "MP-BSP");
   std::cout << "\nmodel/measured factor at the largest M: "
             << report::Table::num(

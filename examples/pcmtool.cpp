@@ -19,6 +19,7 @@
 
 #include "algos/apsp.hpp"
 #include "audit/audit.hpp"
+#include "fault/plan.hpp"
 #include "race/race.hpp"
 #include "algos/bitonic.hpp"
 #include "algos/matmul.hpp"
@@ -106,7 +107,15 @@ int usage() {
          "                       runs (requires a -DPCM_AUDIT=ON build)\n"
          "              --race   check BSP superstep ordering (split-phase\n"
          "                       conflicts, stale mailbox reads) while the\n"
-         "                       command runs (requires a -DPCM_RACE=ON build)\n";
+         "                       command runs (requires a -DPCM_RACE=ON build)\n"
+         "              --fault=SPEC  inject deterministic faults while the\n"
+         "                       command runs; SPEC is kind[:rate=R]\n"
+         "                       [:severity=X][:seed=S][:from=A][:to=B] with\n"
+         "                       kind one of drop, dup, dead-channel, corrupt,\n"
+         "                       straggler, barrier-stall\n"
+         "exit codes: 0 ok, 1 wrong output, 2 usage, 3 invariant violation\n"
+         "            (AuditError), 4 superstep race (RaceError), 5 other\n"
+         "            runtime failure\n";
   return 2;
 }
 
@@ -212,7 +221,7 @@ int cmd_matmul(machines::Machine& m, const Options& o) {
             << diff << "\n  predicted " << report::Table::num(pred / 1e3, 1)
             << " ms (" << report::Table::num(100.0 * (pred - r.time) / r.time, 1)
             << "% error)\n";
-  return 0;
+  return diff > 1e-6 ? 1 : 0;
 }
 
 int cmd_sort(machines::Machine& m, const Options& o) {
@@ -276,7 +285,7 @@ int cmd_apsp(machines::Machine& m, const Options& o) {
             << report::Table::num(r.time / 1e3, 1)
             << " ms, max|diff vs Floyd| = " << diff << "\n";
   breakdown(m);
-  return 0;
+  return diff > 0.0 ? 1 : 0;
 }
 
 }  // namespace
@@ -293,6 +302,14 @@ int main(int argc, char** argv) {
                  "race detector was compiled out)\n";
     return 2;
   }
+  if (o.has("fault")) {
+    try {
+      fault::set_plan(fault::parse_fault_plan(o.get("fault", std::string())));
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "pcmtool: --fault: " << e.what() << "\n";
+      return 2;
+    }
+  }
   if (o.command == "list") return cmd_list();
   if (o.command == "params") return cmd_params();
 
@@ -300,17 +317,24 @@ int main(int argc, char** argv) {
   auto m = make_machine_named(o.machine, 2026);
   if (m == nullptr) return usage();
 
+  // Each detector gets its own exit code so scripts (and the CI smoke jobs)
+  // can tell an invariant violation from a race from a plain failure, with a
+  // one-line machine/superstep diagnostic instead of an uncaught abort.
   try {
     if (o.command == "calibrate") return cmd_calibrate(*m, o);
     if (o.command == "matmul") return cmd_matmul(*m, o);
     if (o.command == "sort") return cmd_sort(*m, o);
     if (o.command == "apsp") return cmd_apsp(*m, o);
   } catch (const audit::AuditError& e) {
-    std::cerr << "pcmtool: " << e.what() << "\n";
+    std::cerr << "pcmtool: audit: " << e.what() << "\n";
     return 3;
   } catch (const race::RaceError& e) {
-    std::cerr << "pcmtool: " << e.what() << "\n";
-    return 3;
+    std::cerr << "pcmtool: race: " << e.what() << "\n";
+    return 4;
+  } catch (const std::exception& e) {
+    std::cerr << "pcmtool: " << o.command << " failed on " << m->name()
+              << " at superstep " << m->superstep() << ": " << e.what() << "\n";
+    return 5;
   }
   return usage();
 }

@@ -1,6 +1,7 @@
 #include "algos/bitonic.hpp"
 
 #include <cassert>
+#include <stdexcept>
 
 #include "algos/local/merge.hpp"
 #include "algos/local/radix_sort.hpp"
@@ -108,7 +109,17 @@ void bitonic_core(machines::Machine& m,
       }
       auto box = ex.run();
       for (int p = 0; p < P; ++p) {
-        partner_buf[static_cast<std::size_t>(p)] = box.at(p).front().data;
+        const auto parcels = box.at(p);
+        // The whole partner run travels as one parcel; under a data-loss
+        // fault plan it can vanish entirely. Fail loudly — a merge against
+        // a phantom run would be undefined behaviour, not a wrong answer.
+        if (parcels.empty()) {
+          throw std::runtime_error(
+              "bitonic: PE " + std::to_string(p) +
+              " never received its partner run — parcel lost (data-loss "
+              "fault?)");
+        }
+        partner_buf[static_cast<std::size_t>(p)] = parcels.front().data;
       }
       if (v == BitonicVariant::Bpram) {
         m.barrier();  // The MP-BPRAM step is synchronous by definition.

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstring>
+#include <stdexcept>
 
 #include "algos/local/matmul_kernel.hpp"
 #include "runtime/exchange.hpp"
@@ -204,6 +205,16 @@ class MatmulRun {
     });
     for (int p = 0; p < grid_.procs(); ++p) {
       auto& loc = local_[static_cast<std::size_t>(p)];
+      // An operand block stays empty when every parcel carrying it was lost
+      // (e.g. under a drop/dead-channel fault plan). Fail loudly rather than
+      // hand the kernel a null span; partial loss leaves zero-filled holes
+      // and is caught downstream by output validation instead.
+      if (loc.a_full.empty() || loc.b_full.empty()) {
+        throw std::runtime_error(
+            "matmul: PE " + std::to_string(p) + " never received its " +
+            (loc.a_full.empty() ? "A" : "B") +
+            " block — all parcels lost (data-loss fault?)");
+      }
       const sim::Micros cost = matmul_charged<T>(
           loc.a_full, loc.b_full, loc.chat, bs_, bs_, bs_, m_.compute());
       m_.charge(p, cost);

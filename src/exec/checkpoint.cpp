@@ -1,0 +1,152 @@
+#include "exec/checkpoint.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace pcm::exec {
+
+namespace {
+
+constexpr const char* kMagic = "pcm-sweep-journal v1 ";
+
+std::string sanitize(const std::string& name) {
+  std::string out;
+  for (const char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+                          c == '_'
+                      ? c
+                      : '_');
+  }
+  return out.empty() ? std::string("sweep") : out;
+}
+
+std::string journal_filename(const std::string& experiment,
+                             const std::string& header) {
+  std::ostringstream os;
+  os << sanitize(experiment) << '-' << std::hex << std::setw(16)
+     << std::setfill('0') << std::hash<std::string>{}(header) << ".journal";
+  return os.str();
+}
+
+/// Parse one "cell ..." line; returns false on any malformation (the torn
+/// final line of a killed run looks like this, so malformed = ignore).
+bool parse_entry(const std::string& line, JournalEntry* e) {
+  std::istringstream is(line);
+  std::string word;
+  if (!(is >> word) || word != "cell") return false;
+  if (!(is >> e->cell)) return false;
+  if (!(is >> word)) return false;
+  if (word == "ok") {
+    e->ok = true;
+    std::string value;
+    if (!(is >> e->attempts) || e->attempts < 1 || !(is >> value)) return false;
+    // std::strtod accepts the hexfloat form ostreams emit; iostreams'
+    // operator>> does not, hence the manual parse.
+    char* end = nullptr;
+    e->us = std::strtod(value.c_str(), &end);
+    if (end == nullptr || *end != '\0' || end == value.c_str()) return false;
+    e->kind.clear();
+    e->message.clear();
+    return true;
+  }
+  if (word == "fail") {
+    e->ok = false;
+    e->us = 0.0;
+    if (!(is >> e->attempts) || e->attempts < 1 || !(is >> e->kind)) {
+      return false;
+    }
+    std::getline(is, e->message);
+    if (!e->message.empty() && e->message.front() == ' ') {
+      e->message.erase(0, 1);
+    }
+    return true;
+  }
+  return false;
+}
+
+std::string one_line(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+}  // namespace
+
+CheckpointJournal::CheckpointJournal(const std::string& dir,
+                                     const std::string& experiment,
+                                     const std::string& header, bool resume) {
+  const std::filesystem::path root(dir);
+  std::error_code ec;
+  std::filesystem::create_directories(root, ec);
+  if (ec) {
+    throw std::runtime_error("checkpoint: cannot create directory '" + dir +
+                             "': " + ec.message());
+  }
+  path_ = (root / journal_filename(experiment, header)).string();
+  const std::string header_line = kMagic + one_line(header);
+
+  if (resume) {
+    std::ifstream in(path_);
+    if (in) {
+      std::string line;
+      if (!std::getline(in, line) || line != header_line) {
+        throw std::runtime_error(
+            "checkpoint: journal '" + path_ +
+            "' belongs to a different sweep definition; refusing to resume");
+      }
+      JournalEntry e;
+      while (std::getline(in, line)) {
+        if (parse_entry(line, &e)) loaded_[e.cell] = e;
+      }
+    }
+    // Missing file on resume is fine: first run with --resume just starts.
+  }
+
+  const bool append_mode = resume && !loaded_.empty();
+  bool needs_newline = false;
+  if (append_mode) {
+    // A SIGKILL can leave a torn final line with no trailing newline;
+    // appending straight after it would weld two records together. Terminate
+    // the torn line first so both records stay parseable (the torn one is
+    // ignored, as always).
+    std::ifstream in(path_, std::ios::binary | std::ios::ate);
+    if (in && in.tellg() > 0) {
+      in.seekg(-1, std::ios::end);
+      char last = '\n';
+      in.get(last);
+      needs_newline = last != '\n';
+    }
+  }
+  out_.open(path_, append_mode ? std::ios::out | std::ios::app
+                               : std::ios::out | std::ios::trunc);
+  if (!out_) {
+    throw std::runtime_error("checkpoint: cannot open journal '" + path_ +
+                             "' for writing");
+  }
+  if (needs_newline) out_ << '\n';
+  if (!append_mode) out_ << header_line << '\n';
+  out_ << std::flush;
+}
+
+void CheckpointJournal::append(const JournalEntry& entry) {
+  std::ostringstream line;
+  line << "cell " << entry.cell;
+  if (entry.ok) {
+    line << " ok " << entry.attempts << ' ' << std::hexfloat << entry.us;
+  } else {
+    line << " fail " << entry.attempts << ' '
+         << (entry.kind.empty() ? "unknown" : one_line(entry.kind)) << ' '
+         << one_line(entry.message);
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  out_ << line.str() << '\n' << std::flush;
+}
+
+}  // namespace pcm::exec

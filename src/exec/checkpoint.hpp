@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+
+// CheckpointJournal: the crash-safe persistence behind --checkpoint/--resume.
+//
+// One journal file per sweep, append-only, one line per finished cell:
+//
+//   pcm-sweep-journal v1 <sweep identity header>
+//   cell <idx> ok <attempts> <hexfloat µs>
+//   cell <idx> fail <attempts> <kind> <one-line message>
+//
+// Appends are flushed line-at-a-time, so a SIGKILL loses at most the cell
+// that was mid-write — and a torn final line is detected and ignored on
+// resume. Measurements are serialised as hexfloat (%a), which round-trips a
+// double exactly; a resumed sweep therefore reassembles byte-identical
+// output from journalled cells, the property the kill-and-resume CI job
+// asserts with cmp.
+//
+// The filename embeds a hash of the identity header (experiment, machine,
+// axis, trials, seed, fault plan, retry budget), so a bench that runs
+// several sweeps into the same --checkpoint directory gets one journal
+// each, and resuming against a journal from a *different* sweep definition
+// is refused instead of silently mixing results.
+
+namespace pcm::exec {
+
+/// One journal record: the final outcome of a cell's attempt sequence.
+struct JournalEntry {
+  std::size_t cell = 0;
+  bool ok = false;
+  double us = 0.0;      ///< Measured value; meaningful only when ok.
+  int attempts = 0;     ///< Attempts consumed (>= 1).
+  std::string kind;     ///< Failure classification when !ok.
+  std::string message;  ///< One-line failure message when !ok.
+};
+
+class CheckpointJournal {
+ public:
+  /// Open the journal for the sweep identified by `header` inside `dir`
+  /// (created if missing). With resume=false any previous journal for this
+  /// sweep is truncated; with resume=true its entries are loaded (torn
+  /// trailing line ignored) and appending continues. Throws
+  /// std::runtime_error on I/O failure or a resume header mismatch.
+  CheckpointJournal(const std::string& dir, const std::string& experiment,
+                    const std::string& header, bool resume);
+
+  /// Cells loaded from a resumed journal, keyed by cell index (empty for a
+  /// fresh journal). Later duplicates win, so a cell re-run after a partial
+  /// resume keeps its newest outcome.
+  [[nodiscard]] const std::map<std::size_t, JournalEntry>& loaded() const {
+    return loaded_;
+  }
+
+  /// Append one finished cell and flush. Thread-safe.
+  void append(const JournalEntry& entry);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::mutex mu_;
+  std::map<std::size_t, JournalEntry> loaded_;
+};
+
+}  // namespace pcm::exec

@@ -1,8 +1,6 @@
 #include "exec/parallel_runner.hpp"
 
 #include <algorithm>
-#include <exception>
-#include <mutex>
 #include <thread>
 
 namespace pcm::exec {
@@ -16,26 +14,35 @@ ParallelRunner::ParallelRunner(int jobs)
   if (jobs_ > 1) pool_ = std::make_unique<WorkStealingPool>(jobs_);
 }
 
-void ParallelRunner::for_each(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+std::vector<std::exception_ptr> ParallelRunner::for_each_collect(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  // One pre-sized slot per index: workers write disjoint entries, so no
+  // lock is needed and the result is identical for every schedule.
+  std::vector<std::exception_ptr> errors(n);
+  const auto guarded = [&](std::size_t i) {
+    try {
+      fn(i);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
   if (pool_ == nullptr) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
+    for (std::size_t i = 0; i < n; ++i) guarded(i);
+    return errors;
   }
-  std::mutex mu;
-  std::exception_ptr first_error;
   for (std::size_t i = 0; i < n; ++i) {
-    pool_->submit([&, i] {
-      try {
-        fn(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(mu);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
+    pool_->submit([&guarded, i] { guarded(i); });
   }
   pool_->wait();
-  if (first_error) std::rethrow_exception(first_error);
+  return errors;
+}
+
+void ParallelRunner::for_each(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  const auto errors = for_each_collect(n, fn);
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
 }
 
 }  // namespace pcm::exec

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "exec/thread_pool.hpp"
 
@@ -27,6 +29,15 @@ class ParallelRunner {
   /// Run fn(i) for every i in [0, n), returning when all are done. The first
   /// exception thrown by any fn is rethrown here (remaining tasks still run).
   void for_each(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Like for_each, but with per-index exception isolation: one throwing
+  /// fn(i) never disturbs the others. Returns a vector of n slots where
+  /// slot i holds the exception fn(i) escaped with (null on success) —
+  /// indexed, not completion-ordered, so the result is schedule-independent.
+  /// This is the primitive the resilient sweep engine records CellFailures
+  /// from; for_each is a thin rethrow-first wrapper around it.
+  [[nodiscard]] std::vector<std::exception_ptr> for_each_collect(
+      std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// One worker per hardware thread (>= 1 even if the runtime reports 0).
   static int hardware_jobs();

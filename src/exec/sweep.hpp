@@ -1,15 +1,25 @@
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "core/series.hpp"
+#include "exec/checkpoint.hpp"
 #include "exec/parallel_runner.hpp"
 #include "exec/progress.hpp"
+#include "exec/watchdog.hpp"
+#include "fault/plan.hpp"
 #include "machines/machine.hpp"
+#include "race/race.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 
@@ -27,6 +37,15 @@
 // Machines are per-cell rather than shared precisely to make that hold: a
 // shared Machine's RNG stream would thread through cells in completion
 // order, welding the results to the schedule.
+//
+// Resilience (this file's second job): a throwing cell — an AuditError, a
+// RaceError, a fault-plan-provoked failure, a watchdog cancellation — is
+// caught at the attempt boundary and recorded as a CellFailure instead of
+// tearing down the pool. Each retry attempt gets its own split of the cell
+// seed, so the retry sequence is as schedule-independent as the first
+// attempt. With a checkpoint directory configured every finished cell is
+// journalled (crash-safe, append-only), and a killed sweep resumed with
+// resume=true skips journalled cells and reassembles bit-identical output.
 
 namespace pcm::exec {
 
@@ -43,6 +62,19 @@ struct TrialContext {
   double x = 0.0;
   int trial = 0;
   std::uint64_t cell_seed = 0;
+  int attempt = 0;  ///< 0 on the first try, 1.. for retries.
+};
+
+/// One cell that exhausted its attempt budget. Failures are reported in
+/// cell-index order — like everything the engine emits, independent of the
+/// schedule that produced them.
+struct CellFailure {
+  std::size_t cell = 0;
+  double x = 0.0;
+  int trial = 0;
+  int attempts = 0;     ///< Attempts consumed (== the budget).
+  std::string kind;     ///< "audit", "race", "timeout", "exception", ...
+  std::string message;  ///< One-line diagnostic from the last attempt.
 };
 
 struct SweepSpec {
@@ -56,46 +88,193 @@ struct SweepSpec {
   std::uint64_t seed = 0;  ///< Base seed for the cell stream; 0 = machine.seed.
   std::function<double(TrialContext&)> measure;  ///< cell -> µs
   std::vector<Predictor> predictors;
+
+  // --- resilience policy ---------------------------------------------------
+  int max_attempts = 1;         ///< Attempt budget per cell (>= 1).
+  double cell_timeout_ms = 0.0; ///< Watchdog wall-clock budget; <= 0 = off.
+  std::string checkpoint_dir;   ///< Journal directory; empty = no journal.
+  bool resume = false;          ///< Skip cells already journalled.
 };
 
-inline core::ValidationSeries run_sweep(const SweepSpec& spec) {
-  core::ValidationSeries s;
+/// What a sweep produces: the measured series plus the failure ledger.
+struct SweepResult {
+  core::ValidationSeries series;
+  std::vector<CellFailure> failures;  ///< Cell-index order.
+  std::size_t cells_total = 0;
+  std::size_t cells_resumed = 0;  ///< Cells skipped via a resumed journal.
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+namespace detail {
+
+/// The identity header a checkpoint journal is keyed on: everything that
+/// changes a cell's outcome. Two sweeps agreeing on this string would write
+/// identical journals cell-for-cell.
+inline std::string journal_header(const SweepSpec& spec) {
+  std::string h = "exp=" + spec.experiment +
+                  " machine=" + machines::to_string(spec.machine) +
+                  " y=" + spec.y_label +
+                  " xs=" + std::to_string(spec.xs.size()) +
+                  " trials=" + std::to_string(spec.trials) +
+                  " seed=" + std::to_string(spec.seed) +
+                  " attempts=" + std::to_string(spec.max_attempts);
+  const auto plan = fault::active_plan();
+  h += " fault=" + (plan ? fault::to_string(*plan) : std::string("none"));
+  return h;
+}
+
+}  // namespace detail
+
+inline SweepResult run_sweep(const SweepSpec& spec) {
+  SweepResult out;
+  core::ValidationSeries& s = out.series;
   s.experiment = spec.experiment;
   s.x_label = spec.x_label;
   s.y_label = spec.y_label;
 
   const std::size_t trials = spec.trials > 0 ? static_cast<std::size_t>(spec.trials) : 1;
   const std::size_t cells = spec.xs.size() * trials;
+  out.cells_total = cells;
   const sim::Rng root(spec.seed != 0 ? spec.seed : spec.machine.seed);
+  const int max_attempts = spec.max_attempts > 1 ? spec.max_attempts : 1;
 
-  std::vector<double> cell_us(cells, 0.0);
-  ProgressReporter progress(std::cerr, spec.experiment, cells);
+  // Per-cell outcome slots: workers write disjoint entries, assembly reads
+  // them serially in cell order afterwards.
+  struct CellState {
+    bool done = false;
+    bool ok = false;
+    double us = 0.0;
+    int attempts = 0;
+    std::string kind;
+    std::string message;
+  };
+  std::vector<CellState> state(cells);
+
+  std::optional<CheckpointJournal> journal;
+  if (!spec.checkpoint_dir.empty()) {
+    journal.emplace(spec.checkpoint_dir, spec.experiment,
+                    detail::journal_header(spec), spec.resume);
+    for (const auto& [cell, e] : journal->loaded()) {
+      if (cell >= cells) continue;  // stale tail from a shrunk definition
+      CellState& st = state[cell];
+      st.done = true;
+      st.ok = e.ok;
+      st.us = e.us;
+      st.attempts = e.attempts;
+      st.kind = e.kind;
+      st.message = e.message;
+      ++out.cells_resumed;
+    }
+  }
+
+  std::vector<std::size_t> pending;
+  pending.reserve(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    if (!state[c].done) pending.push_back(c);
+  }
+
+  ProgressReporter progress(std::cerr, spec.experiment, pending.size());
+  Watchdog watchdog(spec.cell_timeout_ms);
   ParallelRunner runner(spec.jobs);
-  runner.for_each(cells, [&](std::size_t c) {
+  const auto escaped = runner.for_each_collect(pending.size(), [&](std::size_t i) {
+    const std::size_t c = pending[i];
+    CellState& st = state[c];
     const double x = spec.xs[c / trials];
     const int trial = static_cast<int>(c % trials);
-    const std::uint64_t cell_seed = root.split(c).next_u64();
-    machines::MachineSpec mspec = spec.machine;
-    mspec.seed = cell_seed;
-    const auto machine = machines::make_machine(mspec);
-    TrialContext ctx{*machine, x, trial, cell_seed};
-    cell_us[c] = spec.measure(ctx);
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      st.attempts = attempt + 1;
+      // Attempt 0 keeps the historical per-cell seed (existing sweep outputs
+      // are unchanged); each retry re-seeds through a further split, so the
+      // attempt sequence is deterministic but decorrelated.
+      const std::uint64_t cell_seed =
+          attempt == 0 ? root.split(c).next_u64()
+                       : root.split(c)
+                             .split(static_cast<std::uint64_t>(attempt))
+                             .next_u64();
+      try {
+        machines::MachineSpec mspec = spec.machine;
+        mspec.seed = cell_seed;
+        const auto machine = machines::make_machine(mspec);
+        std::atomic<bool> cancelled{false};
+        machine->set_cancel(&cancelled);
+        auto guard = watchdog.watch(&cancelled);
+        TrialContext ctx{*machine, x, trial, cell_seed, attempt};
+        const double us = spec.measure(ctx);
+        guard.release();
+        st.done = true;
+        st.ok = true;
+        st.us = us;
+        st.kind.clear();
+        st.message.clear();
+        break;
+      } catch (const fault::CancelledError& e) {
+        st.kind = "timeout";
+        st.message = e.what();
+      } catch (const audit::AuditError& e) {
+        st.kind = "audit";
+        st.message = e.what();
+      } catch (const race::RaceError& e) {
+        st.kind = "race";
+        st.message = e.what();
+      } catch (const std::exception& e) {
+        st.kind = "exception";
+        st.message = e.what();
+      } catch (...) {
+        st.kind = "unknown";
+        st.message = "non-standard exception escaped measure()";
+      }
+    }
+    st.done = true;
+    if (journal) {
+      journal->append(JournalEntry{c, st.ok, st.us, st.attempts, st.kind,
+                                   st.message});
+    }
     progress.cell_done(x, trial);
   });
+  // An exception that escaped even the attempt loop (progress/journal I/O,
+  // bad_alloc while classifying, ...) is an engine failure — still recorded
+  // rather than rethrown, so one broken cell cannot sink the sweep.
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (!escaped[i]) continue;
+    CellState& st = state[pending[i]];
+    st.done = true;
+    st.ok = false;
+    if (st.kind.empty()) st.kind = "engine";
+    try {
+      std::rethrow_exception(escaped[i]);
+    } catch (const std::exception& e) {
+      st.message = e.what();
+    } catch (...) {
+      st.message = "non-standard exception escaped the cell runner";
+    }
+  }
 
   // Assembly is serial and in cell order, so the statistics (and any
   // floating-point accumulation inside them) are independent of scheduling.
+  // Failed cells contribute nothing; an x whose every trial failed yields an
+  // empty (zeroed) summary.
   for (std::size_t xi = 0; xi < spec.xs.size(); ++xi) {
     sim::Accumulator acc;
-    for (std::size_t t = 0; t < trials; ++t) acc.add(cell_us[xi * trials + t]);
+    for (std::size_t t = 0; t < trials; ++t) {
+      const CellState& st = state[xi * trials + t];
+      if (st.ok) acc.add(st.us);
+    }
     s.points.push_back({spec.xs[xi], acc.summary()});
+  }
+  for (std::size_t c = 0; c < cells; ++c) {
+    const CellState& st = state[c];
+    if (st.ok) continue;
+    out.failures.push_back(CellFailure{c, spec.xs[c / trials],
+                                       static_cast<int>(c % trials),
+                                       st.attempts, st.kind, st.message});
   }
   for (const auto& p : spec.predictors) {
     core::PredictedSeries pred{p.model, {}};
     for (const double x : spec.xs) pred.ys.push_back(p.fn(x));
     s.predictions.push_back(std::move(pred));
   }
-  return s;
+  return out;
 }
 
 }  // namespace pcm::exec

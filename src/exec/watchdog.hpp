@@ -1,0 +1,146 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+// Watchdog: the engine's wall-clock guard for hung cells. A worker arms a
+// deadline for its cell's cancellation flag before calling measure(); if the
+// cell is still running when the deadline passes, the scanner thread sets
+// the flag and the cell's Machine throws fault::CancelledError at its next
+// superstep boundary (exchange/barrier checkpoints — see Machine::set_cancel).
+//
+// Cancellation is strictly cooperative: the watchdog never kills a thread,
+// it only flips an atomic the simulation polls. A measure() that loops
+// without ever touching its machine can still hang — the trade for never
+// tearing down a worker mid-write.
+//
+// This is exec-layer code and deliberately reads the host clock; everything
+// it influences is *whether* a cell completes, never a simulated timing, so
+// the determinism contract of surviving cells is untouched.
+
+namespace pcm::exec {
+
+class Watchdog {
+ public:
+  /// timeout_ms <= 0 disables the watchdog entirely (no thread started,
+  /// watch() returns inert guards).
+  explicit Watchdog(double timeout_ms) : timeout_ms_(timeout_ms) {
+    if (enabled()) scanner_ = std::thread([this] { scan_loop(); });
+  }
+
+  ~Watchdog() {
+    if (scanner_.joinable()) {
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+      }
+      cv_.notify_all();
+      scanner_.join();
+    }
+  }
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  [[nodiscard]] bool enabled() const { return timeout_ms_ > 0.0; }
+
+  /// RAII deregistration of one armed deadline (move-only). Destroying or
+  /// release()-ing the guard disarms the deadline; a cell that finishes in
+  /// time is never cancelled.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& o) noexcept : dog_(o.dog_), slot_(o.slot_) {
+      o.dog_ = nullptr;
+    }
+    Guard& operator=(Guard&& o) noexcept {
+      if (this != &o) {
+        release();
+        dog_ = o.dog_;
+        slot_ = o.slot_;
+        o.dog_ = nullptr;
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { release(); }
+
+    void release() {
+      if (dog_ != nullptr) {
+        dog_->unwatch(slot_);
+        dog_ = nullptr;
+      }
+    }
+
+   private:
+    friend class Watchdog;
+    Guard(Watchdog* dog, std::size_t slot) : dog_(dog), slot_(slot) {}
+    Watchdog* dog_ = nullptr;
+    std::size_t slot_ = 0;
+  };
+
+  /// Arm the configured timeout for `cancel` (not owned; must outlive the
+  /// guard). Returns an inert guard when the watchdog is disabled.
+  [[nodiscard]] Guard watch(std::atomic<bool>* cancel) {
+    if (!enabled()) return {};
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(timeout_ms_));
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].cancel == nullptr) {
+        slots_[i] = Slot{cancel, deadline};
+        return Guard(this, i);
+      }
+    }
+    slots_.push_back(Slot{cancel, deadline});
+    return Guard(this, slots_.size() - 1);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<bool>* cancel = nullptr;  ///< null = free slot.
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  void unwatch(std::size_t slot) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    slots_[slot].cancel = nullptr;
+  }
+
+  void scan_loop() {
+    // Scan often enough that an expiry is noticed within a fraction of the
+    // timeout, but never busier than once a millisecond.
+    const auto period = std::chrono::duration<double, std::milli>(
+        std::clamp(timeout_ms_ / 4.0, 1.0, 50.0));
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, period, [this] { return stop_; });
+      if (stop_) break;
+      const auto now = std::chrono::steady_clock::now();
+      for (auto& s : slots_) {
+        if (s.cancel != nullptr && now >= s.deadline) {
+          s.cancel->store(true, std::memory_order_relaxed);
+          s.cancel = nullptr;  // fire once, then free the slot
+        }
+      }
+    }
+  }
+
+  double timeout_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Slot> slots_;
+  bool stop_ = false;
+  std::thread scanner_;
+};
+
+}  // namespace pcm::exec

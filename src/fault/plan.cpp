@@ -1,0 +1,137 @@
+#include "fault/plan.hpp"
+
+#include <charconv>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace pcm::fault {
+
+namespace {
+
+/// Strict numeric field parse: the whole token must be consumed.
+template <typename T>
+bool parse_value(std::string_view text, T* out) {
+  if (text.empty()) return false;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last;
+}
+
+[[noreturn]] void bad(std::string_view text, const std::string& why) {
+  throw std::invalid_argument("malformed fault plan '" + std::string(text) +
+                              "': " + why);
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::DropPacket: return "drop";
+    case FaultKind::DuplicatePacket: return "dup";
+    case FaultKind::DeadChannel: return "dead-channel";
+    case FaultKind::CorruptPayload: return "corrupt";
+    case FaultKind::Straggler: return "straggler";
+    case FaultKind::BarrierStall: return "barrier-stall";
+  }
+  return "?";
+}
+
+FaultKind parse_fault_kind(std::string_view text) {
+  if (text == "drop") return FaultKind::DropPacket;
+  if (text == "dup") return FaultKind::DuplicatePacket;
+  if (text == "dead-channel") return FaultKind::DeadChannel;
+  if (text == "corrupt") return FaultKind::CorruptPayload;
+  if (text == "straggler") return FaultKind::Straggler;
+  if (text == "barrier-stall") return FaultKind::BarrierStall;
+  throw std::invalid_argument(
+      "unknown fault kind: '" + std::string(text) +
+      "' (expected drop, dup, dead-channel, corrupt, straggler or "
+      "barrier-stall)");
+}
+
+double FaultPlan::resolved_severity() const {
+  if (severity > 0.0) return severity;
+  switch (kind) {
+    case FaultKind::Straggler: return 4.0;
+    case FaultKind::BarrierStall: return 5000.0;
+    case FaultKind::DeadChannel: return 2.0;
+    default: return 0.0;
+  }
+}
+
+std::string to_string(const FaultPlan& plan) {
+  std::ostringstream os;
+  os << to_string(plan.kind) << ":rate=" << plan.rate;
+  if (plan.severity != 0.0) os << ":severity=" << plan.severity;
+  os << ":seed=" << plan.seed;
+  if (plan.from_superstep != 0) os << ":from=" << plan.from_superstep;
+  if (plan.to_superstep != FaultPlan::kNoLimit) os << ":to=" << plan.to_superstep;
+  return os.str();
+}
+
+FaultPlan parse_fault_plan(std::string_view text) {
+  std::vector<std::string_view> parts;
+  std::string_view rest = text;
+  while (true) {
+    const auto colon = rest.find(':');
+    parts.push_back(rest.substr(0, colon));
+    if (colon == std::string_view::npos) break;
+    rest.remove_prefix(colon + 1);
+  }
+  FaultPlan plan;
+  plan.kind = parse_fault_kind(parts.front());
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const auto field = parts[i];
+    const auto eq = field.find('=');
+    if (eq == std::string_view::npos) bad(text, "field without '='");
+    const auto key = field.substr(0, eq);
+    const auto value = field.substr(eq + 1);
+    bool ok = false;
+    if (key == "rate") {
+      ok = parse_value(value, &plan.rate) && plan.rate >= 0.0 && plan.rate <= 1.0;
+    } else if (key == "severity") {
+      ok = parse_value(value, &plan.severity) && plan.severity >= 0.0;
+    } else if (key == "seed") {
+      ok = parse_value(value, &plan.seed);
+    } else if (key == "from") {
+      ok = parse_value(value, &plan.from_superstep) && plan.from_superstep >= 0;
+    } else if (key == "to") {
+      ok = parse_value(value, &plan.to_superstep) && plan.to_superstep >= 0;
+    } else {
+      bad(text, "unknown field '" + std::string(key) + "'");
+    }
+    if (!ok) bad(text, "bad value for '" + std::string(key) + "'");
+  }
+  if (plan.from_superstep > plan.to_superstep) {
+    bad(text, "empty superstep window (from > to)");
+  }
+  return plan;
+}
+
+namespace {
+
+std::mutex& plan_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::shared_ptr<const FaultPlan>& plan_slot() {
+  static std::shared_ptr<const FaultPlan> plan;
+  return plan;
+}
+
+}  // namespace
+
+std::shared_ptr<const FaultPlan> active_plan() {
+  const std::lock_guard<std::mutex> lock(plan_mutex());
+  return plan_slot();
+}
+
+void set_plan(std::optional<FaultPlan> plan) {
+  const std::lock_guard<std::mutex> lock(plan_mutex());
+  plan_slot() = plan ? std::make_shared<const FaultPlan>(*plan) : nullptr;
+}
+
+}  // namespace pcm::fault

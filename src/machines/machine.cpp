@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -10,6 +11,7 @@
 
 #include "audit/audit.hpp"
 #include "audit/conservation.hpp"
+#include "fault/plan.hpp"
 #include "race/race.hpp"
 #include "net/delta_router.hpp"
 #include "net/fat_tree.hpp"
@@ -30,6 +32,17 @@ Machine::Machine(std::string name, int procs, LocalCompute compute,
   assert(router_ != nullptr);
   assert(router_->procs() == procs);
   router_->new_trial(rng_);
+  if (auto plan = fault::active_plan()) {
+    injector_ = std::make_unique<fault::Injector>(std::move(plan), seed, procs);
+  }
+}
+
+void Machine::check_cancel() const {
+  if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+    throw fault::CancelledError("machine '" + name_ +
+                                "' cancelled at superstep " +
+                                std::to_string(superstep_));
+  }
 }
 
 void Machine::audit_fail(std::string invariant, std::string resource,
@@ -67,6 +80,7 @@ void Machine::charge(int p, sim::Micros us) {
   }
   assert(p >= 0 && p < procs());
   assert(us >= 0.0);
+  if (injector_ != nullptr) us *= injector_->compute_multiplier(p, superstep_);
   clocks_.advance(p, us);
   if (trace_.enabled()) {
     trace_.record({sim::PhaseKind::Compute, "", clocks_.at(p) - us, us, 0, 0});
@@ -75,16 +89,26 @@ void Machine::charge(int p, sim::Micros us) {
 
 void Machine::charge_all(sim::Micros us) {
   assert(us >= 0.0);
-  for (int p = 0; p < procs(); ++p) clocks_.advance(p, us);
+  const sim::Micros before = now();
+  sim::Micros total = 0.0;
+  for (int p = 0; p < procs(); ++p) {
+    sim::Micros scaled = us;
+    if (injector_ != nullptr) {
+      scaled *= injector_->compute_multiplier(p, superstep_);
+    }
+    clocks_.advance(p, scaled);
+    total += scaled;
+  }
   if (trace_.enabled()) {
     // Compute trace durations are per-processor work sums (one record per
-    // charge() call); a lock-step charge contributes us * P.
-    trace_.record({sim::PhaseKind::Compute, "all", now() - us,
-                   us * static_cast<double>(procs()), 0, 0});
+    // charge() call); a lock-step charge contributes the summed scaled work.
+    trace_.record({sim::PhaseKind::Compute, "all", before, total, 0, 0});
   }
 }
 
 void Machine::exchange(const net::CommPattern& pattern) {
+  check_cancel();
+  last_faults_.clear();
   if (audit::enabled() && pattern.procs() != procs()) {
     audit_fail("packet-conservation", "pattern",
                "pattern built for " + std::to_string(pattern.procs()) +
@@ -93,28 +117,42 @@ void Machine::exchange(const net::CommPattern& pattern) {
   }
   assert(pattern.procs() == procs());
   if (pattern.empty()) return;
+  // Packet-plane fault kinds rewrite the pattern the router sees; the
+  // runtime Exchange reads last_exchange_faults() afterwards to mirror the
+  // rewrites onto its staged payloads.
+  const net::CommPattern* routed = &pattern;
+  std::optional<net::CommPattern> faulted;
+  if (injector_ != nullptr && injector_->packet_plane()) {
+    faulted =
+        injector_->apply_packet_faults(pattern, superstep_, &last_faults_);
+    routed = &*faulted;
+  }
+  if (routed->empty()) return;  // every message dropped
   const sim::Micros before = now();
   if (audit::enabled()) {
     try {
-      audit::check_pattern_bounds(pattern, procs());
-      router_->route(pattern, clocks_.raw(), finish_, rng_);
+      audit::check_pattern_bounds(*routed, procs());
+      router_->route(*routed, clocks_.raw(), finish_, rng_);
       audit::check_route_monotone(clocks_.raw(), finish_);
     } catch (const audit::AuditError&) {
       annotate_audit_error();
     }
   } else {
-    router_->route(pattern, clocks_.raw(), finish_, rng_);
+    router_->route(*routed, clocks_.raw(), finish_, rng_);
   }
   for (int p = 0; p < procs(); ++p) clocks_.ref(p) = finish_[static_cast<std::size_t>(p)];
   if (trace_.enabled()) {
     trace_.record({sim::PhaseKind::Communicate, "", before, now() - before,
-                   static_cast<long>(pattern.size()), pattern.total_bytes()});
+                   static_cast<long>(routed->size()), routed->total_bytes()});
   }
 }
 
 void Machine::barrier() {
+  check_cancel();
   const sim::Micros before = now();
-  clocks_.barrier(barrier_cost_);
+  sim::Micros cost = barrier_cost_;
+  if (injector_ != nullptr) cost += injector_->barrier_stall(superstep_);
+  clocks_.barrier(cost);
   router_->drain(now());
   if (audit::enabled()) {
     // Superstep boundary: every PE must sit on the same finite instant and
@@ -154,10 +192,18 @@ void Machine::reset() {
   router_->new_trial(rng_);
   superstep_ = 0;
   ++trial_;
+  if (injector_ != nullptr) injector_->new_trial(trial_);
+  last_faults_.clear();
 }
 
 void Machine::reseed(std::uint64_t seed) {
   rng_ = sim::Rng(seed);
+  if (auto plan = fault::active_plan()) {
+    injector_ =
+        std::make_unique<fault::Injector>(std::move(plan), seed, procs());
+  } else {
+    injector_.reset();
+  }
   reset();
 }
 

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
 
+#include "fault/injector.hpp"
 #include "machines/local_compute.hpp"
 #include "net/router.hpp"
 #include "sim/clockset.hpp"
@@ -82,6 +84,27 @@ class Machine {
 
   [[nodiscard]] sim::Micros barrier_cost() const { return barrier_cost_; }
 
+  /// The fault injector, or nullptr when no fault plan was active at
+  /// construction (fault::active_plan() is read once, in the constructor).
+  /// The non-const overload is for the runtime Exchange, whose corruption
+  /// draws advance the injector's event stream.
+  [[nodiscard]] const fault::Injector* injector() const {
+    return injector_.get();
+  }
+  [[nodiscard]] fault::Injector* injector() { return injector_.get(); }
+
+  /// Packet faults injected into the most recent exchange(). The runtime
+  /// Exchange reads this right after machine.exchange() returns to mirror
+  /// drops/duplicates onto its staged payloads.
+  [[nodiscard]] const fault::ExchangeFaults& last_exchange_faults() const {
+    return last_faults_;
+  }
+
+  /// Register a cooperative cancellation flag (owned by the caller, may be
+  /// nullptr to detach). When set, the next exchange() or barrier() throws
+  /// fault::CancelledError — how the exec watchdog reclaims a hung cell.
+  void set_cancel(const std::atomic<bool>* flag) { cancel_ = flag; }
+
  protected:
   Machine(std::string name, int procs, LocalCompute compute,
           std::unique_ptr<net::Router> router, sim::Micros barrier_cost,
@@ -98,6 +121,12 @@ class Machine {
   long superstep_ = 0;
   long trial_ = 0;
   std::vector<sim::Micros> finish_;  // scratch
+  std::unique_ptr<fault::Injector> injector_;
+  fault::ExchangeFaults last_faults_;
+  const std::atomic<bool>* cancel_ = nullptr;
+
+  /// Throw fault::CancelledError if the registered cancellation flag is set.
+  void check_cancel() const;
 
   /// Throw an audit::AuditError annotated with this machine and the
   /// current superstep.

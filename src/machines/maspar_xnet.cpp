@@ -28,11 +28,19 @@ MasParXnetMachine::MasParXnetMachine(std::uint64_t seed, int procs,
       xnet_(procs, fitted(procs, xnet_params)) {}
 
 void MasParXnetMachine::xnet_shift(int distance, int bytes) {
-  charge_all(xnet_.shift_cost(distance, bytes));
+  charge_all(xnet_.shift_cost(distance, bytes) * xnet_fault_multiplier());
 }
 
 void MasParXnetMachine::xnet_offset_shift(int dx, int dy, int bytes) {
-  charge_all(xnet_.offset_cost(dx, dy, bytes));
+  charge_all(xnet_.offset_cost(dx, dy, bytes) * xnet_fault_multiplier());
+}
+
+double MasParXnetMachine::xnet_fault_multiplier() const {
+  // A dead-channel plan degrades the whole SIMD grid: a shift crossing a
+  // dead link detours around it, and lock-step semantics make every PE
+  // wait for the slowest detour.
+  const fault::Injector* inj = injector();
+  return inj != nullptr ? inj->xnet_multiplier(superstep()) : 1.0;
 }
 
 std::unique_ptr<MasParXnetMachine> make_maspar_xnet(std::uint64_t seed,

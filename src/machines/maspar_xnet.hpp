@@ -30,6 +30,9 @@ class MasParXnetMachine final : public Machine {
 
  private:
   net::XNet xnet_;
+
+  /// Dead-channel detour factor for the current superstep (1.0 normally).
+  [[nodiscard]] double xnet_fault_multiplier() const;
 };
 
 std::unique_ptr<MasParXnetMachine> make_maspar_xnet(std::uint64_t seed = 42,

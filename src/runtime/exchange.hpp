@@ -1,11 +1,14 @@
 #pragma once
 
+#include <cstddef>
 #include <cstring>
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "audit/conservation.hpp"
+#include "fault/injector.hpp"
 #include "machines/machine.hpp"
 #include "net/pattern.hpp"
 #include "race/race.hpp"
@@ -20,6 +23,13 @@
 //            style fixed short messages);
 //   - Block: each staged parcel is a single message of size(data) bytes
 //            (MP-BPRAM style bulk transfer).
+//
+// Fault injection: when the machine carries a fault::Injector, the machine
+// rewrites the pattern (drops/duplicates) during exchange(); run() then
+// mirrors those packet faults onto the staged payloads — a dropped message's
+// element never arrives, a duplicated one arrives twice — and applies
+// payload-corruption draws at delivery. The audit conservation check is
+// adjusted by the same fault records, so --audit and --fault compose.
 
 namespace pcm::runtime {
 
@@ -37,8 +47,9 @@ class Exchange {
   /// Stage a parcel. Sends are issued per sender in staging order.
   void send(int src, int dst, std::vector<T> data, int tag = 0) {
     if (data.empty()) return;
+    const std::size_t qpos = pattern_.sends_of(src).size();
     stage_pattern(src, dst, data.size());
-    staged_.push_back(Staged{src, dst, tag, std::move(data)});
+    staged_.push_back(Staged{src, dst, tag, qpos, std::move(data)});
   }
 
   void send(int src, int dst, std::span<const T> data, int tag = 0) {
@@ -58,7 +69,8 @@ class Exchange {
     // Under --audit: snapshot the injected per-endpoint byte totals before
     // the pattern is consumed, and require the mailbox to account for every
     // one of them afterwards (each parcel delivered exactly once, to the
-    // right destination, payload bytes conserved).
+    // right destination, payload bytes conserved). Packet faults adjust the
+    // snapshot below, so injected drops/duplicates are not flagged as leaks.
     const bool auditing = audit::enabled();
     audit::EndpointBytes injected;
     if (auditing) injected = audit::endpoint_bytes(pattern_);
@@ -68,8 +80,23 @@ class Exchange {
     // it after a reset() (stale read) is caught. Unstamped mailboxes carry
     // no machine pointer, so runs without the detector cannot dangle.
     if (race::enabled()) box.race_stamp(machine_);
+    const fault::ExchangeFaults& faults = machine_.last_exchange_faults();
+    fault::Injector* inj = machine_.injector();
+    const long step = machine_.superstep();
     for (auto& s : staged_) {
-      box.deliver(s.dst, Parcel<T>{s.src, s.tag, std::move(s.data)});
+      int copies = 1;
+      if (!faults.empty()) {
+        copies = apply_packet_faults(s, faults, auditing ? &injected : nullptr);
+      }
+      if (copies == 0) continue;  // lost in flight
+      bool corrupted = false;
+      if (inj != nullptr && inj->should_corrupt(step)) {
+        corrupted = corrupt_payload(*inj, s.data);
+      }
+      for (int c = 1; c < copies; ++c) {
+        box.deliver(s.dst, Parcel<T>{s.src, s.tag, s.data, corrupted});
+      }
+      box.deliver(s.dst, Parcel<T>{s.src, s.tag, std::move(s.data), corrupted});
     }
     staged_.clear();
     pattern_.clear();
@@ -91,8 +118,75 @@ class Exchange {
     int src;
     int dst;
     int tag;
+    /// Position of this parcel's first message in src's per-sender queue of
+    /// the staged CommPattern — the key packet-fault records are matched on.
+    std::size_t first_qpos;
     std::vector<T> data;
   };
+
+  /// Mirror the machine's injected packet faults onto one staged parcel,
+  /// adjusting the audit snapshot (when non-null) by the same records.
+  /// Returns how many copies of the parcel to deliver (0 = dropped).
+  int apply_packet_faults(Staged& s, const fault::ExchangeFaults& faults,
+                          audit::EndpointBytes* injected) {
+    if (mode_ == TransferMode::Block) {
+      // One staged parcel == one message: drop it or deliver it twice.
+      int copies = 1;
+      for (const auto& f : faults.dropped) {
+        if (f.src == s.src && f.qpos == s.first_qpos) {
+          copies = 0;
+          if (injected != nullptr) (*injected)[{f.src, f.dst}] -= f.bytes;
+        }
+      }
+      for (const auto& f : faults.duplicated) {
+        if (f.src == s.src && f.qpos == s.first_qpos) {
+          ++copies;
+          if (injected != nullptr) (*injected)[{f.src, f.dst}] += f.bytes;
+        }
+      }
+      return copies;
+    }
+    // Word mode: the parcel's elements are messages
+    // [first_qpos, first_qpos + n) of s.src's queue. A dropped message loses
+    // its element; a duplicated one arrives again after the parcel body.
+    const std::size_t n = s.data.size();
+    std::vector<T> dups;
+    for (const auto& f : faults.duplicated) {
+      if (f.src == s.src && f.qpos >= s.first_qpos &&
+          f.qpos < s.first_qpos + n) {
+        dups.push_back(s.data[f.qpos - s.first_qpos]);
+        if (injected != nullptr) (*injected)[{f.src, f.dst}] += f.bytes;
+      }
+    }
+    std::vector<std::size_t> drops;  // ascending (injector walks in order)
+    for (const auto& f : faults.dropped) {
+      if (f.src == s.src && f.qpos >= s.first_qpos &&
+          f.qpos < s.first_qpos + n) {
+        drops.push_back(f.qpos - s.first_qpos);
+        if (injected != nullptr) (*injected)[{f.src, f.dst}] -= f.bytes;
+      }
+    }
+    for (auto it = drops.rbegin(); it != drops.rend(); ++it) {
+      s.data.erase(s.data.begin() + static_cast<std::ptrdiff_t>(*it));
+    }
+    s.data.insert(s.data.end(), dups.begin(), dups.end());
+    return s.data.empty() ? 0 : 1;
+  }
+
+  /// Flip one injector-chosen bit of the payload. Only trivially copyable
+  /// element types can be byte-poked; others pass through untouched.
+  static bool corrupt_payload(fault::Injector& inj, std::vector<T>& data) {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      if (data.empty()) return false;
+      auto* bytes = reinterpret_cast<unsigned char*>(data.data());
+      inj.corrupt(std::span<unsigned char>(bytes, data.size() * sizeof(T)));
+      return true;
+    } else {
+      (void)inj;
+      (void)data;
+      return false;
+    }
+  }
 
   void stage_pattern(int src, int dst, std::size_t elems) {
     const int w = static_cast<int>(sizeof(T));

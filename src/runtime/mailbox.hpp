@@ -30,6 +30,10 @@ struct Parcel {
   int src = 0;
   int tag = 0;
   std::vector<T> data;
+  /// Set by Exchange::run() when a fault plan flipped a bit of `data` in
+  /// flight. Algorithms normally ignore it (a real machine would not know);
+  /// fault-tolerance experiments and tests read it as ground truth.
+  bool corrupted = false;
 };
 
 template <typename T>
@@ -76,6 +80,15 @@ class Mailbox {
   [[nodiscard]] std::size_t count_at(int p) const {
     std::size_t n = 0;
     for (const auto& parcel : at(p)) n += parcel.data.size();
+    return n;
+  }
+
+  /// Parcels across all processors that a fault plan corrupted in flight.
+  [[nodiscard]] std::size_t corrupted_count() const {
+    std::size_t n = 0;
+    for (const auto& parcels : by_proc_) {
+      for (const auto& parcel : parcels) n += parcel.corrupted ? 1 : 0;
+    }
     return n;
   }
 

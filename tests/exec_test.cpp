@@ -218,27 +218,115 @@ exec::SweepSpec gcel_bitonic_spec(int jobs) {
 TEST(RunSweep, MasParHRelationsBitIdenticalAcrossJobs) {
   const auto serial = exec::run_sweep(maspar_h_relation_spec(1));
   const auto parallel = exec::run_sweep(maspar_h_relation_spec(8));
-  expect_bit_identical(serial, parallel);
+  expect_bit_identical(serial.series, parallel.series);
+  EXPECT_TRUE(serial.ok());
   // Sanity: the sweep measured something.
-  for (const auto& p : serial.points) EXPECT_GT(p.measured.mean, 0.0);
+  for (const auto& p : serial.series.points) EXPECT_GT(p.measured.mean, 0.0);
 }
 
 TEST(RunSweep, GCelBitonicBitIdenticalAcrossJobs) {
   const auto serial = exec::run_sweep(gcel_bitonic_spec(1));
   const auto parallel = exec::run_sweep(gcel_bitonic_spec(8));
-  expect_bit_identical(serial, parallel);
-  for (const auto& p : serial.points) EXPECT_GT(p.measured.mean, 0.0);
+  expect_bit_identical(serial.series, parallel.series);
+  for (const auto& p : serial.series.points) EXPECT_GT(p.measured.mean, 0.0);
 }
 
 TEST(RunSweep, TrialsDifferButAreSeedStable) {
   // Distinct cells get distinct seeds, so trials genuinely vary...
   const auto s = exec::run_sweep(gcel_bitonic_spec(2));
   bool any_spread = false;
-  for (const auto& p : s.points) any_spread |= p.measured.max > p.measured.min;
+  for (const auto& p : s.series.points) {
+    any_spread |= p.measured.max > p.measured.min;
+  }
   EXPECT_TRUE(any_spread);
   // ...while a rerun with the same spec reproduces everything exactly.
   const auto again = exec::run_sweep(gcel_bitonic_spec(4));
-  expect_bit_identical(s, again);
+  expect_bit_identical(s.series, again.series);
+}
+
+// -------------------------------------------------------------- resilience
+
+/// A tiny sweep where measure() throws on chosen cells: trial 1 of x = 2
+/// always fails, everything else returns a pure function of the cell.
+exec::SweepSpec poisoned_spec(int jobs) {
+  exec::SweepSpec spec;
+  spec.experiment = "exec-test-poisoned";
+  spec.x_label = "x";
+  spec.machine = {.platform = machines::Platform::GCel, .procs = 4,
+                  .seed = 99};
+  spec.xs = {1, 2, 3};
+  spec.trials = 2;
+  spec.jobs = jobs;
+  spec.measure = [](exec::TrialContext& ctx) {
+    if (ctx.x == 2.0 && ctx.trial == 1) {
+      throw std::runtime_error("poisoned cell");
+    }
+    return ctx.x * 10.0 + ctx.trial;
+  };
+  return spec;
+}
+
+TEST(RunSweep, PoisonedCellDoesNotKillTheSweep) {
+  const auto r = exec::run_sweep(poisoned_spec(4));
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_EQ(r.failures[0].x, 2.0);
+  EXPECT_EQ(r.failures[0].trial, 1);
+  EXPECT_EQ(r.failures[0].kind, "exception");
+  EXPECT_EQ(r.failures[0].message, "poisoned cell");
+  // Surviving cells are all present: x=2 keeps its healthy trial, the other
+  // x values keep both.
+  ASSERT_EQ(r.series.points.size(), 3u);
+  EXPECT_EQ(r.series.points[0].measured.n, 2u);
+  EXPECT_EQ(r.series.points[1].measured.n, 1u);
+  EXPECT_EQ(r.series.points[1].measured.mean, 20.0);
+  EXPECT_EQ(r.series.points[2].measured.n, 2u);
+}
+
+TEST(RunSweep, FailureLedgerIsBitIdenticalAcrossJobs) {
+  const auto serial = exec::run_sweep(poisoned_spec(1));
+  const auto parallel = exec::run_sweep(poisoned_spec(8));
+  expect_bit_identical(serial.series, parallel.series);
+  ASSERT_EQ(serial.failures.size(), parallel.failures.size());
+  for (std::size_t i = 0; i < serial.failures.size(); ++i) {
+    EXPECT_EQ(serial.failures[i].cell, parallel.failures[i].cell);
+    EXPECT_EQ(serial.failures[i].kind, parallel.failures[i].kind);
+    EXPECT_EQ(serial.failures[i].message, parallel.failures[i].message);
+    EXPECT_EQ(serial.failures[i].attempts, parallel.failures[i].attempts);
+  }
+}
+
+TEST(RunSweep, RetriesAreBoundedAndCounted) {
+  auto spec = poisoned_spec(2);
+  spec.max_attempts = 3;
+  const auto r = exec::run_sweep(spec);
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_EQ(r.failures[0].attempts, 3);
+}
+
+TEST(RunSweep, RetrySucceedsWhenFailureIsTransient) {
+  exec::SweepSpec spec = poisoned_spec(2);
+  spec.max_attempts = 2;
+  // Fail only on the first attempt of every cell; the retry (attempt 1)
+  // succeeds, so the sweep ends clean with attempts recorded per cell.
+  spec.measure = [](exec::TrialContext& ctx) {
+    if (ctx.attempt == 0) throw std::runtime_error("transient");
+    return ctx.x;
+  };
+  const auto r = exec::run_sweep(spec);
+  EXPECT_TRUE(r.ok()) << (r.failures.empty() ? "" : r.failures[0].message);
+  for (const auto& p : r.series.points) EXPECT_EQ(p.measured.n, 2u);
+}
+
+TEST(ParallelRunner, CollectIsolatesAndIndexesExceptions) {
+  exec::ParallelRunner runner(4);
+  const auto errors = runner.for_each_collect(64, [](std::size_t i) {
+    if (i % 13 == 0) throw std::runtime_error("bad " + std::to_string(i));
+  });
+  ASSERT_EQ(errors.size(), 64u);
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    EXPECT_EQ(static_cast<bool>(errors[i]), i % 13 == 0) << i;
+  }
 }
 
 }  // namespace

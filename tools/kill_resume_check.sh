@@ -1,0 +1,79 @@
+#!/usr/bin/env sh
+# Crash-recovery acceptance check for the exec engine's checkpoint journal.
+#
+# Runs a reference sweep to completion, then starts an identical checkpointed
+# sweep, SIGKILLs it as soon as the journal shows progress (no chance to
+# flush, destruct, or handle a signal — exactly the crash the journal is for),
+# resumes it with --resume, and asserts the resumed run's CSV is
+# byte-identical to the reference. A sweep that happens to finish before the
+# kill lands still exercises the full-resume path (every cell skipped) and
+# must still reproduce the reference bytes.
+#
+# Usage: tools/kill_resume_check.sh <bench-binary> [trials]
+#   e.g. tools/kill_resume_check.sh build/bench/fig11_bitonic_bpram_gcel 60
+
+set -eu
+
+BENCH="${1:?usage: $0 <bench-binary> [trials]}"
+TRIALS="${2:-60}"
+EXPERIMENT="$(basename "$BENCH" | cut -d_ -f1)"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT INT TERM
+mkdir -p "$WORK/ref" "$WORK/killed" "$WORK/resumed"  # Csv::write never mkdirs
+
+echo "== reference run (uninterrupted)"
+PCM_RESULTS_DIR="$WORK/ref" "$BENCH" --trials="$TRIALS" >/dev/null
+
+echo "== checkpointed run, SIGKILL once the journal shows progress"
+PCM_RESULTS_DIR="$WORK/killed" "$BENCH" --trials="$TRIALS" \
+    --checkpoint="$WORK/journal" >/dev/null 2>&1 &
+PID=$!
+
+# Poll for the first completed-cell record, then kill without ceremony.
+KILLED=0
+i=0
+while [ "$i" -lt 2000 ]; do
+  if grep -q "^cell " "$WORK/journal"/*.journal 2>/dev/null; then
+    if kill -KILL "$PID" 2>/dev/null; then
+      KILLED=1
+    fi
+    break
+  fi
+  if ! kill -0 "$PID" 2>/dev/null; then
+    break  # finished before we could kill it; resume still gets tested
+  fi
+  sleep 0.01
+  i=$((i + 1))
+done
+wait "$PID" 2>/dev/null || true
+
+JOURNAL="$(ls "$WORK/journal"/*.journal 2>/dev/null | head -n1 || true)"
+if [ -z "$JOURNAL" ]; then
+  echo "FAIL: no journal file was written" >&2
+  exit 1
+fi
+DONE_BEFORE="$(grep -c "^cell " "$JOURNAL" || true)"
+if [ "$KILLED" -eq 1 ]; then
+  echo "   killed mid-sweep with $DONE_BEFORE cells journalled"
+else
+  echo "   sweep finished before the kill ($DONE_BEFORE cells journalled);"
+  echo "   continuing — resume must still reproduce the reference bytes"
+fi
+
+echo "== resume from the journal"
+PCM_RESULTS_DIR="$WORK/resumed" "$BENCH" --trials="$TRIALS" \
+    --checkpoint="$WORK/journal" --resume >/dev/null
+
+REF_CSV="$WORK/ref/$EXPERIMENT.csv"
+RES_CSV="$WORK/resumed/$EXPERIMENT.csv"
+if [ ! -f "$REF_CSV" ] || [ ! -f "$RES_CSV" ]; then
+  echo "FAIL: missing CSV output ($REF_CSV / $RES_CSV)" >&2
+  exit 1
+fi
+if ! cmp -s "$REF_CSV" "$RES_CSV"; then
+  echo "FAIL: resumed CSV differs from the uninterrupted reference:" >&2
+  diff "$REF_CSV" "$RES_CSV" >&2 || true
+  exit 1
+fi
+echo "OK: resumed sweep is byte-identical to the uninterrupted reference"

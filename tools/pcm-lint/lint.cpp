@@ -183,7 +183,8 @@ void check_float_time(const std::string& rel_path,
 int layer_of(const std::string& dir) {
   if (dir == "sim") return 0;
   if (dir == "report") return 1;
-  if (dir == "audit" || dir == "net" || dir == "race" || dir == "core")
+  if (dir == "audit" || dir == "net" || dir == "race" || dir == "core" ||
+      dir == "fault")
     return 2;
   if (dir == "machines") return 3;
   if (dir == "models" || dir == "runtime") return 4;
@@ -193,8 +194,8 @@ int layer_of(const std::string& dir) {
 }
 
 constexpr const char* kLayerOrder =
-    "sim -> report -> audit/net/race/core -> machines -> models/runtime -> "
-    "algos/predict/calibrate -> vendor/exec";
+    "sim -> report -> audit/net/race/core/fault -> machines -> "
+    "models/runtime -> algos/predict/calibrate -> vendor/exec";
 
 /// Scans the *raw* lines: stripping blanks string contents, and an #include
 /// target is a string.
@@ -244,6 +245,50 @@ void check_assert_in_header(const std::string& rel_path,
                       "assert() in a header is stripped from Release bench "
                       "builds by NDEBUG; use PCM_CHECK (sim/check.hpp)"});
     }
+  }
+}
+
+// --- rule: bare-catch ------------------------------------------------------
+
+/// catch (...) handlers that swallow the exception. The handler body (brace
+/// matched on the stripped text) must mention `throw` (a rethrow) or
+/// std::current_exception (capturing the failure for later recording);
+/// otherwise an error vanishes silently and a faulted run looks clean.
+/// src/exec/ is exempt — the engine's catch sites feed its failure ledger,
+/// and swallowing there is the whole point of per-cell isolation.
+void check_bare_catch(const std::string& rel_path, const std::string& stripped,
+                      std::vector<Diagnostic>* out) {
+  static const std::regex catch_re(R"(\bcatch\s*\(\s*\.\.\.\s*\))");
+  static const std::regex keep_re(R"(\bthrow\b|\bcurrent_exception\b)");
+  for (auto it =
+           std::sregex_iterator(stripped.begin(), stripped.end(), catch_re);
+       it != std::sregex_iterator(); ++it) {
+    const auto match_pos = static_cast<std::size_t>(it->position(0));
+    const std::size_t open =
+        stripped.find('{', match_pos + static_cast<std::size_t>(it->length(0)));
+    if (open == std::string::npos) continue;  // malformed; the compiler's job
+    int depth = 0;
+    std::size_t close = open;
+    for (; close < stripped.size(); ++close) {
+      if (stripped[close] == '{') {
+        ++depth;
+      } else if (stripped[close] == '}' && --depth == 0) {
+        break;
+      }
+    }
+    const std::string body = stripped.substr(open, close - open + 1);
+    if (std::regex_search(body, keep_re)) continue;
+    const int ln = 1 + static_cast<int>(std::count(
+                           stripped.begin(),
+                           stripped.begin() + static_cast<std::ptrdiff_t>(
+                                                  match_pos),
+                           '\n'));
+    out->push_back(
+        {rel_path, ln, "bare-catch",
+         "catch (...) that neither rethrows nor captures "
+         "std::current_exception() swallows the failure silently; rethrow, "
+         "record it, or route it through the exec engine's failure ledger "
+         "(src/exec/ is exempt)"});
   }
 }
 
@@ -391,7 +436,8 @@ std::vector<Diagnostic> lint_file(const std::string& rel_path,
                                   const std::string& contents) {
   const auto raw_lines = split_lines(contents);
   const auto sup = scan_suppressions(raw_lines);
-  const auto lines = split_lines(strip_comments_and_strings(contents));
+  const std::string stripped = strip_comments_and_strings(contents);
+  const auto lines = split_lines(stripped);
 
   const bool in_src = starts_with(rel_path, "src/");
   const bool in_exec = starts_with(rel_path, "src/exec/");
@@ -410,6 +456,7 @@ std::vector<Diagnostic> lint_file(const std::string& rel_path,
   if (order_sensitive) check_unordered_iteration(rel_path, lines, &found);
   if (timing_core) check_float_time(rel_path, lines, &found);
   if (in_src && is_header) check_assert_in_header(rel_path, lines, &found);
+  if (in_src && !in_exec) check_bare_catch(rel_path, stripped, &found);
   // Include targets are strings, so this rule reads the raw lines.
   if (in_src) check_include_layer(rel_path, raw_lines, &found);
 

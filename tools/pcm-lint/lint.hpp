@@ -24,9 +24,15 @@
 //   assert-in-header     assert( in a header under src/ — headers are
 //                        compiled into Release bench binaries where NDEBUG
 //                        strips the check; use PCM_CHECK instead.
+//   bare-catch           a catch (...) handler under src/ (outside
+//                        src/exec/) whose body neither rethrows nor calls
+//                        std::current_exception — swallowing an exception
+//                        silently makes a faulted run look clean. The exec
+//                        engine is exempt: its catch sites exist to record
+//                        failures in the sweep's failure ledger.
 //   include-layer        a quoted #include under src/ pointing *up* the
 //                        subsystem layer order
-//                          sim -> report -> audit/net/race/core ->
+//                          sim -> report -> audit/net/race/core/fault ->
 //                          machines -> models/runtime ->
 //                          algos/predict/calibrate -> vendor/exec
 //                        (report is a leaf presentation layer consumed by

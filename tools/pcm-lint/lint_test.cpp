@@ -194,6 +194,53 @@ TEST(AssertInHeader, IgnoresStaticAssertAndPcmCheck) {
   EXPECT_TRUE(lint_file("src/runtime/x.hpp", src).empty());
 }
 
+// --- bare-catch ------------------------------------------------------------
+
+TEST(BareCatch, FlagsSwallowingHandler) {
+  const std::string src =
+      "void f() {\n"
+      "  try { g(); } catch (...) {\n"
+      "    count_ += 1;\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(has(lint_file("src/runtime/x.cpp", src), "src/runtime/x.cpp", 2,
+                  "bare-catch"));
+}
+
+TEST(BareCatch, AllowsRethrowAndCapture) {
+  const std::string rethrow =
+      "void f() { try { g(); } catch (...) { cleanup(); throw; } }\n";
+  const std::string capture =
+      "void f() { try { g(); } catch (...) {\n"
+      "  err_ = std::current_exception(); } }\n";
+  EXPECT_TRUE(of_rule(lint_file("src/net/x.cpp", rethrow), "bare-catch").empty());
+  EXPECT_TRUE(of_rule(lint_file("src/net/x.cpp", capture), "bare-catch").empty());
+}
+
+TEST(BareCatch, NestedBracesStayInsideTheHandler) {
+  // The throw lives in a *nested* block of the handler — still a rethrow.
+  const std::string ok =
+      "void f() { try { g(); } catch (...) { if (a) { throw; } } }\n";
+  // The throw is *outside* the handler; the handler itself swallows.
+  const std::string bad =
+      "void f() { try { g(); } catch (...) { } }\n"
+      "void h() { throw 1; }\n";
+  EXPECT_TRUE(of_rule(lint_file("src/net/x.cpp", ok), "bare-catch").empty());
+  EXPECT_TRUE(has(lint_file("src/net/x.cpp", bad), "src/net/x.cpp", 1,
+                  "bare-catch"));
+}
+
+TEST(BareCatch, TypedCatchesAndOtherTreesAreOutOfScope) {
+  const std::string typed =
+      "void f() { try { g(); } catch (const std::exception& e) { log(e); } }\n";
+  const std::string swallow = "void f() { try { g(); } catch (...) { } }\n";
+  EXPECT_TRUE(of_rule(lint_file("src/net/x.cpp", typed), "bare-catch").empty());
+  // exec is exempt; bench/tests/tools sit outside the rule's tree.
+  EXPECT_TRUE(of_rule(lint_file("src/exec/x.cpp", swallow), "bare-catch").empty());
+  EXPECT_TRUE(of_rule(lint_file("bench/fig01.cpp", swallow), "bare-catch").empty());
+  EXPECT_TRUE(of_rule(lint_file("tools/x.cpp", swallow), "bare-catch").empty());
+}
+
 // --- include-layer ---------------------------------------------------------
 
 TEST(IncludeLayer, FlagsBackwardEdges) {
@@ -217,6 +264,22 @@ TEST(IncludeLayer, AllowsDownwardAndSameLayer) {
                                 "#include \"net/pattern.hpp\"\n"),
                       "include-layer")
                   .empty());
+}
+
+TEST(IncludeLayer, FaultSitsBesideNet) {
+  // machines consumes the fault plane (downward edge)...
+  EXPECT_TRUE(of_rule(lint_file("src/machines/x.cpp",
+                                "#include \"fault/injector.hpp\"\n"),
+                      "include-layer")
+                  .empty());
+  // ...and fault may see net (same layer) but never the machines above it.
+  EXPECT_TRUE(of_rule(lint_file("src/fault/x.cpp",
+                                "#include \"net/pattern.hpp\"\n"),
+                      "include-layer")
+                  .empty());
+  EXPECT_TRUE(has(lint_file("src/fault/x.cpp",
+                            "#include \"machines/machine.hpp\"\n"),
+                  "src/fault/x.cpp", 1, "include-layer"));
 }
 
 TEST(IncludeLayer, TopLayersMayReachDown) {
@@ -275,6 +338,9 @@ TEST(FixtureTree, EveryViolationClassCaught) {
   EXPECT_TRUE(has(diags, "bench/bad_wallclock.cpp", 13, "wallclock"));
   EXPECT_TRUE(has(diags, "bench/bad_wallclock.cpp", 14, "wallclock"));
   EXPECT_TRUE(has(diags, "bench/bad_wallclock.cpp", 16, "wallclock"));
+
+  EXPECT_TRUE(has(diags, "src/runtime/bad_catch.cpp", 8, "bare-catch"));
+  EXPECT_EQ(of_rule(diags, "bare-catch").size(), 1u);  // others rethrow/record/suppress
 
   EXPECT_TRUE(has(diags, "src/net/bad_layering.cpp", 8, "include-layer"));
   EXPECT_TRUE(has(diags, "src/net/bad_layering.cpp", 9, "include-layer"));

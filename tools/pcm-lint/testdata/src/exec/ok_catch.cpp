@@ -1,0 +1,12 @@
+// pcm-lint fixture: src/exec/ is exempt from bare-catch — the engine's
+// catch sites exist to convert cell failures into ledger records, and the
+// per-cell isolation contract *requires* catching everything.
+
+void risky();
+
+void engine_swallows() {
+  try {
+    risky();
+  } catch (...) {
+  }
+}

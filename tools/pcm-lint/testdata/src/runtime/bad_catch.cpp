@@ -1,0 +1,34 @@
+// pcm-lint fixture: catch (...) swallowing vs. the tolerated forms.
+
+void risky();
+
+void swallows() {
+  try {
+    risky();
+  } catch (...) {
+  }
+}
+
+void rethrows() {  // OK: the failure keeps propagating
+  try {
+    risky();
+  } catch (...) {
+    throw;
+  }
+}
+
+void records() {  // OK: captured for a ledger/journal
+  try {
+    risky();
+  } catch (...) {
+    auto eptr = std::current_exception();
+    (void)eptr;
+  }
+}
+
+void suppressed() {
+  try {
+    risky();
+  } catch (...) {  // pcm-lint:allow(bare-catch)
+  }
+}

@@ -13,6 +13,8 @@
 #include "audit/audit.hpp"
 #include "core/registry.hpp"
 #include "fault/plan.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_export.hpp"
 #include "race/race.hpp"
 #include "core/series.hpp"
 #include "core/validation.hpp"
@@ -30,8 +32,11 @@
 // (run with the invariant auditor on; requires -DPCM_AUDIT=ON), --race
 // (run with the superstep race detector on; requires -DPCM_RACE=ON),
 // --fault=SPEC (deterministic fault injection, e.g. drop:rate=0.05:seed=7),
-// --retries=K / --cell-timeout-ms=T (per-cell resilience policy), and
-// --checkpoint=DIR / --resume (crash-safe journal + resumption). Sweeps run
+// --retries=K / --cell-timeout-ms=T (per-cell resilience policy),
+// --checkpoint=DIR / --resume (crash-safe journal + resumption), --metrics
+// (superstep-resolved metric summary) and --trace-out=FILE (Chrome
+// trace-event JSON of one representative cell; needs -DPCM_OBS=ON, like
+// --metrics). Sweeps run
 // through the exec engine (exec/sweep.hpp): one fresh machine per (x, trial)
 // cell, seeded per cell, so output is bit-identical at any --jobs value.
 //
@@ -59,6 +64,8 @@ struct Env {
   double cell_timeout_ms = 0.0;  ///< Watchdog budget per cell; 0 = off.
   std::string checkpoint;   ///< Journal directory (empty = no journal).
   bool resume = false;      ///< Resume from the checkpoint journal.
+  bool metrics = false;     ///< Collect and print the metrics summary.
+  std::string trace_out;    ///< Chrome trace-event JSON path (empty = none).
 };
 
 [[noreturn]] inline void usage(const char* argv0, const std::string& error) {
@@ -66,7 +73,7 @@ struct Env {
   std::cerr << "usage: " << argv0
             << " [--quick] [--trials=K] [--jobs=N] [--seed=S] [--audit] [--race]\n"
             << "       [--fault=SPEC] [--retries=K] [--cell-timeout-ms=T]\n"
-            << "       [--checkpoint=DIR] [--resume]\n"
+            << "       [--checkpoint=DIR] [--resume] [--metrics] [--trace-out=FILE]\n"
             << "  --quick      run a smaller sweep\n"
             << "  --trials=K   trials per data point (K > 0)\n"
             << "  --jobs=N     parallel sweep workers; 0 = all hardware threads\n"
@@ -85,7 +92,13 @@ struct Env {
             << "               (reseeded per attempt, deterministically)\n"
             << "  --cell-timeout-ms=T  cancel a cell stuck for T wall-clock ms\n"
             << "  --checkpoint=DIR     journal finished cells under DIR\n"
-            << "  --resume     skip cells already in the checkpoint journal\n";
+            << "  --resume     skip cells already in the checkpoint journal\n"
+            << "  --metrics    collect superstep-resolved metrics (packets,\n"
+            << "               waves, conflicts, queue peaks, barrier skew)\n"
+            << "               and print the sweep summary; needs -DPCM_OBS=ON\n"
+            << "  --trace-out=FILE     write a Chrome trace-event JSON of one\n"
+            << "               representative cell (largest x, trial 0);\n"
+            << "               open in Perfetto or chrome://tracing\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -154,6 +167,23 @@ inline Env parse_env(int argc, char** argv) {
       }
     } else if (arg == "--resume") {
       env.resume = true;
+    } else if (arg == "--metrics") {
+      env.metrics = true;
+      if (!obs::set_enabled(true)) {
+        usage(argv[0],
+              "--metrics requires a build with -DPCM_OBS=ON (the "
+              "observability plane was compiled out)");
+      }
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      env.trace_out = arg.substr(12);
+      if (env.trace_out.empty()) {
+        usage(argv[0], "--trace-out expects a file path");
+      }
+      if (!obs::compiled_in()) {
+        usage(argv[0],
+              "--trace-out requires a build with -DPCM_OBS=ON (the "
+              "observability plane was compiled out)");
+      }
     } else if (arg == "--audit") {
       env.audit = true;
       if (!audit::set_enabled(true)) {
@@ -192,6 +222,7 @@ inline void apply_env(SweepSpec& spec, const Env& env,
   spec.cell_timeout_ms = env.cell_timeout_ms;
   spec.checkpoint_dir = env.checkpoint;
   spec.resume = env.resume;
+  spec.trace_out = env.trace_out;
 }
 
 /// Print everything for one experiment. `scale` converts µs to the unit in
@@ -215,6 +246,9 @@ inline void report(const core::ValidationSeries& s, double scale = 1.0,
 inline void report(const exec::SweepResult& r, double scale = 1.0,
                    bool log_x = false, bool log_y = false, int precision = 1) {
   report(r.series, scale, log_x, log_y, precision);
+  if (!r.metrics.empty()) {
+    obs::print_metrics(std::cout, r.metrics);
+  }
   if (r.cells_resumed > 0) {
     std::cerr << r.series.experiment << ": resumed " << r.cells_resumed << "/"
               << r.cells_total << " cells from the checkpoint journal\n";

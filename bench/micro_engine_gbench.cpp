@@ -69,6 +69,27 @@ void BM_FatTreeHRelation(benchmark::State& state) {
 }
 BENCHMARK(BM_FatTreeHRelation)->Arg(8)->Arg(64);
 
+/// A full machine superstep loop (charge / exchange / barrier) with the
+/// observability plane compiled in. Run with --benchmark_filter=Superstep
+/// and PCM_OBS unset vs PCM_OBS=1 to measure the plane's overhead; the
+/// disabled case must stay within noise (<2%) of a PCM_OBS=OFF build.
+void BM_MachineSuperstepLoop(benchmark::State& state) {
+  auto m = machines::make_machine(
+      {.platform = machines::Platform::CM5, .procs = 64, .seed = 9});
+  const auto pat = net::patterns::bit_flip(64, 2, 1, 8);
+  for (auto _ : state) {
+    m->reset();
+    for (int step = 0; step < 8; ++step) {
+      m->charge_all(5.0);
+      m->exchange(pat);
+      m->barrier();
+    }
+    benchmark::DoNotOptimize(m->now());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_MachineSuperstepLoop);
+
 void BM_RadixSort(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   sim::Rng rng(5);

@@ -20,6 +20,8 @@
 #include "algos/apsp.hpp"
 #include "audit/audit.hpp"
 #include "fault/plan.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_export.hpp"
 #include "race/race.hpp"
 #include "algos/bitonic.hpp"
 #include "algos/matmul.hpp"
@@ -92,6 +94,25 @@ std::unique_ptr<machines::Machine> make_machine_named(const std::string& name,
   }
 }
 
+// Observability output captured at the moment a command's measured workload
+// finished — before any trailing calibration run resets the machine and
+// would otherwise pollute (or clear) the metrics and spans.
+struct ObsCapture {
+  bool captured = false;
+  std::string machine_name;
+  obs::MetricsSnapshot metrics;
+  std::vector<obs::Span> spans;
+} g_obs;
+
+void obs_capture(machines::Machine& m) {
+  if (!m.metrics().on()) return;
+  g_obs.captured = true;
+  g_obs.machine_name = std::string(m.name());
+  g_obs.metrics = m.metrics().snapshot();
+  g_obs.spans = m.spans().tiled(m.now(), m.superstep());
+  m.set_observing(false);
+}
+
 int usage() {
   std::cout
       << "usage: pcmtool <command> [machine] [--flags]\n"
@@ -113,6 +134,12 @@ int usage() {
          "                       [:severity=X][:seed=S][:from=A][:to=B] with\n"
          "                       kind one of drop, dup, dead-channel, corrupt,\n"
          "                       straggler, barrier-stall\n"
+         "              --metrics  print the superstep-resolved metric summary\n"
+         "                       (packets, waves, conflicts, queue peaks,\n"
+         "                       barrier skew; requires -DPCM_OBS=ON)\n"
+         "              --trace-out=FILE  write a Chrome trace-event JSON of\n"
+         "                       the command's run (open in Perfetto or\n"
+         "                       chrome://tracing; requires -DPCM_OBS=ON)\n"
          "exit codes: 0 ok, 1 wrong output, 2 usage, 3 invariant violation\n"
          "            (AuditError), 4 superstep race (RaceError), 5 other\n"
          "            runtime failure\n";
@@ -163,6 +190,7 @@ int cmd_calibrate(machines::Machine& m, const Options& o) {
   calibrate::CalibrationOptions opts;
   opts.trials = static_cast<int>(o.get("trials", 10));
   const auto p = calibrate::calibrate(m, opts);
+  obs_capture(m);
   std::cout << p.machine << ": g = " << report::Table::num(p.bsp.g, 1)
             << " us, L = " << report::Table::num(p.bsp.L, 0)
             << " us, sigma = " << report::Table::num(p.bpram.sigma, 2)
@@ -195,6 +223,7 @@ int cmd_matmul(machines::Machine& m, const Options& o) {
 
   if (o.has("breakdown")) m.trace().set_enabled(true);
   const auto r = algos::run_matmul<double>(m, a, b, n, v);
+  obs_capture(m);
   const auto ok = algos::ref::matmul(a, b, n);
   double diff = 0.0;
   for (std::size_t i = 0; i < ok.size(); ++i) diff = std::max(diff, std::abs(ok[i] - r.c[i]));
@@ -257,6 +286,7 @@ int cmd_sort(machines::Machine& m, const Options& o) {
     per_key = r.time_per_key;
     sorted = algos::ref::is_sorted_keys(r.keys);
   }
+  obs_capture(m);
   std::cout << algo << " (" << vname << ") with " << per_node
             << " keys/node on " << m.name() << ":\n  "
             << report::Table::num(time / 1e3, 1) << " ms total, "
@@ -276,6 +306,7 @@ int cmd_apsp(machines::Machine& m, const Options& o) {
                      ? algos::ApspVariant::MpBsp
                      : algos::ApspVariant::Bsp;
   const auto r = algos::run_apsp(m, d0, n, v);
+  obs_capture(m);
   const auto want = algos::ref::floyd(d0, n);
   double diff = 0.0;
   for (std::size_t i = 0; i < want.size(); ++i) {
@@ -310,6 +341,12 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  const std::string trace_out = o.get("trace-out", std::string());
+  if ((o.has("metrics") || !trace_out.empty()) && !obs::set_enabled(true)) {
+    std::cerr << "pcmtool: --metrics/--trace-out require a build with "
+                 "-DPCM_OBS=ON (the observability plane was compiled out)\n";
+    return 2;
+  }
   if (o.command == "list") return cmd_list();
   if (o.command == "params") return cmd_params();
 
@@ -320,11 +357,12 @@ int main(int argc, char** argv) {
   // Each detector gets its own exit code so scripts (and the CI smoke jobs)
   // can tell an invariant violation from a race from a plain failure, with a
   // one-line machine/superstep diagnostic instead of an uncaught abort.
+  int rc = -1;
   try {
-    if (o.command == "calibrate") return cmd_calibrate(*m, o);
-    if (o.command == "matmul") return cmd_matmul(*m, o);
-    if (o.command == "sort") return cmd_sort(*m, o);
-    if (o.command == "apsp") return cmd_apsp(*m, o);
+    if (o.command == "calibrate") rc = cmd_calibrate(*m, o);
+    if (o.command == "matmul") rc = cmd_matmul(*m, o);
+    if (o.command == "sort") rc = cmd_sort(*m, o);
+    if (o.command == "apsp") rc = cmd_apsp(*m, o);
   } catch (const audit::AuditError& e) {
     std::cerr << "pcmtool: audit: " << e.what() << "\n";
     return 3;
@@ -336,5 +374,17 @@ int main(int argc, char** argv) {
               << " at superstep " << m->superstep() << ": " << e.what() << "\n";
     return 5;
   }
-  return usage();
+  if (rc < 0) return usage();
+  if (g_obs.captured) {
+    if (o.has("metrics")) obs::print_metrics(std::cout, g_obs.metrics);
+    if (!trace_out.empty()) {
+      if (obs::write_chrome_trace(trace_out, g_obs.machine_name, g_obs.spans)) {
+        std::cout << "trace written to " << trace_out << "\n";
+      } else {
+        std::cerr << "pcmtool: could not write trace to " << trace_out << "\n";
+        return 5;
+      }
+    }
+  }
+  return rc;
 }

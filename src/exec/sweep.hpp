@@ -19,6 +19,9 @@
 #include "exec/watchdog.hpp"
 #include "fault/plan.hpp"
 #include "machines/machine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_export.hpp"
 #include "race/race.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
@@ -94,6 +97,12 @@ struct SweepSpec {
   double cell_timeout_ms = 0.0; ///< Watchdog wall-clock budget; <= 0 = off.
   std::string checkpoint_dir;   ///< Journal directory; empty = no journal.
   bool resume = false;          ///< Skip cells already journalled.
+
+  // --- observability (pcm::obs) --------------------------------------------
+  /// Write a Chrome trace-event JSON of one representative cell (largest x,
+  /// trial 0) to this path. Empty = no trace. Forces observability on for
+  /// that cell; resumed (journalled) cells cannot be re-traced.
+  std::string trace_out;
 };
 
 /// What a sweep produces: the measured series plus the failure ledger.
@@ -102,6 +111,10 @@ struct SweepResult {
   std::vector<CellFailure> failures;  ///< Cell-index order.
   std::size_t cells_total = 0;
   std::size_t cells_resumed = 0;  ///< Cells skipped via a resumed journal.
+  /// Per-cell metric snapshots merged serially in cell order — like every
+  /// engine output, bit-identical at any jobs value. Empty unless the
+  /// observability plane was on (obs::enabled() or spec.trace_out).
+  obs::SweepMetrics metrics;
 
   [[nodiscard]] bool ok() const { return failures.empty(); }
 };
@@ -148,8 +161,21 @@ inline SweepResult run_sweep(const SweepSpec& spec) {
     int attempts = 0;
     std::string kind;
     std::string message;
+    obs::MetricsSnapshot snapshot;  ///< Touched metrics; empty when obs off.
   };
   std::vector<CellState> state(cells);
+
+  // One representative cell carries the exported trace: the largest x at
+  // trial 0 — the cell a reader of the figure would zoom into first. Only
+  // that cell's machine gets observability force-enabled, so a --trace-out
+  // run perturbs nothing else.
+  const bool tracing = !spec.trace_out.empty() && !spec.xs.empty();
+  const std::size_t trace_cell = tracing ? (spec.xs.size() - 1) * trials : 0;
+  struct TraceCapture {
+    std::string machine_name;
+    std::vector<obs::Span> spans;
+  };
+  std::optional<TraceCapture> capture;  // written by at most one cell
 
   std::optional<CheckpointJournal> journal;
   if (!spec.checkpoint_dir.empty()) {
@@ -196,6 +222,7 @@ inline SweepResult run_sweep(const SweepSpec& spec) {
         machines::MachineSpec mspec = spec.machine;
         mspec.seed = cell_seed;
         const auto machine = machines::make_machine(mspec);
+        if (tracing && c == trace_cell) machine->set_observing(true);
         std::atomic<bool> cancelled{false};
         machine->set_cancel(&cancelled);
         auto guard = watchdog.watch(&cancelled);
@@ -207,6 +234,12 @@ inline SweepResult run_sweep(const SweepSpec& spec) {
         st.us = us;
         st.kind.clear();
         st.message.clear();
+        if (machine->metrics().on()) st.snapshot = machine->metrics().snapshot();
+        if (tracing && c == trace_cell) {
+          capture.emplace(TraceCapture{
+              std::string(machine->name()),
+              machine->spans().tiled(machine->now(), machine->superstep())});
+        }
         break;
       } catch (const fault::CancelledError& e) {
         st.kind = "timeout";
@@ -273,6 +306,17 @@ inline SweepResult run_sweep(const SweepSpec& spec) {
     core::PredictedSeries pred{p.model, {}};
     for (const double x : spec.xs) pred.ys.push_back(p.fn(x));
     s.predictions.push_back(std::move(pred));
+  }
+  // Metric aggregation follows the same rule as the statistics above:
+  // serial, in cell order, so the totals are independent of scheduling.
+  for (std::size_t c = 0; c < cells; ++c) {
+    if (state[c].snapshot.empty()) continue;
+    out.metrics.totals.merge(state[c].snapshot);
+    ++out.metrics.cells;
+  }
+  if (capture) {
+    obs::write_chrome_trace(spec.trace_out, capture->machine_name,
+                            capture->spans);
   }
   return out;
 }

@@ -12,6 +12,7 @@
 #include "audit/audit.hpp"
 #include "audit/conservation.hpp"
 #include "fault/plan.hpp"
+#include "obs/obs.hpp"
 #include "race/race.hpp"
 #include "net/delta_router.hpp"
 #include "net/fat_tree.hpp"
@@ -31,6 +32,8 @@ Machine::Machine(std::string name, int procs, LocalCompute compute,
       finish_(static_cast<std::size_t>(procs), 0.0) {
   assert(router_ != nullptr);
   assert(router_->procs() == procs);
+  router_->set_metrics(&metrics_);
+  set_observing(obs::enabled());
   router_->new_trial(rng_);
   if (auto plan = fault::active_plan()) {
     injector_ = std::make_unique<fault::Injector>(std::move(plan), seed, procs);
@@ -83,7 +86,8 @@ void Machine::charge(int p, sim::Micros us) {
   if (injector_ != nullptr) us *= injector_->compute_multiplier(p, superstep_);
   clocks_.advance(p, us);
   if (trace_.enabled()) {
-    trace_.record({sim::PhaseKind::Compute, "", clocks_.at(p) - us, us, 0, 0});
+    trace_.record(
+        {sim::PhaseKind::Compute, "", clocks_.at(p) - us, us, 0, 0, superstep_});
   }
 }
 
@@ -102,7 +106,8 @@ void Machine::charge_all(sim::Micros us) {
   if (trace_.enabled()) {
     // Compute trace durations are per-processor work sums (one record per
     // charge() call); a lock-step charge contributes the summed scaled work.
-    trace_.record({sim::PhaseKind::Compute, "all", before, total, 0, 0});
+    trace_.record({sim::PhaseKind::Compute, "all", before, total, 0, 0,
+                   superstep_});
   }
 }
 
@@ -143,13 +148,32 @@ void Machine::exchange(const net::CommPattern& pattern) {
   for (int p = 0; p < procs(); ++p) clocks_.ref(p) = finish_[static_cast<std::size_t>(p)];
   if (trace_.enabled()) {
     trace_.record({sim::PhaseKind::Communicate, "", before, now() - before,
-                   static_cast<long>(routed->size()), routed->total_bytes()});
+                   static_cast<long>(routed->size()), routed->total_bytes(),
+                   superstep_});
+  }
+  if (metrics_.on()) {
+    const obs::Builtin& b = obs::builtin();
+    metrics_.add(b.exchanges);
+    metrics_.add(b.packets, routed->size());
+    metrics_.add(b.bytes, static_cast<std::uint64_t>(routed->total_bytes()));
+  }
+  if (spans_.on()) {
+    spans_.on_exchange(before, now(), superstep_, routed->size(),
+                       static_cast<std::uint64_t>(routed->total_bytes()));
   }
 }
 
 void Machine::barrier() {
   check_cancel();
   const sim::Micros before = now();
+  if (metrics_.on()) {
+    // Skew is measured at barrier entry, before the clocks are levelled —
+    // the drift the barrier is about to absorb.
+    const obs::Builtin& b = obs::builtin();
+    metrics_.add(b.barriers);
+    metrics_.observe(b.barrier_skew_us,
+                     static_cast<std::uint64_t>(clocks_.max() - clocks_.min()));
+  }
   sim::Micros cost = barrier_cost_;
   if (injector_ != nullptr) cost += injector_->barrier_stall(superstep_);
   clocks_.barrier(cost);
@@ -177,8 +201,9 @@ void Machine::barrier() {
   }
   if (trace_.enabled()) {
     trace_.record(
-        {sim::PhaseKind::Barrier, "", before, now() - before, 0, 0});
+        {sim::PhaseKind::Barrier, "", before, now() - before, 0, 0, superstep_});
   }
+  if (spans_.on()) spans_.on_barrier(before, now(), superstep_);
   ++superstep_;
   // The superstep counter is the race detector's happens-before epoch;
   // advancing it here is what orders pre-barrier writes before post-barrier
@@ -192,6 +217,11 @@ void Machine::reset() {
   router_->new_trial(rng_);
   superstep_ = 0;
   ++trial_;
+  // A trial transition starts from a clean timeline: stale phase records
+  // would otherwise bleed the previous trial's totals into this one's
+  // breakdown, and the span recorder's cursor must restart at zero.
+  trace_.clear();
+  spans_.begin_trial(trial_);
   if (injector_ != nullptr) injector_->new_trial(trial_);
   last_faults_.clear();
 }

@@ -8,6 +8,8 @@
 #include "fault/injector.hpp"
 #include "machines/local_compute.hpp"
 #include "net/router.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/clockset.hpp"
 #include "sim/rng.hpp"
 #include "sim/trace.hpp"
@@ -47,6 +49,19 @@ class Machine {
   [[nodiscard]] const net::Router& router() const { return *router_; }
   [[nodiscard]] sim::Rng& rng() { return rng_; }
   [[nodiscard]] sim::Trace& trace() { return trace_; }
+
+  /// The machine's observability state (pcm::obs). Off unless the plane was
+  /// enabled at construction (obs::enabled()) or via set_observing().
+  [[nodiscard]] obs::Metrics& metrics() { return metrics_; }
+  [[nodiscard]] const obs::Metrics& metrics() const { return metrics_; }
+  [[nodiscard]] const obs::SpanRecorder& spans() const { return spans_; }
+
+  /// Turn metric and span collection on or off for this machine. The router
+  /// shares the Metrics instance, so it follows the same switch.
+  void set_observing(bool on) {
+    metrics_.set_on(on);
+    spans_.set_on(on);
+  }
 
   /// Charge `us` microseconds of local work to processor p.
   void charge(int p, sim::Micros us);
@@ -118,6 +133,8 @@ class Machine {
   sim::Micros barrier_cost_;
   sim::Rng rng_;
   sim::Trace trace_;
+  obs::Metrics metrics_;
+  obs::SpanRecorder spans_;
   long superstep_ = 0;
   long trial_ = 0;
   std::vector<sim::Micros> finish_;  // scratch

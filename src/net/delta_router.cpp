@@ -81,7 +81,10 @@ DeltaRouter::StepCost DeltaRouter::simulate(const CommPattern& pattern) const {
                         std::to_string(m.src / params_.cluster_size));
       }
 
-      if (dest_used[static_cast<std::size_t>(dst_cl)] == wave) continue;
+      if (dest_used[static_cast<std::size_t>(dst_cl)] == wave) {
+        ++cost.conflicts;
+        continue;
+      }
       bool free = true;
       if (!params_.ideal_crossbar) {
         for (int s = 0; s < stages_; ++s) {
@@ -91,7 +94,10 @@ DeltaRouter::StepCost DeltaRouter::simulate(const CommPattern& pattern) const {
           }
         }
       }
-      if (!free) continue;
+      if (!free) {
+        ++cost.conflicts;
+        continue;
+      }
 
       dest_used[static_cast<std::size_t>(dst_cl)] = wave;
       if (!params_.ideal_crossbar) {
@@ -127,12 +133,16 @@ DeltaRouter::StepCost DeltaRouter::simulate(const CommPattern& pattern) const {
   return cost;
 }
 
-sim::Micros DeltaRouter::step_duration(const CommPattern& pattern) {
+const DeltaRouter::StepCost& DeltaRouter::step_cost(const CommPattern& pattern) {
   const std::uint64_t key = pattern.hash();
   if (memo_.size() >= 16384) memo_.clear();
   const auto [it, inserted] = memo_.try_emplace(key);
   if (inserted) it->second = simulate(pattern);
-  return it->second.duration;
+  return it->second;
+}
+
+sim::Micros DeltaRouter::step_duration(const CommPattern& pattern) {
+  return step_cost(pattern).duration;
 }
 
 int DeltaRouter::wave_count(const CommPattern& pattern) const {
@@ -147,7 +157,18 @@ void DeltaRouter::route(const CommPattern& pattern,
   // SIMD machine: the step begins when the slowest PE arrives and all PEs
   // complete together (the ACU sequences the router operation).
   const sim::Micros begin = *std::max_element(start.begin(), start.end());
-  const sim::Micros end = begin + step_duration(pattern);
+  const StepCost& cost = step_cost(pattern);
+  if (obs::Metrics* om = live_metrics()) {
+    // The memo makes route() skip simulate() for repeated patterns, so the
+    // per-step quantities must come from the memoised cost, not be counted
+    // inside the wave loop.
+    const obs::Builtin& b = obs::builtin();
+    om->add(b.delta_waves, static_cast<std::uint64_t>(cost.waves));
+    om->add(b.delta_conflicts, static_cast<std::uint64_t>(cost.conflicts));
+    om->observe(b.delta_waves_per_exchange,
+                static_cast<std::uint64_t>(cost.waves));
+  }
+  const sim::Micros end = begin + cost.duration;
   std::fill(finish.begin(), finish.end(), end);
 }
 

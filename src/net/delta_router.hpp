@@ -60,6 +60,16 @@ class DeltaRouter final : public Router {
   [[nodiscard]] int clusters() const { return clusters_; }
   [[nodiscard]] int stages() const { return stages_; }
 
+  struct StepCost {
+    int waves = 0;
+    int conflicts = 0;  ///< Head-of-line circuits deferred to a later wave.
+    sim::Micros duration = 0.0;
+  };
+
+  /// Full cost of routing `pattern` in isolation. Memoised by pattern hash
+  /// (the reference is valid until the next step_cost call).
+  [[nodiscard]] const StepCost& step_cost(const CommPattern& pattern);
+
   /// Duration of routing `pattern` in isolation (what route() adds to the
   /// common start time). Memoised by pattern hash.
   [[nodiscard]] sim::Micros step_duration(const CommPattern& pattern);
@@ -68,10 +78,6 @@ class DeltaRouter final : public Router {
   [[nodiscard]] int wave_count(const CommPattern& pattern) const;
 
  private:
-  struct StepCost {
-    int waves = 0;
-    sim::Micros duration = 0.0;
-  };
   [[nodiscard]] StepCost simulate(const CommPattern& pattern) const;
 
   /// Link id used by a circuit from cluster `a` to cluster `b` at `stage`.

@@ -63,6 +63,7 @@ void FatTree::route(const CommPattern& pattern,
     }
   }
 
+  obs::Metrics* const om = live_metrics();
   std::size_t processed = 0;
   while (!pq.empty()) {
     const auto [t, src] = pq.top();
@@ -101,6 +102,9 @@ void FatTree::route(const CommPattern& pattern,
     port = admission_end;
     if (q.per_sender[static_cast<std::size_t>(m.src)]++ == 0) ++q.distinct;
     q.entries.emplace_back(admission_end, m.src);
+    if (om != nullptr) {
+      om->peak(obs::builtin().fat_tree_port_queue_peak, q.entries.size());
+    }
 
     // Backpressure: excessive ejection wait stalls the sender.
     const sim::Micros wait = admission_begin - arrival;

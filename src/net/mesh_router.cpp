@@ -168,6 +168,7 @@ void MeshRouter::route(const CommPattern& pattern,
   // Walk each receiver's arrivals in order; `done` counts processed
   // messages of the current receiver, `ahead` the arrivals already in the
   // buffer when a message starts processing (backlog = ahead - done).
+  obs::Metrics* const om = live_metrics();
   int current_dst = -1;
   std::size_t done = 0, ahead = 0, dst_begin = 0;
   for (std::size_t oi = 0; oi < recv_order_.size(); ++oi) {
@@ -188,6 +189,10 @@ void MeshRouter::route(const CommPattern& pattern,
       ++ahead;
     }
     const long backlog = static_cast<long>(ahead - done) - 1;
+    if (om != nullptr && backlog > 0) {
+      om->peak(obs::builtin().mesh_recv_backlog_peak,
+               static_cast<std::uint64_t>(backlog));
+    }
     const sim::Micros backlog_cost =
         (backlog > params_.backlog_tolerance)
             ? params_.backlog_penalty *

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "net/pattern.hpp"
+#include "obs/metrics.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 
@@ -55,11 +56,23 @@ class Router {
     return {};
   }
 
+  /// Observability hook (pcm::obs): the owning machine shares its Metrics
+  /// instance so routers can report network-level quantities (waves,
+  /// conflicts, queue peaks). May be null; the machine outlives the router.
+  void set_metrics(obs::Metrics* m) { metrics_ = m; }
+
  protected:
   explicit Router(int procs) : procs_(procs) {}
 
+  /// The shared Metrics when collection is live, else nullptr — so hot
+  /// paths pay one pointer test while disabled.
+  [[nodiscard]] obs::Metrics* live_metrics() const {
+    return metrics_ != nullptr && metrics_->on() ? metrics_ : nullptr;
+  }
+
  private:
   int procs_;
+  obs::Metrics* metrics_ = nullptr;
 };
 
 }  // namespace pcm::net

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+
+// pcm::obs — the superstep-resolved observability plane.
+//
+// The paper's methodology is an attribution exercise: Section 5 explains
+// each model's prediction error by splitting measured time into local
+// computation, communication and synchronisation. The simulators must
+// support the same decomposition *per superstep* — which superstep, which
+// router wave, which channel was hot — both to reproduce that analysis and
+// to give perf work on the engine hard numbers to cite. pcm::obs is that
+// layer:
+//
+//   - a per-machine metrics registry (obs/metrics.hpp): counters, gauges
+//     and log2-bucket histograms — packets, bytes, router waves per
+//     exchange, circuit conflicts, ejection-port queue peaks, receive
+//     backlogs, barrier skew — all in simulated quantities, deterministic
+//     at any --jobs;
+//   - a span recorder (obs/span.hpp): (machine, trial, superstep, phase)
+//     spans in simulated time that tile [0, now()] exactly, so per-phase
+//     durations sum to the total simulated time by construction; exported
+//     as Chrome trace-event JSON (obs/trace_export.hpp, loadable in
+//     Perfetto / chrome://tracing) and as CSV via report::csv;
+//   - exec-level aggregation (exec/sweep.hpp): run_sweep snapshots each
+//     cell's metrics and merges them in cell order into a SweepMetrics
+//     summary that is bit-identical for every --jobs value.
+//
+// Compile-time gate: the PCM_OBS CMake option defines PCM_OBS_ENABLED,
+// mirroring pcm::audit / pcm::race. With it OFF every hook collapses to
+// `if (false)`. With it ON (the default) the hooks cost one predictable
+// branch while disabled at runtime; `--metrics` / `--trace-out=<file>` on
+// the bench harness and pcmtool (or PCM_OBS=1 in the environment, or
+// obs::set_enabled) turn collection on.
+
+#ifndef PCM_OBS_ENABLED
+#define PCM_OBS_ENABLED 1
+#endif
+
+namespace pcm::obs {
+
+/// True when the observability plane was compiled in (-DPCM_OBS=ON).
+constexpr bool compiled_in() { return PCM_OBS_ENABLED != 0; }
+
+namespace detail {
+
+inline std::atomic<bool>& flag() {
+  static std::atomic<bool> on{[] {
+    const char* env = std::getenv("PCM_OBS");
+    return compiled_in() && env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+  }()};
+  return on;
+}
+
+}  // namespace detail
+
+/// Should newly constructed machines collect metrics and spans?
+/// Constant-false when compiled out.
+inline bool enabled() {
+  if constexpr (!compiled_in()) {
+    return false;
+  } else {
+    return detail::flag().load(std::memory_order_relaxed);
+  }
+}
+
+/// Toggle collection for machines constructed afterwards. Returns false
+/// (and stays off) when the plane was compiled out; callers that *require*
+/// observability should treat that as fatal.
+inline bool set_enabled(bool on) {
+  if (!compiled_in() && on) return false;
+  detail::flag().store(on && compiled_in(), std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace pcm::obs

@@ -1,0 +1,129 @@
+#include "obs/trace_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "report/table.hpp"
+
+namespace pcm::obs {
+
+namespace {
+
+/// Shortest round-trip decimal form of a simulated-µs value. printf-based
+/// so the bytes do not depend on stream state; %.17g round-trips doubles
+/// exactly, and a first pass at %.15g keeps typical values short.
+std::string fmt_us(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.15g", v);
+  double back = 0.0;
+  std::sscanf(buf, "%lf", &back);
+  if (back != v) std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, std::string_view machine_name,
+                        const std::vector<Span>& spans) {
+  os << "{\"traceEvents\":[";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+        "\"args\":{\"name\":\""
+     << json_escape(machine_name) << "\"}}";
+  for (const Span& s : spans) {
+    os << ",{\"name\":\"" << to_string(s.kind)
+       << "\",\"cat\":\"superstep\",\"ph\":\"X\",\"ts\":" << fmt_us(s.start)
+       << ",\"dur\":" << fmt_us(s.duration) << ",\"pid\":0,\"tid\":" << s.trial
+       << ",\"args\":{\"superstep\":" << s.superstep;
+    if (s.kind == SpanKind::Communicate) {
+      os << ",\"messages\":" << s.messages << ",\"bytes\":" << s.bytes;
+    }
+    os << "}}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool write_chrome_trace(const std::string& path, std::string_view machine_name,
+                        const std::vector<Span>& spans) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out, machine_name, spans);
+  return static_cast<bool>(out);
+}
+
+report::Csv spans_csv(const std::vector<Span>& spans) {
+  report::Csv csv({"trial", "superstep", "phase", "start_us", "duration_us",
+                   "messages", "bytes"});
+  for (const Span& s : spans) {
+    csv.add_row(std::vector<std::string>{
+        std::to_string(s.trial), std::to_string(s.superstep),
+        std::string(to_string(s.kind)), fmt_us(s.start), fmt_us(s.duration),
+        std::to_string(s.messages), std::to_string(s.bytes)});
+  }
+  return csv;
+}
+
+void print_metrics(std::ostream& os, const MetricsSnapshot& snap) {
+  report::Table t({"metric", "kind", "value", "count", "mean", "max"});
+  for (const SnapshotEntry& e : snap.entries) {
+    std::vector<std::string> row{e.name, std::string(to_string(e.kind))};
+    if (e.kind == MetricKind::Histogram) {
+      row.push_back(std::to_string(e.hist.sum));
+      row.push_back(std::to_string(e.hist.count));
+      row.push_back(e.hist.count > 0
+                        ? report::Table::num(static_cast<double>(e.hist.sum) /
+                                                 static_cast<double>(e.hist.count),
+                                             2)
+                        : "-");
+      row.push_back(std::to_string(e.hist.max));
+    } else {
+      row.push_back(std::to_string(e.value));
+      row.push_back("-");
+      row.push_back("-");
+      row.push_back("-");
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(os);
+}
+
+void print_metrics(std::ostream& os, const SweepMetrics& m) {
+  os << "metrics over " << m.cells << " cell(s):\n";
+  print_metrics(os, m.totals);
+}
+
+std::string to_string(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  for (const SnapshotEntry& e : snap.entries) {
+    os << e.name;
+    if (e.kind == MetricKind::Histogram) {
+      os << " count=" << e.hist.count << " sum=" << e.hist.sum
+         << " max=" << e.hist.max;
+    } else {
+      os << " " << e.value;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pcm::obs

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "report/csv.hpp"
+
+// Exporters for the observability plane (see obs/obs.hpp): Chrome
+// trace-event JSON (loadable in Perfetto / chrome://tracing), CSV via
+// report::Csv, and fixed-width metric tables via report::Table.
+
+namespace pcm::obs {
+
+/// Write spans as Chrome trace-event JSON ("X" complete events, ts/dur in
+/// µs; pid 0 named after the machine, tid = trial). Deterministic output:
+/// the same spans always serialise to the same bytes.
+void write_chrome_trace(std::ostream& os, std::string_view machine_name,
+                        const std::vector<Span>& spans);
+
+/// Same, to a file. Returns false (silently) if the path is unwritable.
+bool write_chrome_trace(const std::string& path, std::string_view machine_name,
+                        const std::vector<Span>& spans);
+
+/// Spans as a report::Csv with columns
+/// trial,superstep,phase,start_us,duration_us,messages,bytes.
+[[nodiscard]] report::Csv spans_csv(const std::vector<Span>& spans);
+
+/// Render a snapshot as a fixed-width table (one row per metric, sorted by
+/// name — the registry order of MetricsSnapshot).
+void print_metrics(std::ostream& os, const MetricsSnapshot& snap);
+
+/// Render the exec-level aggregate (adds a "cells merged" line).
+void print_metrics(std::ostream& os, const SweepMetrics& m);
+
+/// One metric per line as "name value" / "name count=.. sum=.. max=.."
+/// (histograms) — the byte-comparable form the jobs-identity tests diff.
+[[nodiscard]] std::string to_string(const MetricsSnapshot& snap);
+
+}  // namespace pcm::obs

@@ -14,6 +14,13 @@ double tx(double v, bool log_scale) {
   return log_scale ? std::log10(std::max(v, 1e-12)) : v;
 }
 
+/// Non-finite samples (NaN from a zero-measurement ratio, inf from an
+/// overflowed prediction) are skipped entirely — the plot must never place
+/// a glyph at an undefined coordinate nor print a NaN axis bound.
+bool plottable(double x, double y) {
+  return std::isfinite(x) && std::isfinite(y);
+}
+
 }  // namespace
 
 void ascii_plot(std::ostream& os, const std::vector<PlotSeries>& series,
@@ -23,6 +30,7 @@ void ascii_plot(std::ostream& os, const std::vector<PlotSeries>& series,
   bool any = false;
   for (const auto& s : series) {
     for (std::size_t i = 0; i < s.xs.size() && i < s.ys.size(); ++i) {
+      if (!plottable(s.xs[i], s.ys[i])) continue;
       const double x = tx(s.xs[i], opts.log_x);
       const double y = tx(s.ys[i], opts.log_y);
       xmin = std::min(xmin, x);
@@ -41,6 +49,7 @@ void ascii_plot(std::ostream& os, const std::vector<PlotSeries>& series,
                                 std::string(static_cast<std::size_t>(W), ' '));
   for (const auto& s : series) {
     for (std::size_t i = 0; i < s.xs.size() && i < s.ys.size(); ++i) {
+      if (!plottable(s.xs[i], s.ys[i])) continue;
       const double x = tx(s.xs[i], opts.log_x);
       const double y = tx(s.ys[i], opts.log_y);
       const int cx = static_cast<int>(std::lround((x - xmin) / (xmax - xmin) * (W - 1)));

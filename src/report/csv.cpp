@@ -2,7 +2,9 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 namespace pcm::report {
 
@@ -21,19 +23,96 @@ void Csv::add_row(const std::vector<double>& cells) {
 
 void Csv::add_row(const std::vector<std::string>& cells) { rows_.push_back(cells); }
 
+std::string Csv::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void Csv::write_stream(std::ostream& os) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c ? "," : "") << escape(headers_[c]);
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "," : "") << escape(row[c]);
+    }
+    os << "\n";
+  }
+}
+
 bool Csv::write(const std::string& dir, const std::string& name) const {
   if (dir.empty()) return false;
   std::ofstream out(dir + "/" + name + ".csv");
   if (!out) return false;
-  for (std::size_t c = 0; c < headers_.size(); ++c) {
-    out << (c ? "," : "") << headers_[c];
-  }
-  out << "\n";
-  for (const auto& row : rows_) {
-    for (std::size_t c = 0; c < row.size(); ++c) out << (c ? "," : "") << row[c];
-    out << "\n";
-  }
+  write_stream(out);
   return true;
+}
+
+std::vector<std::vector<std::string>> Csv::parse(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool quoted = false;
+  bool field_started = false;  // distinguishes "" (one empty field) from ""
+  std::size_t i = 0;
+  const auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  const auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        quoted = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    if (c == '"' && field.empty() && !field_started) {
+      quoted = true;
+      field_started = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      end_field();
+      ++i;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      end_row();
+      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      ++i;
+      continue;
+    }
+    field += c;
+    field_started = true;
+    ++i;
+  }
+  if (quoted) throw std::invalid_argument("csv: unclosed quoted field");
+  if (field_started || !row.empty()) end_row();
+  return rows;
 }
 
 std::string Csv::results_dir() {

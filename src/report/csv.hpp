@@ -1,10 +1,14 @@
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 // Optional CSV dumps next to the printed tables. Bench binaries write one
-// file per figure under results/ when PCM_RESULTS_DIR is set.
+// file per figure under results/ when PCM_RESULTS_DIR is set. Fields are
+// quoted per RFC 4180 when they contain commas, quotes or newlines, and
+// parse() inverts write_stream() exactly — the round-trip the report tests
+// pin down.
 
 namespace pcm::report {
 
@@ -15,9 +19,29 @@ class Csv {
   void add_row(const std::vector<double>& cells);
   void add_row(const std::vector<std::string>& cells);
 
+  [[nodiscard]] const std::vector<std::string>& headers() const {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
+  /// Write (headers then rows) to a stream, RFC 4180 quoting as needed.
+  void write_stream(std::ostream& os) const;
+
   /// Write to `<dir>/<name>.csv`; returns false (silently) if dir empty or
   /// unwritable.
   bool write(const std::string& dir, const std::string& name) const;
+
+  /// Quote one field if it contains a comma, a double quote, or a newline
+  /// (embedded quotes doubled); pass it through verbatim otherwise.
+  static std::string escape(const std::string& field);
+
+  /// Parse CSV text (RFC 4180: quoted fields, doubled quotes, embedded
+  /// newlines inside quotes) into rows of fields. A trailing newline does
+  /// not produce an empty row. Throws std::invalid_argument on an unclosed
+  /// quote.
+  static std::vector<std::vector<std::string>> parse(const std::string& text);
 
   /// Directory from PCM_RESULTS_DIR, or "" when unset.
   static std::string results_dir();

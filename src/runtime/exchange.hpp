@@ -75,6 +75,16 @@ class Exchange {
     audit::EndpointBytes injected;
     if (auditing) injected = audit::endpoint_bytes(pattern_);
     machine_.exchange(pattern_);
+    if (machine_.metrics().on()) {
+      // Runtime-level view (staged parcels as the algorithm expressed them,
+      // before packet faults): complements the machine's router-level
+      // packet/byte counters.
+      const obs::Builtin& b = obs::builtin();
+      std::uint64_t payload = 0;
+      for (const auto& s : staged_) payload += s.data.size() * sizeof(T);
+      machine_.metrics().add(b.parcels, staged_.size());
+      machine_.metrics().add(b.payload_bytes, payload);
+    }
     Mailbox<T> box(machine_.procs());
     // Under --race: stamp the mailbox with the delivery epoch so consuming
     // it after a reset() (stale read) is caught. Unstamped mailboxes carry

@@ -25,6 +25,14 @@ Micros Trace::total(PhaseKind k) const {
   return acc;
 }
 
+Micros Trace::total(PhaseKind k, long superstep) const {
+  Micros acc = 0.0;
+  for (const auto& r : records_) {
+    if (r.kind == k && r.superstep == superstep) acc += r.duration;
+  }
+  return acc;
+}
+
 long Trace::total_messages() const {
   long acc = 0;
   for (const auto& r : records_) acc += r.messages;

@@ -22,8 +22,9 @@ struct PhaseRecord {
   std::string label;
   Micros start = 0.0;
   Micros duration = 0.0;
-  long messages = 0;  ///< Number of messages routed (communication phases).
-  long bytes = 0;     ///< Total payload bytes (communication phases).
+  long messages = 0;    ///< Number of messages routed (communication phases).
+  long bytes = 0;       ///< Total payload bytes (communication phases).
+  long superstep = -1;  ///< Superstep the phase ran in (-1 = unattributed).
 };
 
 class Trace {
@@ -38,6 +39,8 @@ class Trace {
 
   /// Total duration attributed to a phase kind.
   [[nodiscard]] Micros total(PhaseKind k) const;
+  /// Total duration attributed to a phase kind within one superstep.
+  [[nodiscard]] Micros total(PhaseKind k, long superstep) const;
 
   /// Total messages routed across all communication phases.
   [[nodiscard]] long total_messages() const;

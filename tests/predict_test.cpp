@@ -176,5 +176,72 @@ TEST(ApspPredict, TotalCombinesComputeAndBcast) {
               1e-6);
 }
 
+// ----------------------------------------------------------- monotonicity
+//
+// Property checks: every closed form must grow with the problem size. These
+// complement the hand-computed point checks above — a transcription slip in
+// a formula (a dropped term, an inverted quotient) usually breaks growth
+// before it breaks any single pinned value.
+
+TEST(MatmulPredict, MonotonicInN) {
+  BspParams bsp{64, 9.1, 45.0, 8};
+  BpramParams bpram{64, 0.27, 75.0};
+  const int q = 4;
+  for (long n = 64; n <= 2048; n *= 2) {
+    EXPECT_LT(matmul_bsp(bsp, kCm5, n, q), matmul_bsp(bsp, kCm5, 2 * n, q))
+        << n;
+    EXPECT_LT(matmul_mp_bsp(bsp, kCm5, n, q),
+              matmul_mp_bsp(bsp, kCm5, 2 * n, q))
+        << n;
+    EXPECT_LT(matmul_bpram(bpram, kCm5, n, q, 8),
+              matmul_bpram(bpram, kCm5, 2 * n, q, 8))
+        << n;
+  }
+}
+
+TEST(BitonicPredict, MonotonicInKeysPerProcessor) {
+  BspParams bsp{1024, 32.2, 1400.0, 4};
+  BpramParams bpram{64, 9.3, 6900.0};
+  for (long m = 64; m <= 8192; m *= 2) {
+    EXPECT_LT(bitonic_bsp(bsp, kMasPar, m), bitonic_bsp(bsp, kMasPar, 2 * m))
+        << m;
+    EXPECT_LT(bitonic_mp_bsp(bsp, kMasPar, m),
+              bitonic_mp_bsp(bsp, kMasPar, 2 * m))
+        << m;
+    EXPECT_LT(bitonic_bpram(bpram, kGcel, m, 4, 64),
+              bitonic_bpram(bpram, kGcel, 2 * m, 4, 64))
+        << m;
+  }
+}
+
+TEST(SampleSortPredict, MonotonicInKeysPerProcessor) {
+  BpramParams bpram{64, 9.3, 6900.0};
+  for (long m = 512; m <= 8192; m *= 2) {
+    const double small = samplesort_bpram(bpram, kGcel, m, 64, m + m / 4, 4).total();
+    const double big =
+        samplesort_bpram(bpram, kGcel, 2 * m, 64, 2 * m + m / 2, 4).total();
+    EXPECT_LT(small, big) << m;
+  }
+}
+
+TEST(ApspPredict, MonotonicInN) {
+  // The broadcast formulas switch regimes at M = n/32 = 32 (the doubling
+  // term disappears), so growth is only guaranteed within a regime; the
+  // *total* prediction is dominated by the n^3 compute term and the n-fold
+  // broadcast repetition, and stays monotone across the boundary.
+  BspParams bsp{1024, 32.2, 1400.0, 4};
+  for (long n = 1024; n <= 8192; n *= 2) {  // M >= 32 throughout
+    EXPECT_LT(apsp_bcast_bsp(bsp, n), apsp_bcast_bsp(bsp, 2 * n)) << n;
+    EXPECT_LT(apsp_bcast_mp_bsp(bsp, n), apsp_bcast_mp_bsp(bsp, 2 * n)) << n;
+  }
+  for (long n = 256; n <= 4096; n *= 2) {
+    EXPECT_LT(apsp_bsp(bsp, kMasPar, n), apsp_bsp(bsp, kMasPar, 2 * n)) << n;
+  }
+  const auto ebsp = models::table1::maspar().ebsp;
+  for (long n = 1024; n <= 8192; n *= 2) {
+    EXPECT_LT(apsp_bcast_ebsp(ebsp, n), apsp_bcast_ebsp(ebsp, 2 * n)) << n;
+  }
+}
+
 }  // namespace
 }  // namespace pcm::predict

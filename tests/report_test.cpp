@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "report/ascii_plot.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+// The report layer's own suite: RFC 4180 quoting and its exact inverse
+// (parse ∘ write = id), fixed-width tables, and the ascii plot's edge cases
+// — empty series, a single point, and non-finite samples, which must never
+// surface as "nan" in the rendered output.
+
+namespace pcm::report {
+namespace {
+
+// ----------------------------------------------------------------- escaping
+
+TEST(CsvEscape, PassesPlainFieldsThrough) {
+  EXPECT_EQ(Csv::escape("plain"), "plain");
+  EXPECT_EQ(Csv::escape(""), "");
+  EXPECT_EQ(Csv::escape("with space"), "with space");
+}
+
+TEST(CsvEscape, QuotesSpecials) {
+  EXPECT_EQ(Csv::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(Csv::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(Csv::escape("two\nlines"), "\"two\nlines\"");
+  EXPECT_EQ(Csv::escape("cr\rhere"), "\"cr\rhere\"");
+}
+
+// ------------------------------------------------------------------ parsing
+
+TEST(CsvParse, PlainRows) {
+  const auto rows = Csv::parse("a,b,c\n1,2,3\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvParse, QuotedFieldsAndDoubledQuotes) {
+  const auto rows = Csv::parse("\"a,b\",\"say \"\"hi\"\"\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a,b", "say \"hi\""}));
+}
+
+TEST(CsvParse, EmbeddedNewlineStaysInsideField) {
+  const auto rows = Csv::parse("\"two\nlines\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "two\nlines");
+  EXPECT_EQ(rows[0][1], "x");
+}
+
+TEST(CsvParse, EmptyFieldsAndCrlf) {
+  const auto rows = Csv::parse("a,,c\r\n,,\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvParse, TrailingNewlineProducesNoEmptyRow) {
+  EXPECT_EQ(Csv::parse("a\n").size(), 1u);
+  EXPECT_EQ(Csv::parse("a").size(), 1u);
+  EXPECT_TRUE(Csv::parse("").empty());
+  // An explicitly quoted empty field *is* a row.
+  const auto rows = Csv::parse("\"\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{""}));
+}
+
+TEST(CsvParse, UnclosedQuoteThrows) {
+  EXPECT_THROW((void)Csv::parse("\"never closed\n"), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- round trip
+
+TEST(CsvRoundTrip, WriteThenParseIsIdentity) {
+  Csv csv({"name", "note, with comma", "n"});
+  csv.add_row(std::vector<std::string>{"plain", "say \"hi\"", "3"});
+  csv.add_row(std::vector<std::string>{"multi\nline", "", "x,y"});
+  csv.add_row(std::vector<double>{1.5, 2.0, 0.25});
+  std::ostringstream os;
+  csv.write_stream(os);
+
+  const auto rows = Csv::parse(os.str());
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0], csv.headers());
+  EXPECT_EQ(rows[1], csv.rows()[0]);
+  EXPECT_EQ(rows[2], csv.rows()[1]);
+  EXPECT_EQ(rows[3], (std::vector<std::string>{"1.5", "2", "0.25"}));
+}
+
+TEST(CsvRoundTrip, WriteToMissingDirFailsSoftly) {
+  Csv csv({"a"});
+  EXPECT_FALSE(csv.write("", "x"));
+  EXPECT_FALSE(csv.write("/nonexistent-dir-for-report-test", "x"));
+}
+
+// -------------------------------------------------------------------- table
+
+TEST(Table, AlignsColumnsAndPadsShortRows) {
+  Table t({"machine", "t (us)"});
+  t.add_row({"MasPar MP-1", "12.5"});
+  t.add_row({"CM-5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("machine"), std::string::npos);
+  EXPECT_NE(out.find("MasPar MP-1"), std::string::npos);
+  EXPECT_NE(out.find("CM-5"), std::string::npos);
+  // Every line is at least as wide as the widest cell of its column block.
+  std::istringstream lines(out);
+  std::string line;
+  while (std::getline(lines, line)) EXPECT_FALSE(line.empty());
+}
+
+TEST(Table, NumFormatsWithPrecision) {
+  EXPECT_EQ(Table::num(1.25, 1), "1.2");
+  EXPECT_EQ(Table::num(1.25, 3), "1.250");
+}
+
+// --------------------------------------------------------------- ascii plot
+
+TEST(AsciiPlot, EmptySeriesPrintsNothing) {
+  std::ostringstream os;
+  ascii_plot(os, {});
+  EXPECT_TRUE(os.str().empty());
+  ascii_plot(os, {{"empty", '*', {}, {}}});
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(AsciiPlot, SinglePointStillRenders) {
+  std::ostringstream os;
+  ascii_plot(os, {{"one", '*', {1.0}, {2.0}}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("'*' = one"), std::string::npos);
+}
+
+TEST(AsciiPlot, NonFiniteSamplesAreSkippedNotPrinted) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  PlotOptions opts;
+  opts.width = 20;
+  opts.height = 5;
+  std::ostringstream os;
+  ascii_plot(os, {{"s", '*', {1.0, 2.0, 3.0, 4.0}, {1.0, nan, inf, 4.0}}},
+             opts);
+  const std::string out = os.str();
+  EXPECT_FALSE(out.empty());
+  EXPECT_EQ(out.find("nan"), std::string::npos);
+  EXPECT_EQ(out.find("inf"), std::string::npos);
+}
+
+TEST(AsciiPlot, AllNonFinitePrintsNothing) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::ostringstream os;
+  ascii_plot(os, {{"s", '*', {nan, nan}, {nan, nan}}});
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(AsciiPlot, LogAxesHandleZeroGracefully) {
+  // log10(0) would be -inf; tx() clamps at 1e-12, so output stays finite.
+  PlotOptions opts;
+  opts.width = 20;
+  opts.height = 5;
+  opts.log_x = true;
+  opts.log_y = true;
+  std::ostringstream os;
+  ascii_plot(os, {{"s", '*', {0.0, 10.0}, {0.0, 100.0}}}, opts);
+  const std::string out = os.str();
+  EXPECT_FALSE(out.empty());
+  EXPECT_EQ(out.find("nan"), std::string::npos);
+  EXPECT_EQ(out.find("inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pcm::report

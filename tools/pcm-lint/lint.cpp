@@ -183,8 +183,8 @@ void check_float_time(const std::string& rel_path,
 int layer_of(const std::string& dir) {
   if (dir == "sim") return 0;
   if (dir == "report") return 1;
-  if (dir == "audit" || dir == "net" || dir == "race" || dir == "core" ||
-      dir == "fault")
+  if (dir == "audit" || dir == "net" || dir == "race" || dir == "obs" ||
+      dir == "core" || dir == "fault")
     return 2;
   if (dir == "machines") return 3;
   if (dir == "models" || dir == "runtime") return 4;
@@ -194,7 +194,7 @@ int layer_of(const std::string& dir) {
 }
 
 constexpr const char* kLayerOrder =
-    "sim -> report -> audit/net/race/core/fault -> machines -> "
+    "sim -> report -> audit/net/race/obs/core/fault -> machines -> "
     "models/runtime -> algos/predict/calibrate -> vendor/exec";
 
 /// Scans the *raw* lines: stripping blanks string contents, and an #include
@@ -244,6 +244,29 @@ void check_assert_in_header(const std::string& rel_path,
       out->push_back({rel_path, static_cast<int>(i) + 1, "assert-in-header",
                       "assert() in a header is stripped from Release bench "
                       "builds by NDEBUG; use PCM_CHECK (sim/check.hpp)"});
+    }
+  }
+}
+
+// --- rule: metric-in-header ------------------------------------------------
+
+/// obs::register_metric mutates the process-global metric registry, and a
+/// registration in a header runs once per translation unit that includes
+/// it. The registry deduplicates by name, but whether ids stay stable then
+/// depends on include graphs and static-init order — so registration is
+/// confined to .cpp files, and src/obs/ itself (which owns the registry and
+/// declares the API) is the one place headers may mention it.
+void check_metric_in_header(const std::string& rel_path,
+                            const std::vector<std::string>& lines,
+                            std::vector<Diagnostic>* out) {
+  static const std::regex reg_re(R"(\bregister_metric\s*\()");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (std::regex_search(lines[i], reg_re)) {
+      out->push_back(
+          {rel_path, static_cast<int>(i) + 1, "metric-in-header",
+           "register_metric() in a header runs once per including "
+           "translation unit and welds metric ids to the include graph; "
+           "register in a .cpp at namespace scope (see src/obs/metrics.cpp)"});
     }
   }
 }
@@ -456,6 +479,9 @@ std::vector<Diagnostic> lint_file(const std::string& rel_path,
   if (order_sensitive) check_unordered_iteration(rel_path, lines, &found);
   if (timing_core) check_float_time(rel_path, lines, &found);
   if (in_src && is_header) check_assert_in_header(rel_path, lines, &found);
+  if (in_src && is_header && !starts_with(rel_path, "src/obs/")) {
+    check_metric_in_header(rel_path, lines, &found);
+  }
   if (in_src && !in_exec) check_bare_catch(rel_path, stripped, &found);
   // Include targets are strings, so this rule reads the raw lines.
   if (in_src) check_include_layer(rel_path, raw_lines, &found);

@@ -194,6 +194,31 @@ TEST(AssertInHeader, IgnoresStaticAssertAndPcmCheck) {
   EXPECT_TRUE(lint_file("src/runtime/x.hpp", src).empty());
 }
 
+// --- metric-in-header ------------------------------------------------------
+
+TEST(MetricInHeader, FlagsHeadersOutsideObs) {
+  const std::string src =
+      "inline const auto kId = obs::register_metric(\"x\", k);\n";
+  EXPECT_TRUE(has(lint_file("src/runtime/x.hpp", src), "src/runtime/x.hpp", 1,
+                  "metric-in-header"));
+  // .cpp registration is the sanctioned form.
+  EXPECT_TRUE(of_rule(lint_file("src/runtime/x.cpp", src), "metric-in-header")
+                  .empty());
+  // src/obs/ owns the registry; its own headers declare the API.
+  EXPECT_TRUE(of_rule(lint_file("src/obs/metrics.hpp", src), "metric-in-header")
+                  .empty());
+}
+
+TEST(MetricInHeader, IgnoresIdentifierTailsCommentsAndStrings) {
+  const std::string src =
+      "// call register_metric() from a .cpp\n"
+      "const char* doc = \"register_metric(name, kind)\";\n"
+      "int do_register_metrics(int v);\n"
+      "int register_metrics_all();\n";
+  EXPECT_TRUE(of_rule(lint_file("src/runtime/x.hpp", src), "metric-in-header")
+                  .empty());
+}
+
 // --- bare-catch ------------------------------------------------------------
 
 TEST(BareCatch, FlagsSwallowingHandler) {
@@ -282,6 +307,22 @@ TEST(IncludeLayer, FaultSitsBesideNet) {
                   "src/fault/x.cpp", 1, "include-layer"));
 }
 
+TEST(IncludeLayer, ObsSitsBesideNet) {
+  // net reports into the observability plane (same layer)...
+  EXPECT_TRUE(of_rule(lint_file("src/net/x.cpp",
+                                "#include \"obs/metrics.hpp\"\n"),
+                      "include-layer")
+                  .empty());
+  // ...obs may format through report (downward) but never see machines.
+  EXPECT_TRUE(of_rule(lint_file("src/obs/x.cpp",
+                                "#include \"report/csv.hpp\"\n"),
+                      "include-layer")
+                  .empty());
+  EXPECT_TRUE(has(lint_file("src/obs/x.cpp",
+                            "#include \"machines/machine.hpp\"\n"),
+                  "src/obs/x.cpp", 1, "include-layer"));
+}
+
 TEST(IncludeLayer, TopLayersMayReachDown) {
   const std::string src =
       "#include \"core/registry.hpp\"\n"
@@ -333,6 +374,9 @@ TEST(FixtureTree, EveryViolationClassCaught) {
 
   EXPECT_TRUE(has(diags, "src/runtime/bad_assert.hpp", 11, "assert-in-header"));
   EXPECT_EQ(of_rule(diags, "assert-in-header").size(), 1u);
+
+  EXPECT_TRUE(has(diags, "src/runtime/bad_metric.hpp", 9, "metric-in-header"));
+  EXPECT_EQ(of_rule(diags, "metric-in-header").size(), 1u);  // line 12 suppressed
 
   EXPECT_TRUE(has(diags, "bench/bad_wallclock.cpp", 12, "wallclock"));
   EXPECT_TRUE(has(diags, "bench/bad_wallclock.cpp", 13, "wallclock"));

@@ -1,0 +1,18 @@
+#pragma once
+
+// Fixture: metric registration from a header outside src/obs/. The fixture
+// tree is linted, never compiled, so the call target needs no declaration.
+
+namespace fixture {
+
+// line 9: flagged — header registration runs once per including TU.
+inline const unsigned long kPackets = register_metric("fixture.packets", 0);
+
+// line 12: suppressed.
+inline const unsigned long kBytes = register_metric("fixture.bytes", 0);  // pcm-lint:allow(metric-in-header)
+
+// Not flagged: identifier tails, and the name inside a comment or string.
+inline int do_register_metrics(int v) { return v + 1; }
+inline const char* kDoc = "call register_metric(name, kind) from a .cpp";
+
+}  // namespace fixture

@@ -57,6 +57,7 @@ struct Env {
   int trials = 0;         ///< 0 = use the bench's default.
   int jobs = 1;           ///< Sweep workers; 0 = one per hardware thread.
   std::uint64_t seed = 0; ///< 0 = use the bench's default seed.
+  int procs = 0;          ///< 0 = the platform's Table 1 machine size.
   bool audit = false;     ///< Run with the invariant auditor enabled.
   bool race = false;      ///< Run with the superstep race detector enabled.
   std::string fault;        ///< The --fault spec as given (empty = none).
@@ -71,13 +72,17 @@ struct Env {
 [[noreturn]] inline void usage(const char* argv0, const std::string& error) {
   if (!error.empty()) std::cerr << argv0 << ": " << error << "\n";
   std::cerr << "usage: " << argv0
-            << " [--quick] [--trials=K] [--jobs=N] [--seed=S] [--audit] [--race]\n"
-            << "       [--fault=SPEC] [--retries=K] [--cell-timeout-ms=T]\n"
+            << " [--quick] [--trials=K] [--jobs=N] [--seed=S] [--procs=P] [--audit]\n"
+            << "       [--race] [--fault=SPEC] [--retries=K] [--cell-timeout-ms=T]\n"
             << "       [--checkpoint=DIR] [--resume] [--metrics] [--trace-out=FILE]\n"
             << "  --quick      run a smaller sweep\n"
             << "  --trials=K   trials per data point (K > 0)\n"
             << "  --jobs=N     parallel sweep workers; 0 = all hardware threads\n"
             << "  --seed=S     base seed for the deterministic per-cell streams\n"
+            << "  --procs=P    simulated machine size (P > 0); default is the\n"
+            << "               platform's Table 1 size (1024 MasPar, 64 others).\n"
+            << "               Workload sizes scale with it where the figure's\n"
+            << "               x-axis is per-processor\n"
             << "  --audit      check runtime invariants (packet conservation,\n"
             << "               occupancy leaks, clock monotonicity) as the\n"
             << "               sweep runs; needs a -DPCM_AUDIT=ON build\n"
@@ -140,6 +145,10 @@ inline Env parse_env(int argc, char** argv) {
     } else if (arg.rfind("--seed=", 0) == 0) {
       if (!detail::parse_number(arg.substr(7), &env.seed)) {
         usage(argv[0], "--seed expects an unsigned integer, got '" + arg + "'");
+      }
+    } else if (arg.rfind("--procs=", 0) == 0) {
+      if (!detail::parse_number(arg.substr(8), &env.procs) || env.procs <= 0) {
+        usage(argv[0], "--procs expects a positive integer, got '" + arg + "'");
       }
     } else if (arg.rfind("--fault=", 0) == 0) {
       env.fault = arg.substr(8);
@@ -215,6 +224,7 @@ inline Env parse_env(int argc, char** argv) {
 inline void apply_env(SweepSpec& spec, const Env& env,
                       const machines::MachineSpec& machine) {
   spec.machine = machine;
+  if (env.procs > 0) spec.machine.procs = env.procs;
   spec.jobs = env.jobs;
   spec.seed = machine.seed;
   if (env.trials > 0) spec.trials = env.trials;

@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   using namespace pcm;
   const auto env = bench::parse_env(argc, argv);
   auto m = machines::make_machine({.platform = machines::Platform::MasPar,
+                                   .procs = env.procs,
                                    .seed = env.seed != 0 ? env.seed : 1101});
   const int trials = env.trials > 0 ? env.trials : (env.quick ? 20 : 100);
 

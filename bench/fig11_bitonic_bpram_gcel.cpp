@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   using namespace pcm;
   const auto env = bench::parse_env(argc, argv);
   const machines::MachineSpec mspec{.platform = machines::Platform::GCel,
+                                    .procs = env.procs,
                                     .seed = env.seed != 0 ? env.seed : 1111};
   auto m = machines::make_machine(mspec);
 
@@ -33,7 +34,8 @@ int main(int argc, char** argv) {
   bench::apply_env(spec, env, mspec);
   spec.measure = [](bench::TrialContext& ctx) {
     sim::Rng rng(ctx.cell_seed);
-    std::vector<std::uint32_t> keys(static_cast<std::size_t>(ctx.x) * 64);
+    std::vector<std::uint32_t> keys(static_cast<std::size_t>(ctx.x) *
+                                    static_cast<std::size_t>(ctx.machine.procs()));
     for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_u64());
     return algos::run_bitonic(ctx.machine, keys, algos::BitonicVariant::Bpram)
         .time_per_key;

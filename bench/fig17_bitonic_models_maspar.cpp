@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   using namespace pcm;
   const auto env = bench::parse_env(argc, argv);
   auto m = machines::make_machine({.platform = machines::Platform::MasPar,
+                                   .procs = env.procs,
                                    .seed = env.seed != 0 ? env.seed : 1117});
 
   const std::vector<long> ms = env.quick ? std::vector<long>{64, 256}
@@ -29,7 +30,8 @@ int main(int argc, char** argv) {
   for (const long mk : ms) {
     std::cerr << "M=" << mk << "...\n";
     sim::Rng rng(800 + mk);
-    std::vector<std::uint32_t> keys(static_cast<std::size_t>(mk) * 1024);
+    std::vector<std::uint32_t> keys(static_cast<std::size_t>(mk) *
+                                    static_cast<std::size_t>(m->procs()));
     for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_u64());
     const auto word = algos::run_bitonic(*m, keys, algos::BitonicVariant::MpBsp);
     const auto block = algos::run_bitonic(*m, keys, algos::BitonicVariant::Bpram);

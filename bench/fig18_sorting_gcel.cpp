@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   using namespace pcm;
   const auto env = bench::parse_env(argc, argv);
   auto m = machines::make_machine({.platform = machines::Platform::GCel,
+                                   .procs = env.procs,
                                    .seed = env.seed != 0 ? env.seed : 1118});
   const int S = 64;  // oversampling ratio
 
@@ -36,7 +37,8 @@ int main(int argc, char** argv) {
   for (const long mk : ms) {
     std::cerr << "M=" << mk << "...\n";
     sim::Rng rng(900 + mk);
-    std::vector<std::uint32_t> keys(static_cast<std::size_t>(mk) * 64);
+    std::vector<std::uint32_t> keys(static_cast<std::size_t>(mk) *
+                                    static_cast<std::size_t>(m->procs()));
     for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_u64());
     const auto bit = algos::run_bitonic(*m, keys, algos::BitonicVariant::Bpram);
     const auto ss =

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   using namespace pcm;
   const auto env = bench::parse_env(argc, argv);
   auto m = machines::make_machine({.platform = machines::Platform::MasPar,
+                                   .procs = env.procs,
                                    .seed = env.seed != 0 ? env.seed : 1119});
 
   const std::vector<int> ns = env.quick ? std::vector<int>{300}

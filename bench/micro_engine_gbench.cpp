@@ -44,11 +44,12 @@ void BM_MeshRouterHRelation(benchmark::State& state) {
   net::MeshRouter router(64);
   sim::Rng rng(3);
   const auto pat = calibrate::full_h_relation(rng, 64, h, 4);
-  std::vector<sim::Micros> start(64, 0.0), finish(64, 0.0);
+  sim::ClockSet clocks(64);
   for (auto _ : state) {
     router.reset();
-    router.route(pat, start, finish, rng);
-    benchmark::DoNotOptimize(finish[0]);
+    clocks.reset();
+    router.route(pat, clocks, rng);
+    benchmark::DoNotOptimize(clocks.at(0));
   }
   state.SetItemsProcessed(state.iterations() * static_cast<long>(pat.size()));
 }
@@ -59,11 +60,12 @@ void BM_FatTreeHRelation(benchmark::State& state) {
   net::FatTree router(64);
   sim::Rng rng(4);
   const auto pat = calibrate::full_h_relation(rng, 64, h, 8);
-  std::vector<sim::Micros> start(64, 0.0), finish(64, 0.0);
+  sim::ClockSet clocks(64);
   for (auto _ : state) {
     router.reset();
-    router.route(pat, start, finish, rng);
-    benchmark::DoNotOptimize(finish[0]);
+    clocks.reset();
+    router.route(pat, clocks, rng);
+    benchmark::DoNotOptimize(clocks.at(0));
   }
   state.SetItemsProcessed(state.iterations() * static_cast<long>(pat.size()));
 }
@@ -74,9 +76,10 @@ BENCHMARK(BM_FatTreeHRelation)->Arg(8)->Arg(64);
 /// and PCM_OBS unset vs PCM_OBS=1 to measure the plane's overhead; the
 /// disabled case must stay within noise (<2%) of a PCM_OBS=OFF build.
 void BM_MachineSuperstepLoop(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
   auto m = machines::make_machine(
-      {.platform = machines::Platform::CM5, .procs = 64, .seed = 9});
-  const auto pat = net::patterns::bit_flip(64, 2, 1, 8);
+      {.platform = machines::Platform::CM5, .procs = procs, .seed = 9});
+  const auto pat = net::patterns::bit_flip(procs, 2, 1, 8);
   for (auto _ : state) {
     m->reset();
     for (int step = 0; step < 8; ++step) {
@@ -88,7 +91,63 @@ void BM_MachineSuperstepLoop(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 8);
 }
-BENCHMARK(BM_MachineSuperstepLoop);
+BENCHMARK(BM_MachineSuperstepLoop)->Arg(64)->Arg(1024)->Arg(4096);
+
+/// The sparse counterpart: two active PEs out of p. Cost should track the
+/// active-message count, not the machine size.
+void BM_MachineSuperstepSparse(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  auto m = machines::make_machine(
+      {.platform = machines::Platform::CM5, .procs = procs, .seed = 9});
+  net::CommPattern pat(procs);
+  pat.add(0, procs / 2, 8);
+  pat.add(procs / 2, 0, 8);
+  for (auto _ : state) {
+    m->reset();
+    for (int step = 0; step < 8; ++step) {
+      m->charge(0, 5.0);
+      m->exchange(pat);
+      m->barrier();
+    }
+    benchmark::DoNotOptimize(m->now());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_MachineSuperstepSparse)->Arg(1024)->Arg(65536);
+
+/// SIMD machine superstep loop at scale: the MasPar delta router with a
+/// conflict-free bit-flip exchange per superstep.
+void BM_MasParSuperstepLoop(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  auto m = machines::make_machine(
+      {.platform = machines::Platform::MasPar, .procs = procs, .seed = 9});
+  const auto pat = net::patterns::bit_flip(procs, 3, 1, 4);
+  for (auto _ : state) {
+    m->reset();
+    for (int step = 0; step < 8; ++step) {
+      m->charge_all(5.0);
+      m->exchange(pat);
+      m->barrier();
+    }
+    benchmark::DoNotOptimize(m->now());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_MasParSuperstepLoop)->Arg(1024)->Arg(16384);
+
+/// CommPattern construction throughput (the per-superstep staging cost of
+/// the runtime Exchange).
+void BM_PatternBuildPermutation(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  sim::Rng rng(11);
+  const auto perm = rng.permutation(procs);
+  for (auto _ : state) {
+    auto pat = net::patterns::from_permutation(perm, 4);
+    benchmark::DoNotOptimize(pat.size());
+  }
+  state.SetItemsProcessed(state.iterations() * procs);
+}
+BENCHMARK(BM_PatternBuildPermutation)->Arg(1024)->Arg(65536);
 
 void BM_RadixSort(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

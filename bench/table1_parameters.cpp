@@ -26,12 +26,15 @@ int main(int argc, char** argv) {
   };
   Row rows[3] = {
       {machines::make_machine({.platform = machines::Platform::MasPar,
+                               .procs = env.procs,
                                .seed = env.seed != 0 ? env.seed : 1001}),
        models::table1::maspar()},
       {machines::make_machine({.platform = machines::Platform::GCel,
+                               .procs = env.procs,
                                .seed = env.seed != 0 ? env.seed : 1002}),
        models::table1::gcel()},
       {machines::make_machine({.platform = machines::Platform::CM5,
+                               .procs = env.procs,
                                .seed = env.seed != 0 ? env.seed : 1003}),
        models::table1::cm5()},
   };

@@ -32,34 +32,38 @@ using EndpointBytes = std::map<std::pair<int, int>, long>;
 /// Byte totals a CommPattern injects, keyed by (src, dst).
 inline EndpointBytes endpoint_bytes(const net::CommPattern& pattern) {
   EndpointBytes out;
-  for (int p = 0; p < pattern.procs(); ++p) {
-    for (const auto& m : pattern.sends_of(p)) {
-      out[{m.src, m.dst}] += m.bytes;
-    }
+  for (const auto& m : pattern.messages()) {
+    out[{m.src, m.dst}] += m.bytes;
   }
   return out;
 }
 
 /// Every message must carry a positive payload between valid processors,
-/// and sit in the send queue of its own source.
+/// and the canonical stream must be grouped by sender (the routers build
+/// their per-sender FIFOs from contiguous runs of it).
 inline void check_pattern_bounds(const net::CommPattern& pattern, int procs) {
-  for (int p = 0; p < pattern.procs(); ++p) {
-    for (const auto& m : pattern.sends_of(p)) {
-      if (m.src != p) {
-        fail("packet-conservation", "send-queue pe:" + std::to_string(p),
-             "queued message claims src=" + std::to_string(m.src));
-      }
-      if (m.dst < 0 || m.dst >= procs) {
-        fail("packet-conservation", "message src=" + std::to_string(m.src),
-             "destination " + std::to_string(m.dst) + " outside [0, " +
-                 std::to_string(procs) + ")");
-      }
-      if (m.bytes <= 0) {
-        fail("packet-conservation",
-             "message src=" + std::to_string(m.src) +
-                 " dst=" + std::to_string(m.dst),
-             "non-positive payload of " + std::to_string(m.bytes) + " bytes");
-      }
+  int prev_src = -1;
+  for (const auto& m : pattern.messages()) {
+    if (m.src < 0 || m.src >= procs) {
+      fail("packet-conservation", "message dst=" + std::to_string(m.dst),
+           "source " + std::to_string(m.src) + " outside [0, " +
+               std::to_string(procs) + ")");
+    }
+    if (m.src < prev_src) {
+      fail("packet-conservation", "send-queue pe:" + std::to_string(m.src),
+           "canonical message stream not sorted by sender");
+    }
+    prev_src = m.src;
+    if (m.dst < 0 || m.dst >= procs) {
+      fail("packet-conservation", "message src=" + std::to_string(m.src),
+           "destination " + std::to_string(m.dst) + " outside [0, " +
+               std::to_string(procs) + ")");
+    }
+    if (m.bytes <= 0) {
+      fail("packet-conservation",
+           "message src=" + std::to_string(m.src) +
+               " dst=" + std::to_string(m.dst),
+           "non-positive payload of " + std::to_string(m.bytes) + " bytes");
     }
   }
   count_check();

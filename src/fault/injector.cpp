@@ -58,7 +58,10 @@ net::CommPattern Injector::apply_packet_faults(const net::CommPattern& pattern,
                                                ExchangeFaults* out) {
   if (!packet_plane() || !plan_->in_window(superstep)) return pattern;
   net::CommPattern faulted(pattern.procs());
-  for (int src = 0; src < pattern.procs(); ++src) {
+  // Walk the active-sender view in ascending order: identical draw order to
+  // the historical all-P scan (silent senders never drew), and the faulted
+  // pattern is rebuilt already in canonical order.
+  for (const int src : pattern.senders()) {
     const auto queue = pattern.sends_of(src);
     for (std::size_t q = 0; q < queue.size(); ++q) {
       const net::Message& m = queue[q];

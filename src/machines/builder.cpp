@@ -41,6 +41,25 @@ MachineBuilder& MachineBuilder::delta(int procs, int cluster_size) {
   return *this;
 }
 
+MachineBuilder& MachineBuilder::procs(int n) {
+  if (n <= 0) {
+    throw std::invalid_argument("MachineBuilder::procs: count must be > 0");
+  }
+  procs_ = n;
+  have_procs_ = true;
+  if (net_ == Net::Mesh) {
+    // Squarest factorisation, widest dimension first (same policy as the
+    // GCel platform builder).
+    int h = 1;
+    for (int d = 1; d * d <= n; ++d) {
+      if (n % d == 0) h = d;
+    }
+    width_ = n / h;
+    height_ = h;
+  }
+  return *this;
+}
+
 MachineBuilder& MachineBuilder::message_overheads(sim::Micros send,
                                                   sim::Micros recv) {
   have_overheads_ = true;

@@ -32,6 +32,14 @@ class MachineBuilder {
   MachineBuilder& fat_tree(int procs);
   MachineBuilder& delta(int procs, int cluster_size = 16);
 
+  /// Processor count, overriding whatever the network selection implied —
+  /// the fluent way to scale a design up (e.g. .fat_tree(64).procs(65536)).
+  /// For a mesh the dimensions are recomputed as the squarest
+  /// factorisation of the new count. Throws std::invalid_argument on n <= 0.
+  MachineBuilder& procs(int n);
+  /// Alias for procs() in SIMD vocabulary.
+  MachineBuilder& pes(int n) { return procs(n); }
+
   /// Per-message software overheads (sender, receiver) in µs.
   MachineBuilder& message_overheads(sim::Micros send, sim::Micros recv);
   /// Per-byte costs (sender-side, receiver-side) in µs.
@@ -52,6 +60,7 @@ class MachineBuilder {
   int width_ = 8;
   int height_ = 8;
   int procs_ = 64;
+  bool have_procs_ = false;
   int cluster_size_ = 16;
   bool have_overheads_ = false;
   sim::Micros o_send_ = 0.0;

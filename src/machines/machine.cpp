@@ -28,8 +28,7 @@ Machine::Machine(std::string name, int procs, LocalCompute compute,
       router_(std::move(router)),
       clocks_(procs),
       barrier_cost_(barrier_cost),
-      rng_(seed),
-      finish_(static_cast<std::size_t>(procs), 0.0) {
+      rng_(seed) {
   assert(router_ != nullptr);
   assert(router_->procs() == procs);
   router_->set_metrics(&metrics_);
@@ -135,17 +134,21 @@ void Machine::exchange(const net::CommPattern& pattern) {
   if (routed->empty()) return;  // every message dropped
   const sim::Micros before = now();
   if (audit::enabled()) {
+    // Audit mode snapshots the clocks so the in-place route can still be
+    // checked for monotonicity; this is the one O(P) cost the audit plane
+    // keeps on the exchange path.
+    const auto raw = clocks_.raw();
+    audit_start_.assign(raw.begin(), raw.end());
     try {
       audit::check_pattern_bounds(*routed, procs());
-      router_->route(*routed, clocks_.raw(), finish_, rng_);
-      audit::check_route_monotone(clocks_.raw(), finish_);
+      router_->route(*routed, clocks_, rng_);
+      audit::check_route_monotone(audit_start_, clocks_.raw());
     } catch (const audit::AuditError&) {
       annotate_audit_error();
     }
   } else {
-    router_->route(*routed, clocks_.raw(), finish_, rng_);
+    router_->route(*routed, clocks_, rng_);
   }
-  for (int p = 0; p < procs(); ++p) clocks_.ref(p) = finish_[static_cast<std::size_t>(p)];
   if (trace_.enabled()) {
     trace_.record({sim::PhaseKind::Communicate, "", before, now() - before,
                    static_cast<long>(routed->size()), routed->total_bytes(),

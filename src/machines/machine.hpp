@@ -137,7 +137,7 @@ class Machine {
   obs::SpanRecorder spans_;
   long superstep_ = 0;
   long trial_ = 0;
-  std::vector<sim::Micros> finish_;  // scratch
+  std::vector<sim::Micros> audit_start_;  // audit-mode pre-route snapshot
   std::unique_ptr<fault::Injector> injector_;
   fault::ExchangeFaults last_faults_;
   const std::atomic<bool>* cancel_ = nullptr;
@@ -195,28 +195,5 @@ std::unique_ptr<Machine> build_gcel(std::uint64_t seed, int procs);
 std::unique_ptr<Machine> build_cm5(std::uint64_t seed, int procs);
 std::unique_ptr<Machine> build_t800(std::uint64_t seed, int procs);
 }  // namespace detail
-
-// Legacy per-platform factories, kept as thin wrappers over
-// make_machine(MachineSpec). New code should construct a MachineSpec — it
-// is copyable, comparable and serialisable, which the engine needs.
-[[deprecated("use make_machine(MachineSpec)")]]
-inline std::unique_ptr<Machine> make_maspar(std::uint64_t seed = 42,
-                                            int procs = 1024) {
-  return make_machine({.platform = Platform::MasPar, .procs = procs, .seed = seed});
-}
-[[deprecated("use make_machine(MachineSpec)")]]
-inline std::unique_ptr<Machine> make_gcel(std::uint64_t seed = 42, int procs = 64) {
-  return make_machine({.platform = Platform::GCel, .procs = procs, .seed = seed});
-}
-[[deprecated("use make_machine(MachineSpec)")]]
-inline std::unique_ptr<Machine> make_cm5(std::uint64_t seed = 42, int procs = 64) {
-  return make_machine({.platform = Platform::CM5, .procs = procs, .seed = seed});
-}
-// The T800/Parix platform of the authors' earlier study [15]
-// (estimated parameters — exploration, not reproduction; see t800.cpp).
-[[deprecated("use make_machine(MachineSpec)")]]
-inline std::unique_ptr<Machine> make_t800(std::uint64_t seed = 42, int procs = 64) {
-  return make_machine({.platform = Platform::T800, .procs = procs, .seed = seed});
-}
 
 }  // namespace pcm::machines

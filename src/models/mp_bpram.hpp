@@ -32,8 +32,8 @@ class MpBpramModel {
   /// restriction; returns the step cost for the longest block.
   [[nodiscard]] sim::Micros pattern_cost(const net::CommPattern& pat) const {
     long mx = 0;
-    for (int p = 0; p < pat.procs(); ++p) {
-      for (const auto& m : pat.sends_of(p)) mx = std::max(mx, static_cast<long>(m.bytes));
+    for (const auto& m : pat.messages()) {
+      mx = std::max(mx, static_cast<long>(m.bytes));
     }
     return comm_step(mx);
   }

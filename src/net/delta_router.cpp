@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <deque>
 #include <string>
 
 #include "audit/audit.hpp"
@@ -47,48 +46,75 @@ DeltaRouter::StepCost DeltaRouter::simulate(const CommPattern& pattern) const {
   StepCost cost;
   if (pattern.empty()) return cost;
 
-  // Per source-cluster FIFO of pending messages (head-of-line blocking:
-  // a channel transmits its PEs' messages in issue order).
-  std::vector<std::deque<Message>> pending(static_cast<std::size_t>(clusters_));
-  for (int p = 0; p < procs(); ++p) {
-    const int cl = p / params_.cluster_size;
-    for (const auto& m : pattern.sends_of(p)) {
-      pending[static_cast<std::size_t>(cl)].push_back(m);
+  const bool auditing = audit::enabled();
+  const auto msgs = pattern.messages();
+
+  // Per source-cluster FIFO of pending messages (head-of-line blocking: a
+  // channel transmits its PEs' messages in issue order). Canonical order is
+  // ascending by sender, so each cluster's FIFO is a contiguous subrange of
+  // the canonical span — one walk builds every queue.
+  active_.clear();
+  for (std::size_t i = 0; i < msgs.size();) {
+    if (auditing && i > 0 && msgs[i].src < msgs[i - 1].src) {
+      audit::fail("packet-conservation", "delta-network",
+                  "canonical message stream not sorted by sender at index " +
+                      std::to_string(i));
     }
+    const int cl = msgs[i].src / params_.cluster_size;
+    std::size_t j = i;
+    while (j < msgs.size() && msgs[j].src / params_.cluster_size == cl) ++j;
+    if (static_cast<std::size_t>(clusters_) > head_.size()) {
+      head_.resize(static_cast<std::size_t>(clusters_));
+      tail_.resize(static_cast<std::size_t>(clusters_));
+    }
+    head_[static_cast<std::size_t>(cl)] = i;
+    tail_[static_cast<std::size_t>(cl)] = j;
+    active_.push_back(cl);
+    i = j;
   }
 
-  std::vector<int> link_used(static_cast<std::size_t>(stages_ * clusters_), -1);
-  std::vector<int> dest_used(static_cast<std::size_t>(clusters_), -1);
+  if (!params_.ideal_crossbar &&
+      link_used_.size() < static_cast<std::size_t>(stages_ * clusters_)) {
+    link_used_.resize(static_cast<std::size_t>(stages_ * clusters_), 0);
+  }
+  if (dest_used_.size() < static_cast<std::size_t>(clusters_)) {
+    dest_used_.resize(static_cast<std::size_t>(clusters_), 0);
+  }
 
-  const bool auditing = audit::enabled();
   std::size_t remaining = pattern.size();
   std::size_t delivered = 0;
   int wave = 0;
   while (remaining > 0) {
+    const std::uint64_t epoch = ++wave_epoch_;
     int wave_max_bytes = 0;
-    // Rotate the service order so no cluster is structurally favoured.
-    for (int k = 0; k < clusters_; ++k) {
-      const int cl = (k + wave) % clusters_;
-      auto& q = pending[static_cast<std::size_t>(cl)];
-      if (q.empty()) continue;
-      const Message& m = q.front();
+    bool drained_any = false;
+    // Rotate the service order so no cluster is structurally favoured:
+    // probe clusters ascending from (wave mod C), wrapping — identical to
+    // the dense (k + wave) % C scan, minus the empty clusters, which never
+    // transmitted or conflicted anyway.
+    const int rot = static_cast<int>(wave % clusters_);
+    const std::size_t first = static_cast<std::size_t>(
+        std::lower_bound(active_.begin(), active_.end(), rot) -
+        active_.begin());
+    const std::size_t n_active = active_.size();
+    for (std::size_t k = 0; k < n_active; ++k) {
+      std::size_t idx = first + k;
+      if (idx >= n_active) idx -= n_active;
+      const int cl = active_[idx];
+      const std::size_t h = head_[static_cast<std::size_t>(cl)];
+      if (h == tail_[static_cast<std::size_t>(cl)]) continue;  // drained this wave pass
+      const Message& m = msgs[h];
       const int dst_cl = m.dst / params_.cluster_size;
-      if (auditing && m.src / params_.cluster_size != cl) {
-        audit::fail("packet-conservation",
-                    "cluster-channel " + std::to_string(cl),
-                    "queued message from pe " + std::to_string(m.src) +
-                        " belongs to channel " +
-                        std::to_string(m.src / params_.cluster_size));
-      }
 
-      if (dest_used[static_cast<std::size_t>(dst_cl)] == wave) {
+      if (dest_used_[static_cast<std::size_t>(dst_cl)] == epoch) {
         ++cost.conflicts;
         continue;
       }
       bool free = true;
       if (!params_.ideal_crossbar) {
         for (int s = 0; s < stages_; ++s) {
-          if (link_used[static_cast<std::size_t>(link_at(cl, dst_cl, s))] == wave) {
+          if (link_used_[static_cast<std::size_t>(link_at(cl, dst_cl, s))] ==
+              epoch) {
             free = false;
             break;
           }
@@ -99,14 +125,15 @@ DeltaRouter::StepCost DeltaRouter::simulate(const CommPattern& pattern) const {
         continue;
       }
 
-      dest_used[static_cast<std::size_t>(dst_cl)] = wave;
+      dest_used_[static_cast<std::size_t>(dst_cl)] = epoch;
       if (!params_.ideal_crossbar) {
         for (int s = 0; s < stages_; ++s) {
-          link_used[static_cast<std::size_t>(link_at(cl, dst_cl, s))] = wave;
+          link_used_[static_cast<std::size_t>(link_at(cl, dst_cl, s))] = epoch;
         }
       }
       wave_max_bytes = std::max(wave_max_bytes, m.bytes);
-      q.pop_front();
+      head_[static_cast<std::size_t>(cl)] = h + 1;
+      if (h + 1 == tail_[static_cast<std::size_t>(cl)]) drained_any = true;
       --remaining;
       ++delivered;
     }
@@ -119,6 +146,12 @@ DeltaRouter::StepCost DeltaRouter::simulate(const CommPattern& pattern) const {
     }
     cost.duration += params_.t_circuit + params_.t_byte * wave_max_bytes;
     ++wave;
+    if (drained_any) {
+      std::erase_if(active_, [this](int cl) {
+        return head_[static_cast<std::size_t>(cl)] ==
+               tail_[static_cast<std::size_t>(cl)];
+      });
+    }
   }
   if (auditing) {
     if (delivered != pattern.size()) {
@@ -135,10 +168,31 @@ DeltaRouter::StepCost DeltaRouter::simulate(const CommPattern& pattern) const {
 
 const DeltaRouter::StepCost& DeltaRouter::step_cost(const CommPattern& pattern) {
   const std::uint64_t key = pattern.hash();
-  if (memo_.size() >= 16384) memo_.clear();
-  const auto [it, inserted] = memo_.try_emplace(key);
-  if (inserted) it->second = simulate(pattern);
-  return it->second;
+  const auto msgs = pattern.messages();
+  const auto it = memo_.find(key);
+  if (it != memo_.end()) {
+    MemoEntry& e = it->second;
+    if (e.canon.size() == msgs.size() &&
+        std::equal(e.canon.begin(), e.canon.end(), msgs.begin())) {
+      return e.cost;
+    }
+    // 64-bit hash collision: recompute and take over the slot. The memo is
+    // keyed on the hash for speed but never trusts it for identity.
+    memo_bytes_ -= e.canon.size() * sizeof(Message);
+    e.cost = simulate(pattern);
+    e.canon.assign(msgs.begin(), msgs.end());
+    memo_bytes_ += e.canon.size() * sizeof(Message);
+    return e.cost;
+  }
+  if (memo_.size() >= kMemoMaxEntries || memo_bytes_ >= kMemoMaxBytes) {
+    memo_.clear();
+    memo_bytes_ = 0;
+  }
+  MemoEntry& e = memo_[key];
+  e.cost = simulate(pattern);
+  e.canon.assign(msgs.begin(), msgs.end());
+  memo_bytes_ += e.canon.size() * sizeof(Message);
+  return e.cost;
 }
 
 sim::Micros DeltaRouter::step_duration(const CommPattern& pattern) {
@@ -149,14 +203,12 @@ int DeltaRouter::wave_count(const CommPattern& pattern) const {
   return simulate(pattern).waves;
 }
 
-void DeltaRouter::route(const CommPattern& pattern,
-                        std::span<const sim::Micros> start,
-                        std::span<sim::Micros> finish, sim::Rng& /*rng*/) {
-  assert(static_cast<int>(start.size()) == procs());
-  assert(static_cast<int>(finish.size()) == procs());
+void DeltaRouter::route(const CommPattern& pattern, sim::ClockSet& clocks,
+                        sim::Rng& /*rng*/) {
+  assert(clocks.size() == procs());
   // SIMD machine: the step begins when the slowest PE arrives and all PEs
   // complete together (the ACU sequences the router operation).
-  const sim::Micros begin = *std::max_element(start.begin(), start.end());
+  const sim::Micros begin = clocks.max();
   const StepCost& cost = step_cost(pattern);
   if (obs::Metrics* om = live_metrics()) {
     // The memo makes route() skip simulate() for repeated patterns, so the
@@ -168,14 +220,16 @@ void DeltaRouter::route(const CommPattern& pattern,
     om->observe(b.delta_waves_per_exchange,
                 static_cast<std::uint64_t>(cost.waves));
   }
-  const sim::Micros end = begin + cost.duration;
-  std::fill(finish.begin(), finish.end(), end);
+  clocks.set_all(begin + cost.duration);
 }
 
 void DeltaRouter::drain(sim::Micros /*t*/) {
   // Circuit-switched and SIMD-synchronous: nothing persists across steps.
 }
 
-void DeltaRouter::reset() { memo_.clear(); }
+void DeltaRouter::reset() {
+  memo_.clear();
+  memo_bytes_ = 0;
+}
 
 }  // namespace pcm::net

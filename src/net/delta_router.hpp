@@ -30,6 +30,12 @@
 //
 // The router is SIMD-synchronous: a communication step starts when the
 // slowest PE is ready and all PEs complete together.
+//
+// The wave allocator runs over the pattern's canonical message span: since
+// canonical order is ascending by sender, the per-cluster FIFOs are
+// contiguous subranges of it — building them is one walk over the active
+// messages, no per-PE scan and no queue allocation. Link/destination claim
+// tables are epoch-stamped (one epoch per wave) so they are never cleared.
 
 namespace pcm::net {
 
@@ -50,8 +56,8 @@ class DeltaRouter final : public Router {
  public:
   DeltaRouter(int procs, DeltaRouterParams params = {});
 
-  void route(const CommPattern& pattern, std::span<const sim::Micros> start,
-             std::span<sim::Micros> finish, sim::Rng& rng) override;
+  void route(const CommPattern& pattern, sim::ClockSet& clocks,
+             sim::Rng& rng) override;
 
   void drain(sim::Micros t) override;
   void reset() override;
@@ -66,8 +72,10 @@ class DeltaRouter final : public Router {
     sim::Micros duration = 0.0;
   };
 
-  /// Full cost of routing `pattern` in isolation. Memoised by pattern hash
-  /// (the reference is valid until the next step_cost call).
+  /// Full cost of routing `pattern` in isolation. Memoised by pattern hash,
+  /// verified against the canonical message stream on every hit — a 64-bit
+  /// hash collision degrades to a recompute, never a wrong cost. The
+  /// reference is valid until the next step_cost call.
   [[nodiscard]] const StepCost& step_cost(const CommPattern& pattern);
 
   /// Duration of routing `pattern` in isolation (what route() adds to the
@@ -86,7 +94,23 @@ class DeltaRouter final : public Router {
   DeltaRouterParams params_;
   int clusters_;
   int stages_;
-  mutable std::unordered_map<std::uint64_t, StepCost> memo_;
+
+  struct MemoEntry {
+    StepCost cost;
+    std::vector<Message> canon;  ///< Canonical stream, the identity check.
+  };
+  static constexpr std::size_t kMemoMaxEntries = 16384;
+  static constexpr std::size_t kMemoMaxBytes = std::size_t{64} << 20;
+  mutable std::unordered_map<std::uint64_t, MemoEntry> memo_;
+  mutable std::size_t memo_bytes_ = 0;
+
+  // simulate() scratch, reused across calls (sized to active clusters once,
+  // epoch-stamped so no per-call clearing).
+  mutable std::vector<int> active_;                ///< clusters with pending sends.
+  mutable std::vector<std::size_t> head_, tail_;   ///< per-cluster FIFO cursors.
+  mutable std::vector<std::uint64_t> link_used_;   ///< epoch of last claim.
+  mutable std::vector<std::uint64_t> dest_used_;   ///< epoch of last claim.
+  mutable std::uint64_t wave_epoch_ = 0;
 };
 
 }  // namespace pcm::net

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <queue>
 #include <string>
 
 #include "audit/audit.hpp"
@@ -19,59 +18,80 @@ double clipped_jitter(sim::Rng& rng, double sigma) {
 
 }  // namespace
 
+bool FatTree::PortQueue::holds(std::int32_t sender) const {
+  const auto it = std::lower_bound(
+      per_sender.begin(), per_sender.end(), sender,
+      [](const auto& e, std::int32_t s) { return e.first < s; });
+  return it != per_sender.end() && it->first == sender;
+}
+
+void FatTree::PortQueue::inc(std::int32_t sender) {
+  const auto it = std::lower_bound(
+      per_sender.begin(), per_sender.end(), sender,
+      [](const auto& e, std::int32_t s) { return e.first < s; });
+  if (it != per_sender.end() && it->first == sender) {
+    ++it->second;
+  } else {
+    per_sender.insert(it, {sender, 1});
+  }
+}
+
+void FatTree::PortQueue::dec(std::int32_t sender) {
+  const auto it = std::lower_bound(
+      per_sender.begin(), per_sender.end(), sender,
+      [](const auto& e, std::int32_t s) { return e.first < s; });
+  assert(it != per_sender.end() && it->first == sender);
+  if (--it->second == 0) per_sender.erase(it);
+}
+
 FatTree::FatTree(int procs, FatTreeParams params)
     : Router(procs),
       params_(params),
       cpu_free_(static_cast<std::size_t>(procs), 0.0),
       port_free_(static_cast<std::size_t>(procs), 0.0),
-      queues_(static_cast<std::size_t>(procs)) {
-  for (auto& q : queues_) q.per_sender.assign(static_cast<std::size_t>(procs), 0);
-}
+      queues_(static_cast<std::size_t>(procs)),
+      queue_stamp_(static_cast<std::size_t>(procs), 0),
+      cursor_(static_cast<std::size_t>(procs), 0),
+      recv_free_(static_cast<std::size_t>(procs), 0.0) {}
 
-void FatTree::route(const CommPattern& pattern,
-                    std::span<const sim::Micros> start,
-                    std::span<sim::Micros> finish, sim::Rng& rng) {
-  const int P = procs();
-  assert(static_cast<int>(start.size()) == P);
-  assert(static_cast<int>(finish.size()) == P);
-
-  for (int p = 0; p < P; ++p) finish[p] = start[p];
+void FatTree::route(const CommPattern& pattern, sim::ClockSet& clocks,
+                    sim::Rng& rng) {
+  assert(clocks.size() == procs());
   if (pattern.empty()) return;
 
-  const auto recv_counts = pattern.receive_counts();
+  const auto senders = pattern.senders();
+  const auto receivers = pattern.receivers();
+
+  for (const int r : receivers) {
+    recv_free_[static_cast<std::size_t>(r)] =
+        std::max(cpu_avail(r), clocks.at(r));
+  }
 
   // Event loop: always advance the sender whose next injection completes
   // first. Backpressure may push a sender's CPU forward, which is why the
-  // schedule cannot be precomputed per node.
-  struct Cursor {
-    std::size_t idx = 0;
-  };
-  std::vector<Cursor> cursor(static_cast<std::size_t>(P));
-  std::vector<sim::Micros> recv_free(static_cast<std::size_t>(P));
-  for (int p = 0; p < P; ++p) {
-    recv_free[static_cast<std::size_t>(p)] =
-        std::max(cpu_free_[static_cast<std::size_t>(p)], start[p]);
-  }
-
+  // schedule cannot be precomputed per node. The heap is the manual
+  // push_heap/pop_heap expansion of std::priority_queue (identical pop
+  // order), seeded from the ascending active-sender view.
   using Item = std::pair<sim::Micros, int>;  // (candidate injection start, src)
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-  for (int p = 0; p < P; ++p) {
-    if (!pattern.sends_of(p).empty()) {
-      auto& cpu = cpu_free_[static_cast<std::size_t>(p)];
-      cpu = std::max(cpu, start[p]);
-      pq.emplace(cpu, p);
-    }
+  heap_.clear();
+  for (const int p : senders) {
+    cursor_[static_cast<std::size_t>(p)] = 0;
+    const sim::Micros cpu = std::max(cpu_avail(p), clocks.at(p));
+    cpu_free_[static_cast<std::size_t>(p)] = cpu;
+    heap_.emplace_back(cpu, p);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   }
 
   obs::Metrics* const om = live_metrics();
   std::size_t processed = 0;
-  while (!pq.empty()) {
-    const auto [t, src] = pq.top();
-    pq.pop();
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const auto [t, src] = heap_.back();
+    heap_.pop_back();
     ++processed;
-    auto& cur = cursor[static_cast<std::size_t>(src)];
+    std::size_t& cur = cursor_[static_cast<std::size_t>(src)];
     const auto sends = pattern.sends_of(src);
-    const Message& m = sends[cur.idx];
+    const Message& m = sends[cur];
 
     // Injection.
     auto& cpu = cpu_free_[static_cast<std::size_t>(src)];
@@ -85,13 +105,15 @@ void FatTree::route(const CommPattern& pattern,
 
     // Ejection port with distinct-sender arbitration penalty.
     auto& q = queues_[static_cast<std::size_t>(m.dst)];
-    while (!q.entries.empty() && q.entries.front().first <= arrival) {
-      const int sender = q.entries.front().second;
-      q.entries.pop_front();
-      if (--q.per_sender[static_cast<std::size_t>(sender)] == 0) --q.distinct;
+    while (q.head < q.entries.size() && q.entries[q.head].first <= arrival) {
+      q.dec(q.entries[q.head].second);
+      ++q.head;
     }
-    const int others =
-        q.distinct - (q.per_sender[static_cast<std::size_t>(m.src)] > 0 ? 1 : 0);
+    if (q.head == q.entries.size()) {
+      q.entries.clear();
+      q.head = 0;
+    }
+    const int others = q.distinct() - (q.holds(m.src) ? 1 : 0);
     const double mult = 1.0 + params_.kappa_hotspot * std::min(others, 3);
     const sim::Micros service =
         (params_.t_eject + params_.eject_byte * m.bytes) * mult *
@@ -100,10 +122,14 @@ void FatTree::route(const CommPattern& pattern,
     const sim::Micros admission_begin = std::max(arrival, port);
     const sim::Micros admission_end = admission_begin + service;
     port = admission_end;
-    if (q.per_sender[static_cast<std::size_t>(m.src)]++ == 0) ++q.distinct;
+    q.inc(m.src);
     q.entries.emplace_back(admission_end, m.src);
+    if (queue_stamp_[static_cast<std::size_t>(m.dst)] != queue_epoch_) {
+      queue_stamp_[static_cast<std::size_t>(m.dst)] = queue_epoch_;
+      touched_queues_.push_back(m.dst);
+    }
     if (om != nullptr) {
-      om->peak(obs::builtin().fat_tree_port_queue_peak, q.entries.size());
+      om->peak(obs::builtin().fat_tree_port_queue_peak, q.pending());
     }
 
     // Backpressure: excessive ejection wait stalls the sender.
@@ -113,14 +139,16 @@ void FatTree::route(const CommPattern& pattern,
     }
 
     // Receive handling on the destination CPU.
-    auto& rf = recv_free[static_cast<std::size_t>(m.dst)];
+    auto& rf = recv_free_[static_cast<std::size_t>(m.dst)];
     rf = std::max(rf, admission_end) +
          (params_.o_recv + params_.copy_recv * m.bytes) *
              clipped_jitter(rng, params_.jitter);
-    finish[m.dst] = std::max(finish[m.dst], rf);
 
-    ++cur.idx;
-    if (cur.idx < sends.size()) pq.emplace(cpu, src);
+    ++cur;
+    if (cur < sends.size()) {
+      heap_.emplace_back(cpu, src);
+      std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    }
   }
   if (audit::enabled()) {
     // The event loop must inject every message exactly once; a scheduling
@@ -130,57 +158,64 @@ void FatTree::route(const CommPattern& pattern,
                   "injected " + std::to_string(processed) + " of " +
                       std::to_string(pattern.size()) + " messages");
     }
-    for (int p = 0; p < P; ++p) {
+    for (const int p : senders) {
       const auto sends = pattern.sends_of(p);
-      if (cursor[static_cast<std::size_t>(p)].idx != sends.size()) {
+      if (cursor_[static_cast<std::size_t>(p)] != sends.size()) {
         audit::fail("packet-conservation", "node " + std::to_string(p),
                     "send queue stopped at message " +
-                        std::to_string(cursor[static_cast<std::size_t>(p)].idx) +
+                        std::to_string(cursor_[static_cast<std::size_t>(p)]) +
                         " of " + std::to_string(sends.size()));
       }
     }
     audit::count_check();
   }
 
-  for (int p = 0; p < P; ++p) {
-    const bool sent = !pattern.sends_of(p).empty();
-    const bool received = recv_counts[static_cast<std::size_t>(p)] > 0;
-    if (!sent && !received) continue;
-    if (sent) finish[p] = std::max(finish[p], cpu_free_[static_cast<std::size_t>(p)]);
-    // Fold the receive-handler occupancy back into the node CPU so chained
-    // steps see it.
-    cpu_free_[static_cast<std::size_t>(p)] =
-        std::max(cpu_free_[static_cast<std::size_t>(p)], recv_free[static_cast<std::size_t>(p)]);
-    finish[p] = std::max(finish[p], start[p]);
+  // Fold the receive-handler occupancy back into the node CPU so chained
+  // steps see it, and advance only the participants' clocks.
+  for (const int r : receivers) {
+    const sim::Micros rf = recv_free_[static_cast<std::size_t>(r)];
+    clocks.wait_until(r, rf);
+    cpu_free_[static_cast<std::size_t>(r)] = std::max(cpu_avail(r), rf);
   }
+  for (const int s : senders) clocks.wait_until(s, cpu_avail(s));
 }
 
 void FatTree::drain(sim::Micros t) {
-  for (auto& c : cpu_free_) c = t;
-  for (auto& pf : port_free_) pf = std::min(pf, t);
-  for (auto& q : queues_) {
+  // Every stored CPU time is <= t at a barrier, so raising the floor is
+  // equivalent to writing all P entries; ports and queues untouched since
+  // the last drain are already quiescent.
+  cpu_floor_ = t;
+  for (const std::int32_t dst : touched_queues_) {
+    auto& pf = port_free_[static_cast<std::size_t>(dst)];
+    pf = std::min(pf, t);
+    auto& q = queues_[static_cast<std::size_t>(dst)];
     q.entries.clear();
-    std::fill(q.per_sender.begin(), q.per_sender.end(), 0);
-    q.distinct = 0;
+    q.head = 0;
+    q.per_sender.clear();
   }
+  touched_queues_.clear();
+  ++queue_epoch_;
 }
 
 void FatTree::reset() {
   std::fill(cpu_free_.begin(), cpu_free_.end(), 0.0);
   std::fill(port_free_.begin(), port_free_.end(), 0.0);
+  cpu_floor_ = 0.0;
   for (auto& q : queues_) {
     q.entries.clear();
-    std::fill(q.per_sender.begin(), q.per_sender.end(), 0);
-    q.distinct = 0;
+    q.head = 0;
+    q.per_sender.clear();
   }
+  touched_queues_.clear();
+  ++queue_epoch_;
 }
 
 std::string FatTree::audit_leak_report(sim::Micros t) const {
   for (std::size_t p = 0; p < cpu_free_.size(); ++p) {
-    if (cpu_free_[p] != t) {
+    const sim::Micros c = std::max(cpu_floor_, cpu_free_[p]);
+    if (c != t) {
       return "node " + std::to_string(p) + " cpu busy until " +
-             std::to_string(cpu_free_[p]) + " us at barrier " +
-             std::to_string(t) + " us";
+             std::to_string(c) + " us at barrier " + std::to_string(t) + " us";
     }
   }
   for (std::size_t p = 0; p < port_free_.size(); ++p) {
@@ -192,14 +227,10 @@ std::string FatTree::audit_leak_report(sim::Micros t) const {
   }
   for (std::size_t p = 0; p < queues_.size(); ++p) {
     const auto& q = queues_[p];
-    const bool dirty =
-        !q.entries.empty() || q.distinct != 0 ||
-        std::any_of(q.per_sender.begin(), q.per_sender.end(),
-                    [](int c) { return c != 0; });
-    if (dirty) {
+    if (q.pending() != 0 || q.distinct() != 0) {
       return "ejection queue " + std::to_string(p) + " still holds " +
-             std::to_string(q.entries.size()) + " entries (" +
-             std::to_string(q.distinct) + " distinct senders) at barrier";
+             std::to_string(q.pending()) + " entries (" +
+             std::to_string(q.distinct()) + " distinct senders) at barrier";
     }
   }
   return {};

@@ -1,7 +1,7 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <utility>
 #include <vector>
 
 #include "net/router.hpp"
@@ -30,6 +30,13 @@
 //      is stalled by the excess before it may inject again — this is what
 //      makes the unstaggered matrix multiply ~20-30% slower (Fig 4);
 //   4. receive handling: per destination serial CPU, o_recv + bytes*copy_recv.
+//
+// All state is held sparsely so a route() call costs O(active messages):
+// the event heap is seeded from the pattern's active-sender view, each
+// ejection port tracks its queued senders in a small sorted (sender, count)
+// vector instead of a P-wide table, ports touched this superstep are kept in
+// a list so drain() clips only those, and node CPU availability is
+// `max(cpu_floor_, stored)` so drain() is one floor assignment, not P writes.
 
 namespace pcm::net {
 
@@ -59,8 +66,8 @@ class FatTree final : public Router {
  public:
   FatTree(int procs, FatTreeParams params = {});
 
-  void route(const CommPattern& pattern, std::span<const sim::Micros> start,
-             std::span<sim::Micros> finish, sim::Rng& rng) override;
+  void route(const CommPattern& pattern, sim::ClockSet& clocks,
+             sim::Rng& rng) override;
 
   void drain(sim::Micros t) override;
   void reset() override;
@@ -69,17 +76,43 @@ class FatTree final : public Router {
   [[nodiscard]] const FatTreeParams& params() const { return params_; }
 
  private:
+  [[nodiscard]] sim::Micros cpu_avail(int p) const {
+    return std::max(cpu_floor_, cpu_free_[static_cast<std::size_t>(p)]);
+  }
+
   FatTreeParams params_;
   std::vector<sim::Micros> cpu_free_;   ///< Per-node CPU (sends + receives).
+  sim::Micros cpu_floor_ = 0.0;         ///< drain() raises this instead.
   std::vector<sim::Micros> port_free_;  ///< Per-node ejection port.
 
-  // Per-destination port queue used for the distinct-sender count.
+  // Per-destination port queue used for the distinct-sender count. The FIFO
+  // is a vector with a head cursor (no deque node allocation per queue) and
+  // the per-sender occupancy a small sorted vector — both empty and
+  // allocation-free for the (P - active) untouched destinations.
   struct PortQueue {
-    std::deque<std::pair<sim::Micros, std::int32_t>> entries;  ///< (admission end, sender)
-    std::vector<int> per_sender;
-    int distinct = 0;
+    std::vector<std::pair<sim::Micros, std::int32_t>> entries;  ///< (admission end, sender)
+    std::size_t head = 0;
+    std::vector<std::pair<std::int32_t, std::int32_t>> per_sender;  ///< (sender, count>0), sorted.
+
+    [[nodiscard]] std::size_t pending() const { return entries.size() - head; }
+    [[nodiscard]] int distinct() const { return static_cast<int>(per_sender.size()); }
+    [[nodiscard]] bool holds(std::int32_t sender) const;
+    void inc(std::int32_t sender);
+    void dec(std::int32_t sender);
   };
   std::vector<PortQueue> queues_;
+
+  // Sparse-drain bookkeeping: destinations whose port/queue was touched
+  // since the last drain.
+  std::vector<std::uint64_t> queue_stamp_;
+  std::vector<std::int32_t> touched_queues_;
+  std::uint64_t queue_epoch_ = 1;
+
+  // Per-call scratch, reused across calls (initialised per call for the
+  // pattern's active nodes only).
+  std::vector<std::size_t> cursor_;
+  std::vector<sim::Micros> recv_free_;
+  std::vector<std::pair<sim::Micros, int>> heap_;  ///< min-heap of (time, src).
 };
 
 }  // namespace pcm::net

@@ -23,6 +23,7 @@ MeshRouter::MeshRouter(int procs, MeshRouterParams params, std::uint64_t seed)
       params_(params),
       cpu_free_(static_cast<std::size_t>(procs), 0.0),
       link_free_(static_cast<std::size_t>(procs) * 4, 0.0),
+      link_stamp_(static_cast<std::size_t>(procs) * 4, 0),
       bias_(static_cast<std::size_t>(procs), 1.0) {
   assert(params_.width * params_.height == procs);
   sim::Rng r(seed);
@@ -46,58 +47,66 @@ void MeshRouter::redraw_biases(sim::Rng& rng) {
   }
 }
 
-void MeshRouter::route(const CommPattern& pattern,
-                       std::span<const sim::Micros> start,
-                       std::span<sim::Micros> finish, sim::Rng& rng) {
-  const int P = procs();
-  assert(static_cast<int>(start.size()) == P);
-  assert(static_cast<int>(finish.size()) == P);
+void MeshRouter::claim_link(std::size_t li, sim::Micros busy_until) {
+  if (link_stamp_[li] != link_epoch_) {
+    link_stamp_[li] = link_epoch_;
+    touched_links_.push_back(li);
+  }
+  link_free_[li] = busy_until;
+}
 
-  for (int p = 0; p < P; ++p) finish[p] = start[p];
+void MeshRouter::route(const CommPattern& pattern, sim::ClockSet& clocks,
+                       sim::Rng& rng) {
+  assert(clocks.size() == procs());
   if (pattern.empty()) return;
+
+  const auto senders = pattern.senders();
+  const auto receivers = pattern.receivers();
 
   // Desynchronisation spread among the processors that take part in this
   // step. Excess over what PVM's buffering tolerates surcharges every
   // receive below (see header comment).
   sim::Micros lo = 0.0, hi = 0.0;
   bool any = false;
-  const auto recv_counts = pattern.receive_counts();
-  for (int p = 0; p < P; ++p) {
-    if (pattern.sends_of(p).empty() && recv_counts[static_cast<std::size_t>(p)] == 0)
-      continue;
+  auto widen = [&](int p) {
+    const sim::Micros t = clocks.at(p);
     if (!any) {
-      lo = hi = start[p];
+      lo = hi = t;
       any = true;
     } else {
-      lo = std::min(lo, start[p]);
-      hi = std::max(hi, start[p]);
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
     }
-  }
+  };
+  for (const int p : senders) widen(p);
+  for (const int p : receivers) widen(p);
   const sim::Micros excess = std::max(0.0, (hi - lo) - params_.desync_tolerance);
   const sim::Micros surcharge =
       std::min(params_.desync_penalty * excess, params_.max_desync_surcharge);
 
   // Phase 1: senders issue their messages in queue order (one CPU per node).
+  // senders() is ascending, so the jitter draws come out in the same order
+  // as the historical all-P scan.
   struct InFlight {
     sim::Micros departure;
     Message m;
   };
-  std::vector<InFlight> flight;
-  flight.reserve(pattern.size());
-  for (int p = 0; p < P; ++p) {
-    const auto sends = pattern.sends_of(p);
-    if (sends.empty()) continue;
-    auto& cpu = cpu_free_[static_cast<std::size_t>(p)];
-    cpu = std::max(cpu, start[p]);
+  arena_.reset();
+  auto flight = arena_.alloc<InFlight>(pattern.size());
+  std::size_t nf = 0;
+  for (const int p : senders) {
+    sim::Micros cpu = std::max(cpu_avail(p), clocks.at(p));
     const double bias = bias_[static_cast<std::size_t>(p)];
-    for (const auto& m : sends) {
+    for (const auto& m : pattern.sends_of(p)) {
       const sim::Micros cost =
           (params_.o_send + params_.copy_send * m.bytes) * bias *
           clipped_jitter(rng, params_.jitter);
       cpu += cost;
-      flight.push_back(InFlight{cpu, m});
+      flight[nf++] = InFlight{cpu, m};
     }
+    cpu_free_[static_cast<std::size_t>(p)] = cpu;
   }
+  assert(nf == pattern.size());
 
   // Phase 2: store-and-forward XY transit, messages claim links in global
   // departure order.
@@ -117,41 +126,26 @@ void MeshRouter::route(const CommPattern& pattern,
         params_.t_hop_lat + params_.t_link_byte * f.m.bytes;
     while (x != dx) {
       const int dir = (dx > x) ? 0 : 1;  // 0=E, 1=W
-      auto& link = link_free_[static_cast<std::size_t>(link_index(x, y, dir))];
-      link = std::max(link, t) + hop_cost;
-      t = link;
+      const auto li = static_cast<std::size_t>(link_index(x, y, dir));
+      t = std::max(link_free_[li], t) + hop_cost;
+      claim_link(li, t);
       x += (dx > x) ? 1 : -1;
     }
     while (y != dy) {
       const int dir = (dy > y) ? 2 : 3;  // 2=S, 3=N
-      auto& link = link_free_[static_cast<std::size_t>(link_index(x, y, dir))];
-      link = std::max(link, t) + hop_cost;
-      t = link;
+      const auto li = static_cast<std::size_t>(link_index(x, y, dir));
+      t = std::max(link_free_[li], t) + hop_cost;
+      claim_link(li, t);
       y += (dy > y) ? 1 : -1;
     }
     arrivals_.push_back(Arrival{t, f.m.dst, f.m.bytes});
   }
-  if (audit::enabled()) {
+  if (audit::enabled() && arrivals_.size() != pattern.size()) {
     // Transit conservation: every injected message must arrive at its
     // destination node exactly once (the XY walk cannot drop or duplicate).
-    if (arrivals_.size() != pattern.size()) {
-      audit::fail("packet-conservation", "mesh",
-                  "transited " + std::to_string(arrivals_.size()) + " of " +
-                      std::to_string(pattern.size()) + " injected messages");
-    }
-    std::vector<int> arrived(static_cast<std::size_t>(P), 0);
-    for (const auto& a : arrivals_) ++arrived[static_cast<std::size_t>(a.dst)];
-    for (int p = 0; p < P; ++p) {
-      if (arrived[static_cast<std::size_t>(p)] !=
-          recv_counts[static_cast<std::size_t>(p)]) {
-        audit::fail("packet-conservation", "node " + std::to_string(p),
-                    "expected " +
-                        std::to_string(recv_counts[static_cast<std::size_t>(p)]) +
-                        " arrivals, saw " +
-                        std::to_string(arrived[static_cast<std::size_t>(p)]));
-      }
-    }
-    audit::count_check();
+    audit::fail("packet-conservation", "mesh",
+                "transited " + std::to_string(arrivals_.size()) + " of " +
+                    std::to_string(pattern.size()) + " injected messages");
   }
 
   // Phase 3: receivers process deliveries in arrival order on the same CPU
@@ -165,6 +159,26 @@ void MeshRouter::route(const CommPattern& pattern,
     if (aa.dst != ab.dst) return aa.dst < ab.dst;
     return aa.t < ab.t;
   });
+  if (audit::enabled()) {
+    // Per-node conservation: each receiver's run in the (dst, arrival)-sorted
+    // order must match its expected receive count (O(messages), no dense
+    // arrays materialised).
+    for (std::size_t i = 0; i < recv_order_.size();) {
+      const int dst = arrivals_[static_cast<std::size_t>(recv_order_[i])].dst;
+      std::size_t j = i;
+      while (j < recv_order_.size() &&
+             arrivals_[static_cast<std::size_t>(recv_order_[j])].dst == dst) {
+        ++j;
+      }
+      if (static_cast<int>(j - i) != pattern.receive_count(dst)) {
+        audit::fail("packet-conservation", "node " + std::to_string(dst),
+                    "expected " + std::to_string(pattern.receive_count(dst)) +
+                        " arrivals, saw " + std::to_string(j - i));
+      }
+      i = j;
+    }
+    audit::count_check();
+  }
   // Walk each receiver's arrivals in order; `done` counts processed
   // messages of the current receiver, `ahead` the arrivals already in the
   // buffer when a message starts processing (backlog = ahead - done).
@@ -179,8 +193,8 @@ void MeshRouter::route(const CommPattern& pattern,
       done = ahead = 0;
       dst_begin = oi;
     }
-    auto& cpu = cpu_free_[static_cast<std::size_t>(a.dst)];
-    const sim::Micros begin = std::max({cpu, a.t, start[a.dst]});
+    const sim::Micros begin =
+        std::max({cpu_avail(a.dst), a.t, clocks.at(a.dst)});
     // Advance `ahead` over this receiver's arrivals that are <= begin.
     while (dst_begin + ahead < recv_order_.size()) {
       const auto& nxt =
@@ -203,33 +217,42 @@ void MeshRouter::route(const CommPattern& pattern,
         (params_.o_recv + params_.copy_recv * a.bytes) * bias *
             clipped_jitter(rng, params_.jitter) +
         surcharge + backlog_cost;
-    cpu = begin + cost;
+    cpu_free_[static_cast<std::size_t>(a.dst)] = begin + cost;
     ++done;
   }
 
-  for (int p = 0; p < P; ++p) {
-    if (pattern.sends_of(p).empty() && recv_counts[static_cast<std::size_t>(p)] == 0)
-      continue;
-    finish[p] = std::max(start[p], cpu_free_[static_cast<std::size_t>(p)]);
-  }
+  // Participants' clocks advance to their CPU availability; everyone else
+  // is untouched.
+  for (const int p : senders) clocks.wait_until(p, cpu_avail(p));
+  for (const int p : receivers) clocks.wait_until(p, cpu_avail(p));
 }
 
 void MeshRouter::drain(sim::Micros t) {
-  for (auto& c : cpu_free_) c = t;
-  for (auto& l : link_free_) l = std::min(l, t);
+  // Every stored CPU time is <= t at a barrier (clocks were advanced past
+  // them and t is the barrier instant), so raising the floor is equivalent
+  // to the historical write of all P entries.
+  cpu_floor_ = t;
+  for (const std::size_t li : touched_links_) {
+    link_free_[li] = std::min(link_free_[li], t);
+  }
+  touched_links_.clear();
+  ++link_epoch_;
 }
 
 void MeshRouter::reset() {
   std::fill(cpu_free_.begin(), cpu_free_.end(), 0.0);
   std::fill(link_free_.begin(), link_free_.end(), 0.0);
+  cpu_floor_ = 0.0;
+  touched_links_.clear();
+  ++link_epoch_;
 }
 
 std::string MeshRouter::audit_leak_report(sim::Micros t) const {
   for (std::size_t p = 0; p < cpu_free_.size(); ++p) {
-    if (cpu_free_[p] != t) {
+    const sim::Micros c = std::max(cpu_floor_, cpu_free_[p]);
+    if (c != t) {
       return "node " + std::to_string(p) + " cpu busy until " +
-             std::to_string(cpu_free_[p]) + " us at barrier " +
-             std::to_string(t) + " us";
+             std::to_string(c) + " us at barrier " + std::to_string(t) + " us";
     }
   }
   for (std::size_t l = 0; l < link_free_.size(); ++l) {

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "net/router.hpp"
+#include "sim/arena.hpp"
 
 // The Parsytec GCel network: an 8x8 mesh of T805 transputers programmed
 // through HPVM (homogeneous PVM on top of Parix). As the paper's Table 1
@@ -38,7 +39,12 @@
 //     resets the spread.
 //
 // The router keeps per-node CPU and per-link availability across calls; a
-// machine barrier() drains them.
+// machine barrier() drains them. Both are stored sparsely: CPU availability
+// is `max(cpu_floor_, cpu_free_[p])` so drain() raises the floor in O(1)
+// instead of writing P entries (every stored value is provably <= the
+// barrier instant), and links touched since the last drain are tracked in an
+// epoch-stamped list so drain() clips only those. route() itself walks the
+// pattern's active-sender/receiver views and never loops over all P nodes.
 
 namespace pcm::net {
 
@@ -65,8 +71,8 @@ class MeshRouter final : public Router {
  public:
   MeshRouter(int procs, MeshRouterParams params = {}, std::uint64_t seed = 1);
 
-  void route(const CommPattern& pattern, std::span<const sim::Micros> start,
-             std::span<sim::Micros> finish, sim::Rng& rng) override;
+  void route(const CommPattern& pattern, sim::ClockSet& clocks,
+             sim::Rng& rng) override;
 
   void drain(sim::Micros t) override;
   void reset() override;
@@ -84,12 +90,29 @@ class MeshRouter final : public Router {
  private:
   [[nodiscard]] int link_index(int x, int y, int dir) const;
 
+  /// Node p's CPU availability: stored value or the drain floor, whichever
+  /// is later (drain() raises the floor instead of writing P entries).
+  [[nodiscard]] sim::Micros cpu_avail(int p) const {
+    return std::max(cpu_floor_, cpu_free_[static_cast<std::size_t>(p)]);
+  }
+
+  /// Claim directed link `li` until `busy_until`, registering it in the
+  /// touched list so the next drain() clips it in O(touched).
+  void claim_link(std::size_t li, sim::Micros busy_until);
+
   MeshRouterParams params_;
   std::vector<sim::Micros> cpu_free_;
+  sim::Micros cpu_floor_ = 0.0;
   std::vector<sim::Micros> link_free_;
+  std::vector<std::uint64_t> link_stamp_;  ///< epoch of last touch.
+  std::vector<std::size_t> touched_links_;
+  std::uint64_t link_epoch_ = 1;
   std::vector<double> bias_;
 
-  // Scratch reused across calls to avoid allocation churn.
+  // Per-call scratch: the arena holds the in-flight message list, the member
+  // vectors keep their capacity across calls — route() allocates nothing in
+  // steady state.
+  sim::Arena arena_;
   struct Arrival {
     sim::Micros t;
     std::int32_t dst;

@@ -6,7 +6,9 @@
 namespace pcm::net {
 
 CommPattern::CommPattern(int procs)
-    : procs_(procs), by_sender_(static_cast<std::size_t>(procs)) {
+    : procs_(procs),
+      send_count_(static_cast<std::size_t>(procs), 0),
+      recv_count_(static_cast<std::size_t>(procs), 0) {
   assert(procs > 0);
 }
 
@@ -14,109 +16,171 @@ void CommPattern::add(int src, int dst, int bytes) {
   assert(src >= 0 && src < procs_);
   assert(dst >= 0 && dst < procs_);
   assert(bytes > 0);
-  by_sender_[static_cast<std::size_t>(src)].push_back(Message{src, dst, bytes});
-  ++count_;
+  if (!stage_.empty() && src < stage_.back().src) stage_sorted_ = false;
+  stage_.push_back(Message{src, dst, bytes});
+  if (send_count_[static_cast<std::size_t>(src)]++ == 0) senders_.push_back(src);
+  if (recv_count_[static_cast<std::size_t>(dst)]++ == 0) receivers_.push_back(dst);
+  total_bytes_ += bytes;
+  canonical_ready_ = false;
 }
 
 void CommPattern::add(const Message& m) { add(m.src, m.dst, m.bytes); }
 
+void CommPattern::ensure_canonical() const {
+  if (canonical_ready_) return;
+  std::sort(senders_.begin(), senders_.end());
+  std::sort(receivers_.begin(), receivers_.end());
+  if (begin_of_.size() < static_cast<std::size_t>(procs_)) {
+    begin_of_.resize(static_cast<std::size_t>(procs_));
+  }
+  std::size_t off = 0;
+  for (const int s : senders_) {
+    begin_of_[static_cast<std::size_t>(s)] = off;
+    off += static_cast<std::size_t>(send_count_[static_cast<std::size_t>(s)]);
+  }
+  if (stage_sorted_) {
+    canonical_is_stage_ = true;
+  } else {
+    // Stable counting sort by sender, preserving queue-position order.
+    canonical_is_stage_ = false;
+    if (cursor_.size() < static_cast<std::size_t>(procs_)) {
+      cursor_.resize(static_cast<std::size_t>(procs_));
+    }
+    for (const int s : senders_) {
+      cursor_[static_cast<std::size_t>(s)] = begin_of_[static_cast<std::size_t>(s)];
+    }
+    sorted_.resize(stage_.size());
+    for (const Message& m : stage_) {
+      sorted_[cursor_[static_cast<std::size_t>(m.src)]++] = m;
+    }
+  }
+  canonical_ready_ = true;
+}
+
+std::span<const Message> CommPattern::messages() const {
+  ensure_canonical();
+  return canonical_is_stage_ ? std::span<const Message>(stage_)
+                             : std::span<const Message>(sorted_);
+}
+
 std::span<const Message> CommPattern::sends_of(int p) const {
   assert(p >= 0 && p < procs_);
-  return by_sender_[static_cast<std::size_t>(p)];
+  const int n = send_count_[static_cast<std::size_t>(p)];
+  if (n == 0) return {};
+  return messages().subspan(begin_of_[static_cast<std::size_t>(p)],
+                            static_cast<std::size_t>(n));
 }
 
-std::vector<Message> CommPattern::flatten() const {
-  std::vector<Message> out;
-  out.reserve(count_);
-  for (const auto& q : by_sender_) out.insert(out.end(), q.begin(), q.end());
-  return out;
+std::span<const int> CommPattern::senders() const {
+  ensure_canonical();
+  return senders_;
 }
 
-long CommPattern::total_bytes() const {
-  long acc = 0;
-  for (const auto& q : by_sender_) {
-    for (const auto& m : q) acc += m.bytes;
-  }
-  return acc;
+std::span<const int> CommPattern::receivers() const {
+  ensure_canonical();
+  return receivers_;
 }
 
 void CommPattern::clear() {
-  for (auto& q : by_sender_) q.clear();
-  count_ = 0;
+  for (const int s : senders_) send_count_[static_cast<std::size_t>(s)] = 0;
+  for (const int r : receivers_) recv_count_[static_cast<std::size_t>(r)] = 0;
+  senders_.clear();
+  receivers_.clear();
+  stage_.clear();
+  total_bytes_ = 0;
+  stage_sorted_ = true;
+  canonical_ready_ = false;
+  canonical_is_stage_ = true;
 }
 
-int CommPattern::max_sent() const {
-  std::size_t mx = 0;
-  for (const auto& q : by_sender_) mx = std::max(mx, q.size());
-  return static_cast<int>(mx);
+std::vector<Message> CommPattern::flatten() const {
+  const auto all = messages();
+  return {all.begin(), all.end()};
 }
 
 std::vector<int> CommPattern::receive_counts() const {
   std::vector<int> rc(static_cast<std::size_t>(procs_), 0);
-  for (const auto& q : by_sender_) {
-    for (const auto& m : q) ++rc[static_cast<std::size_t>(m.dst)];
+  for (const int r : receivers_) {
+    rc[static_cast<std::size_t>(r)] = recv_count_[static_cast<std::size_t>(r)];
   }
   return rc;
 }
 
 std::vector<int> CommPattern::send_counts() const {
   std::vector<int> sc(static_cast<std::size_t>(procs_), 0);
-  for (std::size_t p = 0; p < by_sender_.size(); ++p) {
-    sc[p] = static_cast<int>(by_sender_[p].size());
+  for (const int s : senders_) {
+    sc[static_cast<std::size_t>(s)] = send_count_[static_cast<std::size_t>(s)];
   }
   return sc;
 }
 
+int CommPattern::max_sent() const {
+  int mx = 0;
+  for (const int s : senders_) {
+    mx = std::max(mx, send_count_[static_cast<std::size_t>(s)]);
+  }
+  return mx;
+}
+
 int CommPattern::max_received() const {
-  const auto rc = receive_counts();
-  return rc.empty() ? 0 : *std::max_element(rc.begin(), rc.end());
+  int mx = 0;
+  for (const int r : receivers_) {
+    mx = std::max(mx, recv_count_[static_cast<std::size_t>(r)]);
+  }
+  return mx;
 }
 
 int CommPattern::h_degree() const { return std::max(max_sent(), max_received()); }
 
 int CommPattern::active_processors() const {
-  std::vector<char> active(static_cast<std::size_t>(procs_), 0);
-  for (const auto& q : by_sender_) {
-    for (const auto& m : q) {
-      active[static_cast<std::size_t>(m.src)] = 1;
-      active[static_cast<std::size_t>(m.dst)] = 1;
+  // |senders ∪ receivers| by merge over the two sorted active sets.
+  ensure_canonical();
+  std::size_t i = 0, j = 0;
+  int n = 0;
+  while (i < senders_.size() && j < receivers_.size()) {
+    ++n;
+    if (senders_[i] < receivers_[j]) {
+      ++i;
+    } else if (receivers_[j] < senders_[i]) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
     }
   }
-  return static_cast<int>(std::count(active.begin(), active.end(), 1));
+  n += static_cast<int>((senders_.size() - i) + (receivers_.size() - j));
+  return n;
 }
 
 bool CommPattern::is_partial_permutation() const {
-  if (max_sent() > 1) return false;
-  return max_received() <= 1;
+  return max_sent() <= 1 && max_received() <= 1;
 }
 
 bool CommPattern::is_full_permutation() const {
-  return count_ == static_cast<std::size_t>(procs_) && is_partial_permutation();
+  return size() == static_cast<std::size_t>(procs_) && is_partial_permutation();
 }
 
 CommPattern::Relation CommPattern::classify() const {
   Relation r;
-  r.total = static_cast<long>(count_);
+  r.total = static_cast<long>(size());
   r.h_send = max_sent();
   r.h_recv = max_received();
   return r;
 }
 
 std::uint64_t CommPattern::hash() const {
-  // FNV-1a over the (src, dst, bytes) stream in sender order.
+  // FNV-1a over the canonical (src, dst, bytes) stream, active senders only.
   std::uint64_t h = 0xcbf29ce484222325ull;
   auto mix = [&h](std::uint64_t v) {
     h ^= v;
     h *= 0x100000001b3ull;
   };
   mix(static_cast<std::uint64_t>(procs_));
-  for (const auto& q : by_sender_) {
-    mix(static_cast<std::uint64_t>(q.size()));
-    for (const auto& m : q) {
-      mix(static_cast<std::uint64_t>(m.src) << 40 |
-          static_cast<std::uint64_t>(m.dst) << 16 |
-          static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.bytes)));
-    }
+  mix(static_cast<std::uint64_t>(size()));
+  for (const Message& m : messages()) {
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.src)) << 40 |
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.dst)) << 16 |
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.bytes)));
   }
   return h;
 }

@@ -12,6 +12,21 @@
 // routers consume messages round-by-round, which is how the paper's
 // staggering effects (Section 5.1, Fig 4) arise in this library.
 //
+// Storage is a flat contiguous message array plus CSR-style per-sender
+// offsets, with sparse active-sender/active-receiver sets, so every
+// operation — construction, views, analysis, clear() — costs O(active
+// messages), never O(P). Messages are staged in add() order; the canonical
+// (sender, queue-position) order is produced lazily on first access, and is
+// free (no copy, no sort) when messages were added in non-decreasing sender
+// order, which is how every builder in this repo emits them. At 64K–1M PEs a
+// pattern touching two processors is as cheap as one on a 4-PE machine;
+// only the constructor pays a one-time O(P) zero-fill for the dense count
+// arrays, amortised across the pattern's lifetime of clear()/add() cycles.
+//
+// Lazy canonicalisation mutates internal caches from const accessors, so a
+// CommPattern must not be shared across threads until one thread has
+// triggered it (the exec plane gives each sweep worker its own patterns).
+//
 // The analysis helpers implement the paper's vocabulary: an h-relation
 // (every processor sends and receives at most h messages), a 1-h relation
 // (Section 3.1), and the E-BSP (M, h1, h2)-relation of Section 2.3.
@@ -29,21 +44,48 @@ class CommPattern {
   void add(const Message& m);
 
   /// Number of messages queued in total.
-  [[nodiscard]] std::size_t size() const { return count_; }
-  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return stage_.size(); }
+  [[nodiscard]] bool empty() const { return stage_.empty(); }
 
-  /// Ordered queue of messages sent by processor p.
+  // --- span views (the hot-path API) ---------------------------------------
+
+  /// All messages in canonical (sender, queue position) order, as one
+  /// contiguous span. Valid until the next add()/clear().
+  [[nodiscard]] std::span<const Message> messages() const;
+
+  /// Ordered queue of messages sent by processor p — an O(1) subspan of
+  /// messages().
   [[nodiscard]] std::span<const Message> sends_of(int p) const;
 
-  /// All messages flattened in (sender, queue position) order.
-  [[nodiscard]] std::vector<Message> flatten() const;
+  /// Ascending ids of processors that send >= 1 message.
+  [[nodiscard]] std::span<const int> senders() const;
 
-  /// Total payload bytes.
-  [[nodiscard]] long total_bytes() const;
+  /// Ascending ids of processors that receive >= 1 message.
+  [[nodiscard]] std::span<const int> receivers() const;
+
+  /// Messages sent by / received by processor p. O(1).
+  [[nodiscard]] int send_count(int p) const {
+    return send_count_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] int receive_count(int p) const {
+    return recv_count_[static_cast<std::size_t>(p)];
+  }
+
+  /// Total payload bytes. O(1).
+  [[nodiscard]] long total_bytes() const { return total_bytes_; }
 
   void clear();
 
-  // --- analysis (paper Section 2) -----------------------------------------
+  // --- deprecated copying accessors (use the span views above) -------------
+
+  [[deprecated("iterate messages() — same order, no copy")]] [[nodiscard]]
+  std::vector<Message> flatten() const;
+  [[deprecated("use receive_count(p) / receivers()")]] [[nodiscard]]
+  std::vector<int> receive_counts() const;
+  [[deprecated("use send_count(p) / senders()")]] [[nodiscard]]
+  std::vector<int> send_counts() const;
+
+  // --- analysis (paper Section 2); all O(active) ---------------------------
 
   /// h1: max messages sent by any processor.
   [[nodiscard]] int max_sent() const;
@@ -51,10 +93,6 @@ class CommPattern {
   [[nodiscard]] int max_received() const;
   /// h = max(h1, h2): the pattern is an h-relation of this degree.
   [[nodiscard]] int h_degree() const;
-  /// Per-processor receive counts.
-  [[nodiscard]] std::vector<int> receive_counts() const;
-  /// Per-processor send counts.
-  [[nodiscard]] std::vector<int> send_counts() const;
 
   /// Processors that send or receive at least one message.
   [[nodiscard]] int active_processors() const;
@@ -72,13 +110,31 @@ class CommPattern {
   /// The E-BSP (M, h1, h2) classification of this pattern.
   [[nodiscard]] Relation classify() const;
 
-  /// 64-bit content hash (order-sensitive) for router memoisation.
+  /// 64-bit content hash (order-sensitive) over the canonical message
+  /// stream, for router memoisation. Hash equality is NOT identity — memo
+  /// users must verify against messages() on hit (see DeltaRouter).
   [[nodiscard]] std::uint64_t hash() const;
 
  private:
+  /// Sort the active sets and build the CSR offsets / canonical order.
+  void ensure_canonical() const;
+
   int procs_;
-  std::size_t count_ = 0;
-  std::vector<std::vector<Message>> by_sender_;
+  long total_bytes_ = 0;
+  std::vector<Message> stage_;   ///< add() order; flat and contiguous.
+  bool stage_sorted_ = true;     ///< non-decreasing src so far?
+
+  std::vector<int> send_count_;  ///< dense; maintained sparsely via senders_.
+  std::vector<int> recv_count_;  ///< dense; maintained via receivers_.
+
+  // Lazily-canonicalised caches (see class comment re: thread safety).
+  mutable std::vector<int> senders_;    ///< first-touch order, sorted lazily.
+  mutable std::vector<int> receivers_;  ///< first-touch order, sorted lazily.
+  mutable std::vector<Message> sorted_;        ///< counting-sorted stage_.
+  mutable std::vector<std::size_t> begin_of_;  ///< CSR offsets, active only.
+  mutable std::vector<std::size_t> cursor_;    ///< counting-sort scratch.
+  mutable bool canonical_ready_ = false;
+  mutable bool canonical_is_stage_ = true;
 };
 
 /// Convenience builders used by tests and the calibration micro-benchmarks.

@@ -1,25 +1,29 @@
 #pragma once
 
-#include <span>
 #include <string>
 
 #include "net/pattern.hpp"
 #include "obs/metrics.hpp"
+#include "sim/clockset.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 
 // Router interface implemented by the three machine networks.
 //
-// route() consumes a CommPattern given per-processor ready times (`start`)
-// and fills per-processor completion times (`finish`): finish[p] is when
-// processor p has issued all of its sends *and* finished receiving every
-// message destined to it. No global synchronisation is implied — that is the
-// machine's barrier() — so on the MIMD machines processors genuinely drift
-// when supersteps are chained without barriers (paper Fig 7).
+// route() consumes a CommPattern and advances the per-processor clocks in
+// place: after the call, clocks.at(p) is when processor p has issued all of
+// its sends *and* finished receiving every message destined to it. Routers
+// must only move clocks forward, and must only touch the clocks of
+// processors that participate in the pattern (plus, on the SIMD MasPar, the
+// lock-step completion of all PEs) — this is what makes a superstep cost
+// O(active messages) instead of O(P). No global synchronisation is implied —
+// that is the machine's barrier() — so on the MIMD machines processors
+// genuinely drift when supersteps are chained without barriers (paper Fig 7).
 //
 // Routers may keep internal state between calls (link/port/CPU availability,
 // receive-queue backlogs). drain() is called by the machine's barrier and
-// must bring all internal resources to the given instant.
+// must bring all internal resources to the given instant; like route() it is
+// expected to cost O(state touched since the last drain), not O(P).
 
 namespace pcm::net {
 
@@ -32,9 +36,8 @@ class Router {
 
   [[nodiscard]] int procs() const { return procs_; }
 
-  virtual void route(const CommPattern& pattern,
-                     std::span<const sim::Micros> start,
-                     std::span<sim::Micros> finish, sim::Rng& rng) = 0;
+  virtual void route(const CommPattern& pattern, sim::ClockSet& clocks,
+                     sim::Rng& rng) = 0;
 
   /// Synchronise internal resource clocks to `t` (a barrier happened).
   virtual void drain(sim::Micros t) = 0;

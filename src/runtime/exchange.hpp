@@ -47,7 +47,7 @@ class Exchange {
   /// Stage a parcel. Sends are issued per sender in staging order.
   void send(int src, int dst, std::vector<T> data, int tag = 0) {
     if (data.empty()) return;
-    const std::size_t qpos = pattern_.sends_of(src).size();
+    const auto qpos = static_cast<std::size_t>(pattern_.send_count(src));
     stage_pattern(src, dst, data.size());
     staged_.push_back(Staged{src, dst, tag, qpos, std::move(data)});
   }

@@ -11,23 +11,63 @@ ClockSet::ClockSet(int n) : t_(static_cast<std::size_t>(n), 0.0) {
 
 void ClockSet::advance(int p, Micros d) {
   assert(d >= 0.0);
-  t_[static_cast<std::size_t>(p)] += d;
+  auto& c = t_[static_cast<std::size_t>(p)];
+  c += d;
+  if (c > max_) max_ = c;
 }
 
 void ClockSet::wait_until(int p, Micros t) {
   auto& c = t_[static_cast<std::size_t>(p)];
-  c = std::max(c, t);
+  if (t > c) {
+    c = t;
+    if (t > max_) max_ = t;
+  }
 }
 
-Micros ClockSet::max() const { return *std::max_element(t_.begin(), t_.end()); }
+void ClockSet::advance_to(int p, Micros t) {
+  auto& c = t_[static_cast<std::size_t>(p)];
+  assert(t >= c && "advance_to must not move a clock backwards");
+  c = t;
+  if (t > max_) max_ = t;
+}
+
+void ClockSet::set(int p, Micros t) {
+  t_[static_cast<std::size_t>(p)] = t;
+  if (t > max_) {
+    max_ = t;
+  } else {
+    max_dirty_ = true;  // may have lowered the unique maximum
+  }
+}
+
+void ClockSet::set_all(Micros t) {
+  assert(t >= max() && "set_all is a lock-step completion, not a rewind");
+  std::fill(t_.begin(), t_.end(), t);
+  max_ = t;
+  max_dirty_ = false;
+}
+
+Micros ClockSet::max() const {
+  if (max_dirty_) {
+    max_ = *std::max_element(t_.begin(), t_.end());
+    max_dirty_ = false;
+  }
+  return max_;
+}
 
 Micros ClockSet::min() const { return *std::min_element(t_.begin(), t_.end()); }
 
 void ClockSet::barrier(Micros cost) {
   const Micros m = max() + cost;
   std::fill(t_.begin(), t_.end(), m);
+  max_ = m;
+  max_dirty_ = false;
 }
 
-void ClockSet::reset() { std::fill(t_.begin(), t_.end(), 0.0); }
+void ClockSet::reset() {
+  std::fill(t_.begin(), t_.end(), 0.0);
+  max_ = 0.0;
+  max_dirty_ = false;
+}
 
 }  // namespace pcm::sim

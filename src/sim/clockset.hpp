@@ -8,6 +8,14 @@
 // Per-processor virtual clocks for the MIMD machines (GCel, CM-5). The SIMD
 // MasPar uses a single lock-step clock, which is just a ClockSet of size 1
 // from the machine's point of view.
+//
+// The makespan (max()) is cached and maintained incrementally: every
+// mutation on the simulation hot path — advance(), advance_to(),
+// wait_until(), barrier(), set_all(), reset() — only moves clocks forward,
+// so the cache is a running maximum and max() is O(1). The one operation
+// that may move a clock backwards, set() (test setup), marks the cache
+// dirty and the next max() rescans. min() stays O(n); it is only read on
+// metrics-enabled paths.
 
 namespace pcm::sim {
 
@@ -18,7 +26,6 @@ class ClockSet {
   [[nodiscard]] int size() const { return static_cast<int>(t_.size()); }
 
   [[nodiscard]] Micros at(int p) const { return t_[static_cast<std::size_t>(p)]; }
-  Micros& ref(int p) { return t_[static_cast<std::size_t>(p)]; }
 
   /// Advance processor p by d (d >= 0).
   void advance(int p, Micros d);
@@ -26,10 +33,22 @@ class ClockSet {
   /// Processor p waits until at least time t (no-op if already past).
   void wait_until(int p, Micros t);
 
-  /// Latest clock — the makespan of the computation so far.
+  /// Set processor p's clock to exactly t, which must not precede it — the
+  /// router write-back path (monotonicity is the audit plane's invariant;
+  /// this asserts it in debug builds).
+  void advance_to(int p, Micros t);
+
+  /// Set processor p's clock to an arbitrary instant (test setup only —
+  /// may move the clock backwards; invalidates the makespan cache).
+  void set(int p, Micros t);
+
+  /// Set every clock to t (t >= max(); a SIMD step completing in lock-step).
+  void set_all(Micros t);
+
+  /// Latest clock — the makespan of the computation so far. O(1).
   [[nodiscard]] Micros max() const;
 
-  /// Earliest clock.
+  /// Earliest clock. O(n); only metrics paths read it.
   [[nodiscard]] Micros min() const;
 
   /// Synchronise every clock to the makespan and add `cost`
@@ -43,6 +62,8 @@ class ClockSet {
 
  private:
   std::vector<Micros> t_;
+  mutable Micros max_ = 0.0;
+  mutable bool max_dirty_ = false;
 };
 
 }  // namespace pcm::sim

@@ -120,10 +120,9 @@ class BackwardsRouter final : public net::Router {
  public:
   BackwardsRouter(int procs, sim::Micros skew)
       : net::Router(procs), skew_(skew) {}
-  void route(const net::CommPattern&, std::span<const sim::Micros> start,
-             std::span<sim::Micros> finish, sim::Rng&) override {
-    for (std::size_t p = 0; p < finish.size(); ++p) finish[p] = start[p];
-    finish[0] = start[0] - skew_;
+  void route(const net::CommPattern&, sim::ClockSet& clocks,
+             sim::Rng&) override {
+    clocks.set(0, clocks.at(0) - skew_);
   }
   void drain(sim::Micros) override {}
   void reset() override {}
@@ -136,10 +135,9 @@ class BackwardsRouter final : public net::Router {
 class LeakyRouter final : public net::Router {
  public:
   explicit LeakyRouter(int procs) : net::Router(procs) {}
-  void route(const net::CommPattern&, std::span<const sim::Micros> start,
-             std::span<sim::Micros> finish, sim::Rng&) override {
-    for (std::size_t p = 0; p < finish.size(); ++p)
-      finish[p] = start[p] + 10.0;
+  void route(const net::CommPattern&, sim::ClockSet& clocks,
+             sim::Rng&) override {
+    for (int p = 0; p < clocks.size(); ++p) clocks.advance(p, 10.0);
   }
   void drain(sim::Micros) override {}
   void reset() override {}

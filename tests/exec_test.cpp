@@ -100,14 +100,11 @@ TEST(MachineSpec, FactoryHonoursSpec) {
   auto m = machines::make_machine(spec);
   EXPECT_EQ(m->name(), "Parsytec GCel");
   EXPECT_EQ(m->procs(), 16);
-  // The legacy wrappers agree with the spec factory (they are wrappers).
-  // This test deliberately exercises the deprecated API.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  auto legacy = machines::make_gcel(3, 16);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(legacy->name(), m->name());
-  EXPECT_EQ(legacy->procs(), m->procs());
+  // Re-parsing the spec's string form round-trips to the same machine.
+  auto again = machines::make_machine(
+      machines::parse_machine_spec(machines::to_string(spec)));
+  EXPECT_EQ(again->name(), m->name());
+  EXPECT_EQ(again->procs(), m->procs());
 }
 
 // ------------------------------------------------------------ pool / runner

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "exec/sweep.hpp"
 #include "net/pattern.hpp"
+#include "sim/rng.hpp"
 #include "test_util.hpp"
 
 namespace pcm::machines {
@@ -124,6 +126,67 @@ TEST(Machines, EmptyExchangeIsFree) {
   net::CommPattern pat(m->procs());
   m->exchange(pat);
   EXPECT_DOUBLE_EQ(m->now(), 0.0);
+}
+
+TEST(Machines, SixtyFourKProcsSparseSuperstep) {
+  // A 64K-PE machine whose superstep touches two processors must be usable
+  // interactively: the hot loop is O(active messages), not O(P).
+  const int procs = 1 << 16;
+  auto m = make_machine({.platform = Platform::CM5, .procs = procs, .seed = 7});
+  net::CommPattern pat(procs);
+  pat.add(0, procs / 2, 8);
+  pat.add(procs / 2, 0, 8);
+  for (int step = 0; step < 4; ++step) {
+    m->charge(0, 5.0);
+    m->exchange(pat);
+    m->barrier();
+  }
+  EXPECT_GT(m->now(), 0.0);
+  EXPECT_EQ(m->superstep(), 4);
+  // Non-participants sit exactly at the barrier chain's makespan.
+  EXPECT_DOUBLE_EQ(m->now(procs - 1), m->now());
+}
+
+TEST(Machines, SweepAt64KProcsIsScheduleIndependent) {
+  // The determinism contract at scale: a sweep over a 64K-PE machine is
+  // bit-identical for every jobs value.
+  auto run = [](int jobs) {
+    exec::SweepSpec spec;
+    spec.experiment = "scale-identity";
+    spec.machine = {.platform = machines::Platform::CM5,
+                    .procs = 1 << 16,
+                    .seed = 2024};
+    spec.xs = {1.0, 2.0};
+    spec.trials = 2;
+    spec.jobs = jobs;
+    spec.measure = [](exec::TrialContext& ctx) {
+      const int procs = ctx.machine.procs();
+      sim::Rng rng(ctx.cell_seed);
+      net::CommPattern pat(procs);
+      const int fan = static_cast<int>(ctx.x) * 8;
+      for (int i = 0; i < fan; ++i) {
+        pat.add(static_cast<int>(rng.next_u64() % procs),
+                static_cast<int>(rng.next_u64() % procs), 8);
+      }
+      for (int step = 0; step < 3; ++step) {
+        ctx.machine.exchange(pat);
+        ctx.machine.barrier();
+      }
+      return ctx.machine.now();
+    };
+    return exec::run_sweep(spec);
+  };
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(serial.series.points.size(), parallel.series.points.size());
+  for (std::size_t i = 0; i < serial.series.points.size(); ++i) {
+    EXPECT_EQ(serial.series.points[i].measured.mean,
+              parallel.series.points[i].measured.mean);
+    EXPECT_EQ(serial.series.points[i].measured.stddev,
+              parallel.series.points[i].measured.stddev);
+  }
 }
 
 TEST(LocalComputeModels, Cm5MatmulMflopsAnchors) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/clockset.hpp"
 #include "sim/rng.hpp"
 
 namespace pcm::net {
@@ -99,12 +100,11 @@ TEST_F(DeltaRouterTest, StepDurationIsMemoisedAndDeterministic) {
 TEST_F(DeltaRouterTest, RouteIsSimdSynchronous) {
   const auto perm = rng_.permutation(1024);
   const auto pat = patterns::from_permutation(perm, 4);
-  std::vector<sim::Micros> start(1024, 0.0);
-  start[7] = 500.0;  // slowest PE gates the step
-  std::vector<sim::Micros> finish(1024, 0.0);
-  router_.route(pat, start, finish, rng_);
+  sim::ClockSet clocks(1024);
+  clocks.set(7, 500.0);  // slowest PE gates the step
+  router_.route(pat, clocks, rng_);
   const double expect = 500.0 + router_.step_duration(pat);
-  for (int p = 0; p < 1024; ++p) EXPECT_DOUBLE_EQ(finish[p], expect);
+  for (int p = 0; p < 1024; ++p) EXPECT_DOUBLE_EQ(clocks.at(p), expect);
 }
 
 TEST_F(DeltaRouterTest, MoreActivePEsCostMore) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "net/pattern.hpp"
+#include "sim/clockset.hpp"
 #include "sim/rng.hpp"
 
 namespace pcm::net {
@@ -12,29 +13,22 @@ class FatTreeTest : public ::testing::Test {
  protected:
   FatTree router_{64};
   sim::Rng rng_{41};
-  std::vector<sim::Micros> start_ = std::vector<sim::Micros>(64, 0.0);
-  std::vector<sim::Micros> finish_ = std::vector<sim::Micros>(64, 0.0);
-
-  double makespan() const {
-    double m = 0.0;
-    for (double f : finish_) m = std::max(m, f);
-    return m;
-  }
+  sim::ClockSet clocks_{64};
 };
 
 TEST_F(FatTreeTest, SingleMessageLatency) {
   CommPattern pat(64);
   pat.add(0, 63, 8);
-  router_.route(pat, start_, finish_, rng_);
+  router_.route(pat, clocks_, rng_);
   const auto& p = router_.params();
-  EXPECT_GT(finish_[63], p.t_lat);
-  EXPECT_LT(finish_[63], 50.0);  // Table 1: L ~ 45 µs scale
+  EXPECT_GT(clocks_.at(63), p.t_lat);
+  EXPECT_LT(clocks_.at(63), 50.0);  // Table 1: L ~ 45 µs scale
 }
 
 TEST_F(FatTreeTest, BalancedPermutationIsFast) {
   const auto perm = rng_.permutation(64);
-  router_.route(patterns::from_permutation(perm, 8), start_, finish_, rng_);
-  EXPECT_LT(makespan(), 60.0);
+  router_.route(patterns::from_permutation(perm, 8), clocks_, rng_);
+  EXPECT_LT(clocks_.max(), 60.0);
 }
 
 TEST_F(FatTreeTest, HotspotConvergenceIsPenalised) {
@@ -43,34 +37,34 @@ TEST_F(FatTreeTest, HotspotConvergenceIsPenalised) {
   for (int i = 0; i < 64; ++i) {
     for (int s = 1; s <= 4; ++s) hot.add(s, 0, 8);
   }
-  router_.route(hot, start_, finish_, rng_);
-  const double t_hot = makespan();
+  router_.route(hot, clocks_, rng_);
+  const double t_hot = clocks_.max();
 
   // ...vs the same volume spread over 4 distinct destinations, one sender
   // each (staggered style).
   router_.reset();
-  std::fill(finish_.begin(), finish_.end(), 0.0);
+  clocks_.reset();
   CommPattern cool(64);
   for (int i = 0; i < 64; ++i) {
     for (int s = 1; s <= 4; ++s) cool.add(s, 8 + s, 8);
   }
-  router_.route(cool, start_, finish_, rng_);
-  const double t_cool = makespan();
+  router_.route(cool, clocks_, rng_);
+  const double t_cool = clocks_.max();
   EXPECT_GT(t_hot, 1.15 * t_cool);
 }
 
 TEST_F(FatTreeTest, BulkMessagesPayRendezvousOnce) {
   CommPattern small(64);
   small.add(0, 1, 8);
-  router_.route(small, start_, finish_, rng_);
-  const double t_small = finish_[1];
+  router_.route(small, clocks_, rng_);
+  const double t_small = clocks_.at(1);
 
   router_.reset();
-  std::fill(finish_.begin(), finish_.end(), 0.0);
+  clocks_.reset();
   CommPattern bulk(64);
   bulk.add(0, 1, 8192);
-  router_.route(bulk, start_, finish_, rng_);
-  const double t_bulk = finish_[1];
+  router_.route(bulk, clocks_, rng_);
+  const double t_bulk = clocks_.at(1);
   const auto& p = router_.params();
   // Bulk cost ~ rendezvous + per-byte stream; far below 1024 small sends.
   EXPECT_GT(t_bulk, p.bulk_setup);
@@ -82,36 +76,40 @@ TEST_F(FatTreeTest, BulkMessagesPayRendezvousOnce) {
 
 TEST_F(FatTreeTest, FinishNeverBeforeStart) {
   const auto perm = rng_.permutation(64);
-  for (auto& s : start_) s = rng_.next_double() * 100.0;
-  router_.route(patterns::from_permutation(perm, 8), start_, finish_, rng_);
-  for (int p = 0; p < 64; ++p) EXPECT_GE(finish_[p], start_[p]);
+  std::vector<sim::Micros> start(64);
+  for (int p = 0; p < 64; ++p) {
+    start[p] = rng_.next_double() * 100.0;
+    clocks_.set(p, start[p]);
+  }
+  router_.route(patterns::from_permutation(perm, 8), clocks_, rng_);
+  for (int p = 0; p < 64; ++p) EXPECT_GE(clocks_.at(p), start[p]);
 }
 
 TEST_F(FatTreeTest, DrainResetsPortsAndQueues) {
   CommPattern pat(64);
   for (int i = 0; i < 100; ++i) pat.add(1, 0, 8);
-  router_.route(pat, start_, finish_, rng_);
+  router_.route(pat, clocks_, rng_);
   router_.drain(10000.0);
-  std::fill(finish_.begin(), finish_.end(), 0.0);
-  std::vector<sim::Micros> late(64, 10000.0);
+  clocks_.reset();
+  clocks_.set_all(10000.0);
   CommPattern one(64);
   one.add(2, 0, 8);
-  router_.route(one, late, finish_, rng_);
-  EXPECT_LT(finish_[0], 10000.0 + 60.0);
+  router_.route(one, clocks_, rng_);
+  EXPECT_LT(clocks_.at(0), 10000.0 + 60.0);
 }
 
 TEST_F(FatTreeTest, ThroughputScalesWithH) {
   // Doubling a balanced load roughly doubles the span (linear port model).
   auto run_h = [&](int h) {
     router_.reset();
-    std::fill(finish_.begin(), finish_.end(), 0.0);
+    clocks_.reset();
     CommPattern pat(64);
     for (int i = 0; i < h; ++i) {
       const auto perm = rng_.permutation(64);
       for (int p = 0; p < 64; ++p) pat.add(p, perm[p], 8);
     }
-    router_.route(pat, start_, finish_, rng_);
-    return makespan();
+    router_.route(pat, clocks_, rng_);
+    return clocks_.max();
   };
   const double t8 = run_h(8);
   const double t16 = run_h(16);

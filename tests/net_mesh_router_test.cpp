@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "net/pattern.hpp"
+#include "sim/clockset.hpp"
 #include "sim/rng.hpp"
 
 namespace pcm::net {
@@ -12,8 +13,7 @@ class MeshRouterTest : public ::testing::Test {
  protected:
   MeshRouter router_{64, MeshRouterParams{}, 5};
   sim::Rng rng_{31};
-  std::vector<sim::Micros> start_ = std::vector<sim::Micros>(64, 0.0);
-  std::vector<sim::Micros> finish_ = std::vector<sim::Micros>(64, 0.0);
+  sim::ClockSet clocks_{64};
 };
 
 TEST_F(MeshRouterTest, Hops) {
@@ -26,37 +26,41 @@ TEST_F(MeshRouterTest, Hops) {
 
 TEST_F(MeshRouterTest, EmptyPatternLeavesClocksAlone) {
   CommPattern pat(64);
-  start_[5] = 100.0;
-  router_.route(pat, start_, finish_, rng_);
-  EXPECT_EQ(finish_[5], 100.0);
-  EXPECT_EQ(finish_[0], 0.0);
+  clocks_.set(5, 100.0);
+  router_.route(pat, clocks_, rng_);
+  EXPECT_EQ(clocks_.at(5), 100.0);
+  EXPECT_EQ(clocks_.at(0), 0.0);
 }
 
 TEST_F(MeshRouterTest, FinishNeverBeforeStart) {
   const auto perm = rng_.permutation(64);
   const auto pat = patterns::from_permutation(perm, 4);
-  for (auto& s : start_) s = rng_.next_double() * 1000.0;
-  router_.route(pat, start_, finish_, rng_);
-  for (int p = 0; p < 64; ++p) EXPECT_GE(finish_[p], start_[p]);
+  std::vector<sim::Micros> start(64);
+  for (int p = 0; p < 64; ++p) {
+    start[p] = rng_.next_double() * 1000.0;
+    clocks_.set(p, start[p]);
+  }
+  router_.route(pat, clocks_, rng_);
+  for (int p = 0; p < 64; ++p) EXPECT_GE(clocks_.at(p), start[p]);
 }
 
 TEST_F(MeshRouterTest, NonParticipantsUntouched) {
   CommPattern pat(64);
   pat.add(0, 1, 4);
-  start_[63] = 77.0;
-  router_.route(pat, start_, finish_, rng_);
-  EXPECT_EQ(finish_[63], 77.0);
-  EXPECT_GT(finish_[1], 0.0);
+  clocks_.set(63, 77.0);
+  router_.route(pat, clocks_, rng_);
+  EXPECT_EQ(clocks_.at(63), 77.0);
+  EXPECT_GT(clocks_.at(1), 0.0);
 }
 
 TEST_F(MeshRouterTest, ReceiveCostDominates) {
   // One sender, ten messages to one receiver: cost ~ 10 * o_recv.
   CommPattern pat(64);
   for (int i = 0; i < 10; ++i) pat.add(0, 63, 4);
-  router_.route(pat, start_, finish_, rng_);
+  router_.route(pat, clocks_, rng_);
   const auto& p = router_.params();
-  EXPECT_GT(finish_[63], 10 * p.o_recv * 0.8);
-  EXPECT_LT(finish_[63], 10 * (p.o_recv + p.o_send) * 1.5);
+  EXPECT_GT(clocks_.at(63), 10 * p.o_recv * 0.8);
+  EXPECT_LT(clocks_.at(63), 10 * (p.o_recv + p.o_send) * 1.5);
 }
 
 TEST_F(MeshRouterTest, ScatterCheaperThanConcentration) {
@@ -64,67 +68,62 @@ TEST_F(MeshRouterTest, ScatterCheaperThanConcentration) {
   // multinode-scatter mechanism at node level).
   CommPattern hot(64);
   for (int i = 0; i < 32; ++i) hot.add(0, 63, 4);
-  router_.route(hot, start_, finish_, rng_);
-  const double t_hot = finish_[63];
+  router_.route(hot, clocks_, rng_);
+  const double t_hot = clocks_.at(63);
 
   router_.reset();
   CommPattern spread(64);
   for (int i = 0; i < 32; ++i) spread.add(0, 8 + i, 4);
-  std::fill(finish_.begin(), finish_.end(), 0.0);
-  router_.route(spread, start_, finish_, rng_);
-  double t_spread = 0.0;
-  for (int p = 0; p < 64; ++p) t_spread = std::max(t_spread, finish_[p]);
+  clocks_.reset();
+  router_.route(spread, clocks_, rng_);
+  const double t_spread = clocks_.max();
   EXPECT_LT(t_spread, 0.6 * t_hot);
 }
 
 TEST_F(MeshRouterTest, LongerMessagesCostMore) {
   const auto perm = rng_.permutation(64);
-  router_.route(patterns::from_permutation(perm, 4), start_, finish_, rng_);
-  double t_small = 0.0;
-  for (double f : finish_) t_small = std::max(t_small, f);
+  router_.route(patterns::from_permutation(perm, 4), clocks_, rng_);
+  const double t_small = clocks_.max();
   router_.reset();
-  std::fill(finish_.begin(), finish_.end(), 0.0);
-  router_.route(patterns::from_permutation(perm, 4096), start_, finish_, rng_);
-  double t_big = 0.0;
-  for (double f : finish_) t_big = std::max(t_big, f);
+  clocks_.reset();
+  router_.route(patterns::from_permutation(perm, 4096), clocks_, rng_);
+  const double t_big = clocks_.max();
   EXPECT_GT(t_big, t_small + 3000.0);
 }
 
 TEST_F(MeshRouterTest, StatePersistsAcrossCallsAndDrains) {
   CommPattern pat(64);
   pat.add(0, 1, 4);
-  router_.route(pat, start_, finish_, rng_);
-  const double busy_until = finish_[1];
+  router_.route(pat, clocks_, rng_);
+  const double busy_until = clocks_.at(1);
   // Without a drain, a second delivery to node 1 queues behind the first
   // even if its start time is 0.
-  std::fill(finish_.begin(), finish_.end(), 0.0);
-  router_.route(pat, start_, finish_, rng_);
-  EXPECT_GT(finish_[1], busy_until);
+  clocks_.reset();
+  router_.route(pat, clocks_, rng_);
+  EXPECT_GT(clocks_.at(1), busy_until);
   // After drain, the receiver is idle at the drain time.
   router_.drain(100000.0);
-  std::fill(finish_.begin(), finish_.end(), 0.0);
-  std::vector<sim::Micros> late(64, 100000.0);
-  router_.route(pat, late, finish_, rng_);
-  EXPECT_LT(finish_[1], 100000.0 + 3 * router_.params().o_recv);
+  clocks_.reset();
+  clocks_.set_all(100000.0);
+  router_.route(pat, clocks_, rng_);
+  EXPECT_LT(clocks_.at(1), 100000.0 + 3 * router_.params().o_recv);
 }
 
 TEST_F(MeshRouterTest, DesyncSurchargeKicksInBeyondTolerance) {
   const auto perm = rng_.permutation(64);
   const auto pat = patterns::from_permutation(perm, 4);
   // Synchronised starts.
-  router_.route(pat, start_, finish_, rng_);
-  double sync_span = 0.0;
-  for (int p = 0; p < 64; ++p) sync_span = std::max(sync_span, finish_[p] - start_[p]);
+  router_.route(pat, clocks_, rng_);
+  double sync_span = clocks_.max();
 
   // Heavily desynchronised starts (spread beyond the tolerance).
   router_.reset();
-  std::vector<sim::Micros> spread_start(64);
-  for (int p = 0; p < 64; ++p) spread_start[p] = p * 1000.0;  // 63k spread
-  std::fill(finish_.begin(), finish_.end(), 0.0);
-  router_.route(pat, spread_start, finish_, rng_);
+  clocks_.reset();
+  for (int p = 0; p < 64; ++p) clocks_.set(p, p * 1000.0);  // 63k spread
+  router_.route(pat, clocks_, rng_);
   double desync_cost = 0.0;
   for (int p = 0; p < 64; ++p) {
-    desync_cost = std::max(desync_cost, finish_[p] - spread_start[p]);
+    desync_cost = std::max(desync_cost, clocks_.at(p) - p * 1000.0);
   }
   EXPECT_GT(desync_cost, sync_span + 1000.0);
 }

@@ -36,7 +36,7 @@ TEST(CommPattern, CountsAndBytes) {
   p.add(2, 1, 6);
   EXPECT_EQ(p.size(), 2u);
   EXPECT_EQ(p.total_bytes(), 10);
-  EXPECT_EQ(p.flatten().size(), 2u);
+  EXPECT_EQ(p.messages().size(), 2u);
 }
 
 TEST(CommPattern, HDegree) {
@@ -53,12 +53,32 @@ TEST(CommPattern, ReceiveAndSendCounts) {
   CommPattern p(3);
   p.add(0, 2, 4);
   p.add(1, 2, 4);
+  EXPECT_EQ(p.receive_count(2), 2);
+  EXPECT_EQ(p.receive_count(0), 0);
+  EXPECT_EQ(p.send_count(0), 1);
+  EXPECT_EQ(p.send_count(2), 0);
+}
+
+TEST(CommPattern, DeprecatedCopyingAccessorsStillAgree) {
+  // The copying accessors are deprecated-for-removal; until they go, they
+  // must stay consistent with the zero-copy views they wrap.
+  CommPattern p(3);
+  p.add(1, 0, 4);
+  p.add(0, 2, 8);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto flat = p.flatten();
   const auto rc = p.receive_counts();
-  EXPECT_EQ(rc[2], 2);
-  EXPECT_EQ(rc[0], 0);
   const auto sc = p.send_counts();
-  EXPECT_EQ(sc[0], 1);
-  EXPECT_EQ(sc[2], 0);
+#pragma GCC diagnostic pop
+  ASSERT_EQ(flat.size(), p.messages().size());
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    EXPECT_EQ(flat[i], p.messages()[i]);
+  }
+  for (int q = 0; q < 3; ++q) {
+    EXPECT_EQ(rc[static_cast<std::size_t>(q)], p.receive_count(q));
+    EXPECT_EQ(sc[static_cast<std::size_t>(q)], p.send_count(q));
+  }
 }
 
 TEST(CommPattern, ActiveProcessors) {
@@ -127,6 +147,84 @@ TEST(CommPattern, ClearResets) {
   p.clear();
   EXPECT_TRUE(p.empty());
   EXPECT_TRUE(p.sends_of(0).empty());
+}
+
+TEST(CommPattern, EmptyPatternViewsAreEmpty) {
+  const CommPattern p(8);
+  EXPECT_TRUE(p.messages().empty());
+  EXPECT_TRUE(p.senders().empty());
+  EXPECT_TRUE(p.receivers().empty());
+  EXPECT_EQ(p.total_bytes(), 0);
+  EXPECT_EQ(p.hash(), CommPattern(8).hash());
+}
+
+TEST(CommPattern, SingleActivePE) {
+  CommPattern p(1024);
+  p.add(7, 7, 4);  // self-message: exactly one active processor
+  EXPECT_EQ(p.active_processors(), 1);
+  ASSERT_EQ(p.senders().size(), 1u);
+  EXPECT_EQ(p.senders()[0], 7);
+  ASSERT_EQ(p.receivers().size(), 1u);
+  EXPECT_EQ(p.receivers()[0], 7);
+  EXPECT_EQ(p.send_count(7), 1);
+  EXPECT_EQ(p.receive_count(7), 1);
+  ASSERT_EQ(p.sends_of(7).size(), 1u);
+  EXPECT_TRUE(p.sends_of(3).empty());
+  EXPECT_TRUE(p.sends_of(1023).empty());
+}
+
+TEST(CommPattern, NonPowerOfTwoProcs) {
+  const int procs = 1000;
+  CommPattern p(procs);
+  for (int q = procs - 1; q >= 0; q -= 7) p.add(q, (q * 13 + 5) % procs, 4);
+  // Adds arrived in DESCENDING sender order: canonicalisation must sort.
+  const auto msgs = p.messages();
+  ASSERT_EQ(msgs.size(), p.size());
+  for (std::size_t i = 1; i < msgs.size(); ++i) {
+    EXPECT_LE(msgs[i - 1].src, msgs[i].src);
+  }
+  EXPECT_EQ(p.max_sent(), 1);
+  EXPECT_EQ(static_cast<std::size_t>(p.senders().size()), p.size());
+}
+
+TEST(CommPattern, MillionProcessorSparsePattern) {
+  const int procs = 1 << 20;
+  CommPattern p(procs);
+  p.add(0, procs - 1, 8);
+  p.add(procs / 2, 3, 4);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.active_processors(), 4);
+  const auto msgs = p.messages();
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0].src, 0);
+  EXPECT_EQ(msgs[1].src, procs / 2);
+  EXPECT_EQ(p.h_degree(), 1);
+  EXPECT_TRUE(p.is_partial_permutation());
+  // clear() is O(active): the pattern is immediately reusable.
+  p.clear();
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.send_count(0), 0);
+  EXPECT_EQ(p.receive_count(3), 0);
+  p.add(5, 6, 4);
+  ASSERT_EQ(p.senders().size(), 1u);
+  EXPECT_EQ(p.senders()[0], 5);
+}
+
+TEST(CommPattern, CanonicalOrderIsStableWithinSender) {
+  CommPattern p(8);
+  p.add(3, 1, 4);
+  p.add(0, 2, 4);
+  p.add(3, 5, 8);
+  p.add(0, 0, 4);
+  const auto msgs = p.messages();
+  ASSERT_EQ(msgs.size(), 4u);
+  // Ascending sender, queue order preserved within each sender.
+  EXPECT_EQ(msgs[0], (Message{0, 2, 4}));
+  EXPECT_EQ(msgs[1], (Message{0, 0, 4}));
+  EXPECT_EQ(msgs[2], (Message{3, 1, 4}));
+  EXPECT_EQ(msgs[3], (Message{3, 5, 8}));
+  ASSERT_EQ(p.sends_of(0).size(), 2u);
+  EXPECT_EQ(p.sends_of(3)[1].dst, 5);
 }
 
 TEST(Patterns, BitFlipIsFullPermutationPerRound) {

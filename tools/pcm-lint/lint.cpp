@@ -180,6 +180,11 @@ void check_float_time(const std::string& rel_path,
 /// ones; same-layer includes are fine (audit and net are mutually aware by
 /// design, which is why they share a layer). Directories the map does not
 /// know (new subsystems) are skipped rather than guessed at.
+///
+/// sim is the arena/SoA scratch floor: sim::Arena, sim::ClockSet and the
+/// RNG are the allocation-free hot-loop substrate every router builds on,
+/// so sim must never include the subsystems (net, machines, ...) that carve
+/// scratch out of it.
 int layer_of(const std::string& dir) {
   if (dir == "sim") return 0;
   if (dir == "report") return 1;

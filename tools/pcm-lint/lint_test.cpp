@@ -323,6 +323,26 @@ TEST(IncludeLayer, ObsSitsBesideNet) {
                   "src/obs/x.cpp", 1, "include-layer"));
 }
 
+TEST(IncludeLayer, ArenaScratchLayerStaysAtBottom) {
+  // The arena/SoA scratch layer (src/sim) is the floor of the DAG: routers
+  // carve per-superstep scratch out of sim::Arena, so sim itself must never
+  // look upward at the subsystems that consume it.
+  EXPECT_TRUE(of_rule(lint_file("src/net/x.cpp",
+                                "#include \"sim/arena.hpp\"\n"),
+                      "include-layer")
+                  .empty());
+  EXPECT_TRUE(of_rule(lint_file("src/sim/arena_extra.hpp",
+                                "#include \"sim/clockset.hpp\"\n"),
+                      "include-layer")
+                  .empty());
+  EXPECT_TRUE(has(lint_file("src/sim/x.cpp",
+                            "#include \"net/pattern.hpp\"\n"),
+                  "src/sim/x.cpp", 1, "include-layer"));
+  EXPECT_TRUE(has(lint_file("src/sim/x.cpp",
+                            "#include \"machines/machine.hpp\"\n"),
+                  "src/sim/x.cpp", 1, "include-layer"));
+}
+
 TEST(IncludeLayer, TopLayersMayReachDown) {
   const std::string src =
       "#include \"core/registry.hpp\"\n"
@@ -388,7 +408,10 @@ TEST(FixtureTree, EveryViolationClassCaught) {
 
   EXPECT_TRUE(has(diags, "src/net/bad_layering.cpp", 8, "include-layer"));
   EXPECT_TRUE(has(diags, "src/net/bad_layering.cpp", 9, "include-layer"));
-  EXPECT_EQ(of_rule(diags, "include-layer").size(), 2u);  // line 10 suppressed
+  EXPECT_TRUE(has(diags, "src/sim/bad_arena_upward.cpp", 7, "include-layer"));
+  EXPECT_TRUE(has(diags, "src/sim/bad_arena_upward.cpp", 8, "include-layer"));
+  // 4 total: one line in each fixture is suppressed.
+  EXPECT_EQ(of_rule(diags, "include-layer").size(), 4u);
 
   // Raw strings in every prefix form are data, not code.
   for (const auto& d : diags) {

@@ -1,0 +1,11 @@
+// Fixture: the arena/SoA scratch layer (src/sim) reaching up the layer
+// order. The hot-loop allocator must stay ignorant of what it allocates
+// for: both backward edges must be flagged; the suppressed one must not.
+
+#include "sim/arena.hpp"
+#include "sim/clockset.hpp"
+#include "net/pattern.hpp"
+#include "machines/machine.hpp"
+#include "runtime/exchange.hpp"  // pcm-lint:allow(include-layer)
+
+int sim_bad_arena_upward_anchor = 0;

@@ -93,27 +93,6 @@ void CommPattern::clear() {
   canonical_is_stage_ = true;
 }
 
-std::vector<Message> CommPattern::flatten() const {
-  const auto all = messages();
-  return {all.begin(), all.end()};
-}
-
-std::vector<int> CommPattern::receive_counts() const {
-  std::vector<int> rc(static_cast<std::size_t>(procs_), 0);
-  for (const int r : receivers_) {
-    rc[static_cast<std::size_t>(r)] = recv_count_[static_cast<std::size_t>(r)];
-  }
-  return rc;
-}
-
-std::vector<int> CommPattern::send_counts() const {
-  std::vector<int> sc(static_cast<std::size_t>(procs_), 0);
-  for (const int s : senders_) {
-    sc[static_cast<std::size_t>(s)] = send_count_[static_cast<std::size_t>(s)];
-  }
-  return sc;
-}
-
 int CommPattern::max_sent() const {
   int mx = 0;
   for (const int s : senders_) {

@@ -76,14 +76,9 @@ class CommPattern {
 
   void clear();
 
-  // --- deprecated copying accessors (use the span views above) -------------
-
-  [[deprecated("iterate messages() — same order, no copy")]] [[nodiscard]]
-  std::vector<Message> flatten() const;
-  [[deprecated("use receive_count(p) / receivers()")]] [[nodiscard]]
-  std::vector<int> receive_counts() const;
-  [[deprecated("use send_count(p) / senders()")]] [[nodiscard]]
-  std::vector<int> send_counts() const;
+  // The copying accessors flatten()/receive_counts()/send_counts() completed
+  // their deprecation cycle and are gone; the span views above are the only
+  // surface. pcm-lint's deprecated-api rule keeps them from creeping back.
 
   // --- analysis (paper Section 2); all O(active) ---------------------------
 

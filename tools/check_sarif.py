@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Structural validator for pcm-lint's SARIF 2.1.0 output.
+
+Stdlib-only (CI runners have no jsonschema package): checks the subset of
+the SARIF 2.1.0 schema that GitHub code scanning and the baseline workflow
+actually consume — top-level $schema/version, the driver's rule table, and
+every result's ruleId / message / location / fingerprint / baselineState.
+
+Usage: check_sarif.py LOG.sarif
+Exits 0 when the log conforms, 1 with one line per violation otherwise.
+"""
+
+import json
+import sys
+
+ERRORS = []
+
+
+def err(msg):
+    ERRORS.append(msg)
+
+
+def expect(cond, msg):
+    if not cond:
+        err(msg)
+    return cond
+
+
+def check_driver(driver):
+    expect(isinstance(driver.get("name"), str) and driver["name"],
+           "tool.driver.name must be a non-empty string")
+    rules = driver.get("rules")
+    if not expect(isinstance(rules, list) and rules,
+                  "tool.driver.rules must be a non-empty array"):
+        return set()
+    ids = set()
+    for i, rule in enumerate(rules):
+        rid = rule.get("id")
+        if not expect(isinstance(rid, str) and rid,
+                      f"rules[{i}].id must be a non-empty string"):
+            continue
+        expect(rid not in ids, f"duplicate rule id '{rid}'")
+        ids.add(rid)
+        short = rule.get("shortDescription", {})
+        expect(isinstance(short, dict) and isinstance(short.get("text"), str),
+               f"rules[{i}].shortDescription.text must be a string")
+    return ids
+
+
+def check_result(i, result, rule_ids):
+    rid = result.get("ruleId")
+    if expect(isinstance(rid, str) and rid,
+              f"results[{i}].ruleId must be a non-empty string"):
+        expect(rid in rule_ids,
+               f"results[{i}].ruleId '{rid}' is not declared in the rule table")
+    expect(result.get("level") in ("none", "note", "warning", "error"),
+           f"results[{i}].level must be a SARIF level")
+    message = result.get("message", {})
+    expect(isinstance(message, dict) and isinstance(message.get("text"), str)
+           and message["text"],
+           f"results[{i}].message.text must be a non-empty string")
+
+    locations = result.get("locations")
+    if expect(isinstance(locations, list) and locations,
+              f"results[{i}].locations must be a non-empty array"):
+        phys = locations[0].get("physicalLocation", {})
+        art = phys.get("artifactLocation", {})
+        expect(isinstance(art.get("uri"), str) and art["uri"],
+               f"results[{i}] artifactLocation.uri must be a non-empty string")
+        region = phys.get("region", {})
+        start = region.get("startLine")
+        expect(isinstance(start, int) and start >= 1,
+               f"results[{i}] region.startLine must be a positive integer")
+
+    fps = result.get("partialFingerprints")
+    if expect(isinstance(fps, dict) and fps,
+              f"results[{i}].partialFingerprints must be a non-empty object"):
+        for key, value in fps.items():
+            expect(isinstance(value, str) and value,
+                   f"results[{i}].partialFingerprints['{key}'] must be a "
+                   "non-empty string")
+
+    state = result.get("baselineState")
+    if state is not None:
+        expect(state in ("new", "unchanged", "updated", "absent"),
+               f"results[{i}].baselineState '{state}' is not a SARIF state")
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip().splitlines()[-2].strip())
+        return 2
+    try:
+        with open(argv[1], "rb") as fh:
+            log = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"check_sarif: cannot parse {argv[1]}: {exc}")
+        return 1
+
+    expect(log.get("version") == "2.1.0", "version must be '2.1.0'")
+    schema = log.get("$schema", "")
+    expect(isinstance(schema, str) and "sarif-2.1.0" in schema,
+           "$schema must reference sarif-2.1.0")
+    runs = log.get("runs")
+    if expect(isinstance(runs, list) and runs, "runs must be a non-empty array"):
+        for run in runs:
+            driver = run.get("tool", {}).get("driver", {})
+            rule_ids = check_driver(driver)
+            results = run.get("results")
+            if expect(isinstance(results, list),
+                      "run.results must be an array (may be empty)"):
+                for i, result in enumerate(results):
+                    check_result(i, result, rule_ids)
+
+    if ERRORS:
+        for msg in ERRORS:
+            print(f"check_sarif: {msg}")
+        print(f"check_sarif: {len(ERRORS)} violation(s) in {argv[1]}")
+        return 1
+    n = sum(len(r.get("results", [])) for r in log["runs"])
+    print(f"check_sarif: OK ({n} result(s), "
+          f"{len(log['runs'])} run(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

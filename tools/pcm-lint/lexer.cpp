@@ -1,0 +1,120 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace pcm::lint::lexer {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// The multi-character punctuators recognised as single tokens, longest
+/// first. Only operators the semantic passes care to distinguish are here;
+/// everything else falls back to single characters, which is fine for the
+/// narrow patterns the rules match.
+constexpr const char* kPuncts[] = {
+    "->*", "<<=", ">>=", "...", "::", "->", "++", "--", "<<", ">>",
+    "<=",  ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=", "/=",
+    "%=",  "|=",  "&=",  "^=",  ".*",
+};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& stripped) {
+  std::vector<Token> out;
+  const std::size_t n = stripped.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen on this line so far
+
+  while (i < n) {
+    const char c = stripped[i];
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Backslash-newline splice: whitespace, but the physical line advances.
+    if (c == '\\' && i + 1 < n &&
+        (stripped[i + 1] == '\n' ||
+         (stripped[i + 1] == '\r' && i + 2 < n && stripped[i + 2] == '\n'))) {
+      i += (stripped[i + 1] == '\n') ? 2 : 3;
+      ++line;
+      continue;
+    }
+    // Preprocessor directive: swallow to end of line, honouring
+    // backslash continuations so a multi-line #define stays invisible.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (stripped[i] == '\\' && i + 1 < n && stripped[i + 1] == '\n') {
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (stripped[i] == '\n') break;  // the newline loop above counts it
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && is_ident_char(stripped[j])) ++j;
+      out.push_back({Tok::Ident, stripped.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (is_digit(c) || (c == '.' && i + 1 < n && is_digit(stripped[i + 1]))) {
+      // pp-number: digits, idents, dots, and exponent signs.
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = stripped[j];
+        if (is_ident_char(d) || d == '.') {
+          ++j;
+        } else if ((d == '+' || d == '-') &&
+                   (stripped[j - 1] == 'e' || stripped[j - 1] == 'E' ||
+                    stripped[j - 1] == 'p' || stripped[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      out.push_back({Tok::Number, stripped.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Multi-char punctuator?
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      std::size_t len = 0;
+      while (p[len] != '\0') ++len;
+      if (stripped.compare(i, len, p) == 0) {
+        out.push_back({Tok::Punct, p, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    out.push_back({Tok::Punct, std::string(1, c), line});
+    ++i;
+  }
+  out.push_back({Tok::End, "", line});
+  return out;
+}
+
+}  // namespace pcm::lint::lexer

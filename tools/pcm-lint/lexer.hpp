@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+// pcm::lint::lexer — the token stream the semantic passes (sema.hpp) are
+// built on. Input is the *stripped* text of a translation unit (comments and
+// string/char literals already blanked by strip_comments_and_strings), so
+// the lexer only ever sees code.
+//
+// Design points:
+//   - Line numbers are preserved: every token carries the 1-based physical
+//     line it starts on, so diagnostics derived from tokens land exactly
+//     where a per-line scanner would put them.
+//   - Preprocessor directives are skipped entirely (including backslash
+//     continuations): a `#define` with an unbalanced `{` must not derail the
+//     sema pass's brace matching, and the include-layer rule reads the raw
+//     lines anyway.
+//   - Backslash-newline splices inside code are consumed as whitespace, as
+//     the phase-2 translation the real compiler performs.
+//   - Multi-character punctuators that matter to the semantic passes are
+//     single tokens (`::` `->` `==` ...), so `a == b` can never be mistaken
+//     for an assignment to `a`.
+
+namespace pcm::lint::lexer {
+
+enum class Tok {
+  Ident,   ///< identifier or keyword
+  Number,  ///< numeric literal (pp-number: starts with digit or .digit)
+  Punct,   ///< operator / punctuator
+  End,     ///< one-past-last sentinel (text empty)
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;
+  int line = 0;  ///< 1-based physical line the token starts on.
+};
+
+/// Tokenise stripped source. The returned vector always ends with one
+/// Tok::End sentinel carrying the last line number, so lookahead never
+/// needs a bounds check.
+[[nodiscard]] std::vector<Token> lex(const std::string& stripped);
+
+}  // namespace pcm::lint::lexer

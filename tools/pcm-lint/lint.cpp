@@ -2,10 +2,17 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
+#include <cstdio>
 #include <fstream>
+#include <map>
 #include <regex>
 #include <set>
 #include <sstream>
+
+#include "callgraph.hpp"
+#include "lexer.hpp"
+#include "sema.hpp"
 
 namespace pcm::lint {
 
@@ -202,8 +209,35 @@ constexpr const char* kLayerOrder =
     "sim -> report -> audit/net/race/obs/core/fault -> machines -> "
     "models/runtime -> algos/predict/calibrate -> vendor/exec";
 
+/// A physical-line run spliced at backslash-newlines into one logical line,
+/// remembering where it started so diagnostics land on the directive.
+struct LogicalLine {
+  std::string text;
+  int first_line = 0;
+};
+
+std::vector<LogicalLine> join_continuations(
+    const std::vector<std::string>& raw_lines) {
+  auto continued = [](std::string* s) {
+    if (!s->empty() && s->back() == '\r') s->pop_back();
+    if (s->empty() || s->back() != '\\') return false;
+    s->pop_back();
+    return true;
+  };
+  std::vector<LogicalLine> out;
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    LogicalLine ll{raw_lines[i], static_cast<int>(i) + 1};
+    while (continued(&ll.text) && i + 1 < raw_lines.size()) {
+      ll.text += raw_lines[++i];
+    }
+    out.push_back(std::move(ll));
+  }
+  return out;
+}
+
 /// Scans the *raw* lines: stripping blanks string contents, and an #include
-/// target is a string.
+/// target is a string. Logical lines, not physical — `#include \<newline>
+/// "machines/x.hpp"` is one directive and must not dodge the rule.
 void check_include_layer(const std::string& rel_path,
                          const std::vector<std::string>& raw_lines,
                          std::vector<Diagnostic>* out) {
@@ -215,9 +249,9 @@ void check_include_layer(const std::string& rel_path,
   if (own_layer < 0) return;
 
   static const std::regex inc_re(R"(^\s*#\s*include\s*"([^"]+)\")");
-  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+  for (const LogicalLine& ll : join_continuations(raw_lines)) {
     std::smatch m;
-    if (!std::regex_search(raw_lines[i], m, inc_re)) continue;
+    if (!std::regex_search(ll.text, m, inc_re)) continue;
     const std::string target = m[1].str();
     const auto slash = target.find('/');
     if (slash == std::string::npos) continue;  // not a subsystem include
@@ -225,7 +259,7 @@ void check_include_layer(const std::string& rel_path,
     const int target_layer = layer_of(target_dir);
     if (target_layer < 0 || target_layer <= own_layer) continue;
     out->push_back(
-        {rel_path, static_cast<int>(i) + 1, "include-layer",
+        {rel_path, ll.first_line, "include-layer",
          "src/" + own_dir + "/ (layer " + std::to_string(own_layer) +
              ") includes \"" + target + "\" from src/" + target_dir +
              "/ (layer " + std::to_string(target_layer) +
@@ -406,9 +440,23 @@ std::string strip_comments_and_strings(const std::string& src) {
         }
         break;
       case State::LineComment:
-        if (c == '\n') state = State::Code;
-        blank(c);
-        ++i;
+        // A backslash-newline splices the next physical line into the
+        // comment (phase-2 translation); without this the continuation's
+        // text would leak into the token stream as code.
+        if (c == '\\' && (next == '\n' ||
+                          (next == '\r' && i + 2 < n && src[i + 2] == '\n'))) {
+          blank(c);
+          blank(next);
+          i += 2;
+          if (next == '\r') {
+            blank(src[i]);
+            ++i;
+          }
+        } else {
+          if (c == '\n') state = State::Code;
+          blank(c);
+          ++i;
+        }
         break;
       case State::BlockComment:
         if (c == '*' && next == '/') {
@@ -460,12 +508,28 @@ std::string strip_comments_and_strings(const std::string& src) {
   return out;
 }
 
-std::vector<Diagnostic> lint_file(const std::string& rel_path,
-                                  const std::string& contents) {
+namespace {
+
+/// Everything the multi-pass pipeline learns about one file: the raw and
+/// stripped line views (line rules), the parsed TU (flow rules + call
+/// graph) and this file's suppressions (applied to cross-TU findings too).
+struct FileAnalysis {
+  std::string rel_path;
+  std::vector<std::string> stripped_lines;
+  Suppressions sup;
+  sema::TranslationUnit tu;
+  std::vector<Diagnostic> diags;  ///< per-file findings, unfiltered
+};
+
+FileAnalysis analyze_file(const std::string& rel_path,
+                          const std::string& contents) {
+  FileAnalysis fa;
+  fa.rel_path = rel_path;
   const auto raw_lines = split_lines(contents);
-  const auto sup = scan_suppressions(raw_lines);
+  fa.sup = scan_suppressions(raw_lines);
   const std::string stripped = strip_comments_and_strings(contents);
-  const auto lines = split_lines(stripped);
+  fa.stripped_lines = split_lines(stripped);
+  const auto& lines = fa.stripped_lines;
 
   const bool in_src = starts_with(rel_path, "src/");
   const bool in_exec = starts_with(rel_path, "src/exec/");
@@ -479,29 +543,116 @@ std::vector<Diagnostic> lint_file(const std::string& rel_path,
                            starts_with(rel_path, "src/machines/") ||
                            starts_with(rel_path, "src/sim/");
 
-  std::vector<Diagnostic> found;
-  if (!in_exec && !in_tools) check_wallclock(rel_path, lines, &found);
-  if (order_sensitive) check_unordered_iteration(rel_path, lines, &found);
-  if (timing_core) check_float_time(rel_path, lines, &found);
-  if (in_src && is_header) check_assert_in_header(rel_path, lines, &found);
+  auto* found = &fa.diags;
+  if (!in_exec && !in_tools) check_wallclock(rel_path, lines, found);
+  if (order_sensitive) check_unordered_iteration(rel_path, lines, found);
+  if (timing_core) check_float_time(rel_path, lines, found);
+  if (in_src && is_header) check_assert_in_header(rel_path, lines, found);
   if (in_src && is_header && !starts_with(rel_path, "src/obs/")) {
-    check_metric_in_header(rel_path, lines, &found);
+    check_metric_in_header(rel_path, lines, found);
   }
-  if (in_src && !in_exec) check_bare_catch(rel_path, stripped, &found);
+  if (in_src && !in_exec) check_bare_catch(rel_path, stripped, found);
   // Include targets are strings, so this rule reads the raw lines.
-  if (in_src) check_include_layer(rel_path, raw_lines, &found);
+  if (in_src) check_include_layer(rel_path, raw_lines, found);
 
-  std::vector<Diagnostic> kept;
-  for (auto& d : found) {
-    if (!sup.allows(d.line, d.rule)) kept.push_back(std::move(d));
+  // Flow-aware per-TU passes on the lexed/parsed stream. The parse is also
+  // what the cross-TU determinism-taint pass links, so it always runs.
+  fa.tu = sema::parse(rel_path, lexer::lex(stripped));
+  sema::check_span_invalidation(fa.tu, found);
+  if (in_src) sema::check_arena_escape(fa.tu, found);
+  // check_dense_scan scopes itself to src/net + src/machines hot functions.
+  sema::check_dense_scan(fa.tu, found);
+  if (!in_tools) sema::check_deprecated_api(fa.tu, found);
+  return fa;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
   }
-  return kept;
+  h ^= 0xff;  // field separator so adjacent fields cannot alias
+  h *= 1099511628211ull;
+  return h;
+}
+
+/// Content-addressed identity: file + rule + the stripped source line with
+/// all whitespace removed + occurrence index (disambiguating identical
+/// lines). Deliberately excludes the line *number*, so findings survive
+/// unrelated code motion and baselines don't churn.
+void assign_fingerprints(const std::map<std::string, const FileAnalysis*>& by_path,
+                         std::vector<Diagnostic>* diags) {
+  std::map<std::string, int> occurrence;
+  for (Diagnostic& d : *diags) {
+    std::string content;
+    const auto it = by_path.find(d.file);
+    if (it != by_path.end() && d.line >= 1 &&
+        d.line <= static_cast<int>(it->second->stripped_lines.size())) {
+      for (const char c : it->second->stripped_lines[d.line - 1]) {
+        if (std::isspace(static_cast<unsigned char>(c)) == 0) content += c;
+      }
+    }
+    const std::string key = d.file + '\0' + d.rule + '\0' + content;
+    const int index = occurrence[key]++;
+    std::uint64_t h = 1469598103934665603ull;
+    h = fnv1a(h, d.file);
+    h = fnv1a(h, d.rule);
+    h = fnv1a(h, content);
+    h = fnv1a(h, std::to_string(index));
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    d.fingerprint = buf;
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> lint_files(const std::vector<FileContent>& files) {
+  std::vector<FileAnalysis> analyses;
+  analyses.reserve(files.size());
+  for (const auto& f : files) analyses.push_back(analyze_file(f.rel_path, f.contents));
+
+  // Link the call graph across every TU and run the taint propagation.
+  std::vector<sema::TranslationUnit> tus;
+  tus.reserve(analyses.size());
+  for (auto& fa : analyses) tus.push_back(fa.tu);
+  auto taint = callgraph::determinism_taint(tus);
+
+  std::map<std::string, const FileAnalysis*> by_path;
+  for (const auto& fa : analyses) by_path[fa.rel_path] = &fa;
+
+  std::vector<Diagnostic> all;
+  for (auto& fa : analyses) {
+    for (auto& d : fa.diags) {
+      if (!fa.sup.allows(d.line, d.rule)) all.push_back(std::move(d));
+    }
+  }
+  for (auto& d : taint) {
+    const auto it = by_path.find(d.file);
+    if (it != by_path.end() && it->second->sup.allows(d.line, d.rule)) continue;
+    all.push_back(std::move(d));
+  }
+
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+  assign_fingerprints(by_path, &all);
+  return all;
+}
+
+std::vector<Diagnostic> lint_file(const std::string& rel_path,
+                                  const std::string& contents) {
+  return lint_files({{rel_path, contents}});
 }
 
 std::vector<Diagnostic> lint_tree(const std::filesystem::path& root,
                                   const std::vector<std::string>& subdirs) {
   namespace fs = std::filesystem;
-  std::vector<fs::path> files;
+  std::vector<fs::path> paths;
   for (const auto& sub : subdirs) {
     const fs::path dir = root / sub;
     if (!fs::exists(dir)) continue;
@@ -509,29 +660,22 @@ std::vector<Diagnostic> lint_tree(const std::filesystem::path& root,
       if (!entry.is_regular_file()) continue;
       const auto ext = entry.path().extension().string();
       if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
-        files.push_back(entry.path());
+        paths.push_back(entry.path());
       }
     }
   }
-  std::sort(files.begin(), files.end());
+  std::sort(paths.begin(), paths.end());
 
-  std::vector<Diagnostic> all;
-  for (const auto& f : files) {
-    std::ifstream in(f, std::ios::binary);
+  std::vector<FileContent> files;
+  files.reserve(paths.size());
+  for (const auto& p : paths) {
+    std::ifstream in(p, std::ios::binary);
     std::ostringstream buf;
     buf << in.rdbuf();
-    const std::string rel =
-        fs::relative(f, root).generic_string();  // forward slashes
-    auto diags = lint_file(rel, buf.str());
-    all.insert(all.end(), std::make_move_iterator(diags.begin()),
-               std::make_move_iterator(diags.end()));
+    files.push_back(
+        {fs::relative(p, root).generic_string(), buf.str()});  // fwd slashes
   }
-  std::stable_sort(all.begin(), all.end(),
-                   [](const Diagnostic& a, const Diagnostic& b) {
-                     if (a.file != b.file) return a.file < b.file;
-                     return a.line < b.line;
-                   });
-  return all;
+  return lint_files(files);
 }
 
 }  // namespace pcm::lint

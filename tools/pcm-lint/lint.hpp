@@ -4,7 +4,15 @@
 #include <string>
 #include <vector>
 
-// pcm-lint: a token/regex-level determinism linter for the simulator tree.
+// pcm-lint v2: a multi-pass semantic determinism linter for the simulator
+// tree.
+//
+// The front end strips comments/strings (preserving line structure and
+// handling backslash continuations), lexes each file into a token stream
+// (lexer.hpp), extracts function definitions and call sequences per TU
+// (sema.hpp), and links a repo-wide call graph across TUs (callgraph.hpp).
+// Line-local rules run on the stripped lines; flow-aware rules run on the
+// parsed TUs and the call graph.
 //
 // The reproduction's whole value rests on runs being bit-identical across
 // --jobs values and machines, so the linter rejects the constructs that have
@@ -59,6 +67,16 @@ struct Diagnostic {
   int line = 0;      ///< 1-based.
   std::string rule;
   std::string message;
+  /// Content-addressed identity: FNV-1a over (file, rule, the stripped
+  /// source line with whitespace collapsed, occurrence index). Stable across
+  /// unrelated code motion, so baselines don't churn on line-number shifts.
+  std::string fingerprint;
+};
+
+/// One file handed to the linter: repo-relative forward-slash path + bytes.
+struct FileContent {
+  std::string rel_path;
+  std::string contents;
 };
 
 /// Replace comments and string/char literals (including raw strings, in
@@ -67,9 +85,16 @@ struct Diagnostic {
 [[nodiscard]] std::string strip_comments_and_strings(const std::string& src);
 
 /// Lint one file's contents. `rel_path` decides which rules apply and must
-/// use forward slashes (e.g. "src/net/mesh_router.cpp").
+/// use forward slashes (e.g. "src/net/mesh_router.cpp"). Cross-TU analysis
+/// (determinism-taint) sees only this one TU.
 [[nodiscard]] std::vector<Diagnostic> lint_file(const std::string& rel_path,
                                                 const std::string& contents);
+
+/// Lint a set of files as one program: per-file rules plus the cross-TU
+/// call-graph pass. Diagnostics are suppression-filtered, fingerprinted and
+/// ordered by (file, line).
+[[nodiscard]] std::vector<Diagnostic> lint_files(
+    const std::vector<FileContent>& files);
 
 /// Walk `subdirs` under `root`, lint every *.hpp / *.cpp, and return all
 /// diagnostics ordered by (file, line). Missing subdirs are skipped.

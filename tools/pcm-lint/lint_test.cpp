@@ -410,8 +410,10 @@ TEST(FixtureTree, EveryViolationClassCaught) {
   EXPECT_TRUE(has(diags, "src/net/bad_layering.cpp", 9, "include-layer"));
   EXPECT_TRUE(has(diags, "src/sim/bad_arena_upward.cpp", 7, "include-layer"));
   EXPECT_TRUE(has(diags, "src/sim/bad_arena_upward.cpp", 8, "include-layer"));
-  // 4 total: one line in each fixture is suppressed.
-  EXPECT_EQ(of_rule(diags, "include-layer").size(), 4u);
+  // 5 total: one line in each of the two dedicated fixtures is suppressed,
+  // and the line-continuation fixture hides one backward edge behind a
+  // spliced #include (sema_test.cpp asserts its exact line).
+  EXPECT_EQ(of_rule(diags, "include-layer").size(), 5u);
 
   // Raw strings in every prefix form are data, not code.
   for (const auto& d : diags) {

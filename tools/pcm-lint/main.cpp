@@ -1,28 +1,62 @@
 // pcm-lint CLI. Usage:
 //
-//   pcm-lint [--root=DIR] [subdir...]
+//   pcm-lint [--root=DIR] [--sarif=FILE] [--baseline=FILE]
+//            [--write-baseline=FILE] [subdir...]
 //
 // Lints *.hpp / *.cpp under the given subdirs (default: src bench tests)
 // relative to --root (default: the current directory). Prints one
 // `file:line: [rule] message` per finding and exits 1 when anything is
 // flagged, so it slots straight into CTest / CI.
+//
+//   --sarif=FILE           also write the findings as a SARIF 2.1.0 log
+//                          ("-" for stdout instead of the text report).
+//   --baseline=FILE        read accepted fingerprints; known findings are
+//                          still printed (marked "baseline") but only *new*
+//                          findings fail the run.
+//   --write-baseline=FILE  write the current findings as the new baseline
+//                          and exit 0 (the accept-current-state workflow).
 
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <optional>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "lint.hpp"
+#include "sarif.hpp"
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::filesystem::path root = std::filesystem::current_path();
   std::vector<std::string> subdirs;
+  std::string sarif_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--root=", 0) == 0) {
       root = arg.substr(7);
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(8);
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg.rfind("--write-baseline=", 0) == 0) {
+      write_baseline_path = arg.substr(17);
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: pcm-lint [--root=DIR] [subdir...]\n"
+      std::cout << "usage: pcm-lint [--root=DIR] [--sarif=FILE] "
+                   "[--baseline=FILE] [--write-baseline=FILE] [subdir...]\n"
                    "lints *.hpp/*.cpp for determinism hazards; default "
                    "subdirs: src bench tests\n";
       return 0;
@@ -40,14 +74,55 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto diags = pcm::lint::lint_tree(root, subdirs);
-  for (const auto& d : diags) {
-    std::cout << d.file << ":" << d.line << ": [" << d.rule << "] "
-              << d.message << "\n";
+  std::optional<std::set<std::string>> baseline;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "pcm-lint: cannot read baseline '" << baseline_path
+                << "'\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    baseline = pcm::lint::parse_baseline(buf.str());
   }
-  if (!diags.empty()) {
-    std::cout << "pcm-lint: " << diags.size() << " finding"
-              << (diags.size() == 1 ? "" : "s") << "\n";
+
+  const auto diags = pcm::lint::lint_tree(root, subdirs);
+
+  if (!write_baseline_path.empty()) {
+    if (!write_file(write_baseline_path, pcm::lint::format_baseline(diags))) {
+      std::cerr << "pcm-lint: cannot write baseline '" << write_baseline_path
+                << "'\n";
+      return 2;
+    }
+    std::cout << "pcm-lint: wrote " << diags.size() << " finding"
+              << (diags.size() == 1 ? "" : "s") << " to baseline "
+              << write_baseline_path << "\n";
+    return 0;
+  }
+
+  if (!sarif_path.empty()) {
+    const std::string sarif = pcm::lint::to_sarif(
+        diags, baseline ? &*baseline : nullptr);
+    if (sarif_path == "-") {
+      std::cout << sarif;
+    } else if (!write_file(sarif_path, sarif)) {
+      std::cerr << "pcm-lint: cannot write SARIF '" << sarif_path << "'\n";
+      return 2;
+    }
+  }
+
+  std::size_t fresh = 0;
+  for (const auto& d : diags) {
+    const bool known = baseline && baseline->count(d.fingerprint) > 0;
+    if (!known) ++fresh;
+    if (sarif_path == "-") continue;  // the SARIF log *is* the report
+    std::cout << d.file << ":" << d.line << ": [" << d.rule << "] "
+              << d.message << (known ? " (baseline)" : "") << "\n";
+  }
+  if (fresh > 0) {
+    std::cout << "pcm-lint: " << fresh << (baseline ? " new" : "")
+              << " finding" << (fresh == 1 ? "" : "s") << "\n";
     return 1;
   }
   return 0;

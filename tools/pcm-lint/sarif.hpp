@@ -1,0 +1,36 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+// SARIF 2.1.0 output + the baseline workflow.
+//
+// The SARIF log carries one run of the `pcm-lint` driver with a static rule
+// table (every rule id that can fire, with a short description) and one
+// result per diagnostic. Each result carries:
+//   - partialFingerprints.pcmLint/v1 — the content-addressed fingerprint
+//     (hash of file, rule and the *stripped* source line, so findings track
+//     code motion across unrelated edits),
+//   - baselineState — "new" or "unchanged" when a baseline is supplied, so
+//     CI annotates PRs on new findings only.
+//
+// The baseline file is one fingerprint per line ('#' comments and blanks
+// ignored); regenerate with `pcm-lint --write-baseline=FILE`.
+
+namespace pcm::lint {
+
+/// Serialise diagnostics as a SARIF 2.1.0 log. `baseline` (may be null)
+/// marks results "unchanged" vs "new".
+[[nodiscard]] std::string to_sarif(const std::vector<Diagnostic>& diags,
+                                   const std::set<std::string>* baseline);
+
+/// Parse a baseline file's contents into the fingerprint set.
+[[nodiscard]] std::set<std::string> parse_baseline(const std::string& text);
+
+/// Serialise diagnostics into baseline-file form (sorted, commented header).
+[[nodiscard]] std::string format_baseline(const std::vector<Diagnostic>& diags);
+
+}  // namespace pcm::lint

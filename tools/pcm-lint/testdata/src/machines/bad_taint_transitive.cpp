@@ -1,0 +1,30 @@
+// determinism-taint fixtures: these functions never touch a host primitive
+// directly, but their call chains reach host_entropy() in
+// src/net/taint_source.cpp. Only the cross-TU call graph can see that.
+
+namespace pcm::machines {
+
+long host_entropy();
+long seeded_value(long seed);
+
+// FIRING: one hop to the tainted helper.
+double jitter_scale() {
+  return static_cast<double>(host_entropy() % 7);
+}
+
+// FIRING: two hops (warmup_bias -> jitter_scale -> host_entropy -> time()).
+double warmup_bias() {
+  return jitter_scale() * 0.5;
+}
+
+// CLEAN: the seeded path.
+double deterministic_bias() {
+  return static_cast<double>(seeded_value(42));
+}
+
+// SUPPRESSED: an accepted edge into the taint.
+double accepted_bias() {
+  return static_cast<double>(host_entropy());  // pcm-lint:allow(determinism-taint)
+}
+
+}  // namespace pcm::machines

@@ -1,0 +1,52 @@
+// arena-escape fixtures: sim::Arena::alloc spans die at the owner's next
+// reset(), so scratch must never be parked in storage that outlives the
+// enclosing route()/reset() scope.
+
+#include "sim/arena.hpp"
+
+namespace pcm::net {
+
+struct Escapee {
+  int* scratch_ = nullptr;
+  int* raw = nullptr;
+  sim::Arena arena_;
+
+  // FIRING: stored into a member (trailing underscore).
+  void into_member() {
+    scratch_ = arena_.alloc<int>(64);
+  }
+
+  // FIRING: stored through this->.
+  void into_this(sim::Arena& a) {
+    this->raw = a.alloc<int>(8);
+  }
+
+  // FIRING: a static survives every reset.
+  int* into_static(sim::Arena& a) {
+    static int* cache = a.alloc_zeroed<int>(16);
+    return cache;
+  }
+
+  // FIRING: escapes through an out-parameter.
+  void into_out(sim::Arena& a, int** out) {
+    *out = a.alloc<int>(4);
+  }
+
+  // FIRING: escapes through a pointed-to field.
+  void into_field(sim::Arena& a, Escapee* other) {
+    other->raw = a.alloc<int>(4);
+  }
+
+  // SUPPRESSED: a deliberate, documented cache.
+  void accepted(sim::Arena& a) {
+    scratch_ = a.alloc<int>(32);  // pcm-lint:allow(arena-escape)
+  }
+
+  // CLEAN: a local span consumed before the scope ends.
+  int local_use(sim::Arena& a) {
+    auto span = a.alloc<int>(8);
+    return static_cast<int>(span.size());
+  }
+};
+
+}  // namespace pcm::net

@@ -1,0 +1,47 @@
+// dense-scan fixtures: the sparse superstep contract is O(active messages);
+// a hot router/machine path must never walk all P processors. The shapes
+// here mirror src/net/mesh_router.cpp.
+
+#include "net/pattern.hpp"
+#include "net/router.hpp"
+
+namespace pcm::net {
+
+struct ToyRouter {
+  int procs_ = 0;
+  RouterSpec spec_;
+  [[nodiscard]] int procs() const { return procs_; }
+
+  // FIRING x3: dense loops planted in the hot path.
+  void route(const CommPattern& pattern) {
+    for (int p = 0; p < procs(); ++p) {
+      (void)p;
+    }
+    int q = 0;
+    while (q < spec_.procs) {
+      ++q;
+    }
+    for (int r = 0; r < procs_; ++r) {
+      (void)r;
+    }
+    for (const int s : pattern.senders()) {  // clean: sparse iteration
+      (void)s;
+    }
+  }
+
+  // SUPPRESSED: a known-dense lock-step charge.
+  void charge_all(double us) {
+    for (int p = 0; p < procs(); ++p) {  // pcm-lint:allow(dense-scan)
+      (void)us;
+    }
+  }
+
+  // CLEAN: a dense loop outside a hot function is setup, not routing.
+  void configure() {
+    for (int p = 0; p < procs(); ++p) {
+      (void)p;
+    }
+  }
+};
+
+}  // namespace pcm::net

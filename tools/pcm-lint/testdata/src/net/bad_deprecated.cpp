@@ -1,0 +1,27 @@
+// deprecated-api fixtures: the CommPattern copying accessors were removed
+// after their deprecation cycle; the denylist keeps them from creeping back.
+
+#include "net/pattern.hpp"
+
+namespace pcm::net {
+
+long use_removed(const CommPattern& p, const CommPattern* q) {
+  auto flat = p.flatten();
+  auto sc = q->send_counts();
+  auto rc = p.receive_counts();  // pcm-lint:allow(deprecated-api)
+  long n = 0;
+  for (const auto& m : flat) (void)m, ++n;
+  (void)sc;
+  (void)rc;
+  return n;
+}
+
+// CLEAN: the span views are the sanctioned surface, and a free function
+// that happens to share a denylisted name is not a member call.
+long use_views(const CommPattern& p) {
+  long flatten = 0;
+  for (const auto& m : p.messages()) (void)m, ++flatten;
+  return flatten;
+}
+
+}  // namespace pcm::net

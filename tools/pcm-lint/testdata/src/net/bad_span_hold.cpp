@@ -1,0 +1,53 @@
+// span-invalidation fixtures: span views of CommPattern (and Arena) are
+// valid only until the next mutating/canonicalising call on the same
+// object. Nothing here needs to link; the linter only reads tokens.
+
+#include "net/pattern.hpp"
+
+namespace pcm::net {
+
+// FIRING: messages() held across add().
+long bad_hold_across_add(CommPattern& p) {
+  auto msgs = p.messages();
+  p.add(0, 1, 8);
+  return static_cast<long>(msgs.size());
+}
+
+// FIRING: senders() held across clear().
+int bad_hold_across_clear(CommPattern& p) {
+  auto s = p.senders();
+  p.clear();
+  return s.empty() ? 0 : s.front();
+}
+
+// FIRING: receivers() held across an explicit canonicalise().
+int bad_hold_across_canonicalise(CommPattern& p) {
+  auto r = p.receivers();
+  p.canonicalise();
+  return static_cast<int>(r.size());
+}
+
+// SUPPRESSED: same shape, explicitly accepted.
+long suppressed_hold(CommPattern& p) {
+  auto msgs = p.messages();
+  p.add(2, 3, 4);
+  return static_cast<long>(msgs.size());  // pcm-lint:allow(span-invalidation)
+}
+
+// CLEAN: the view is re-acquired after the mutation.
+long ok_reacquire(CommPattern& p) {
+  auto msgs = p.messages();
+  long n = static_cast<long>(msgs.size());
+  p.add(4, 5, 4);
+  msgs = p.messages();
+  return n + static_cast<long>(msgs.size());
+}
+
+// CLEAN: mutating a *different* object does not invalidate this view.
+long ok_other_object(CommPattern& p, CommPattern& q) {
+  auto msgs = p.messages();
+  q.add(0, 1, 4);
+  return static_cast<long>(msgs.size());
+}
+
+}  // namespace pcm::net

@@ -1,0 +1,14 @@
+// line-continuation fixtures: a backslash at the end of a // comment \
+   splices this physical line into the comment, so this rand() is commentary
+// and an #include may split its target across physical lines:
+
+#include \
+    "machines/machine.hpp"
+
+namespace pcm::net {
+
+int after_splices() {
+  return rand();
+}
+
+}  // namespace pcm::net

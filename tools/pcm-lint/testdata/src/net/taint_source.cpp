@@ -1,0 +1,15 @@
+// The seed of the cross-TU determinism-taint fixtures: a helper that reads
+// the host clock with the line-level wallclock rule deliberately silenced —
+// only the call-graph pass can tell its callers they are tainted.
+
+namespace pcm::net {
+
+long host_entropy() {
+  return time(nullptr);  // pcm-lint:allow(wallclock)
+}
+
+long seeded_value(long seed) {
+  return seed * 2654435761L;
+}
+
+}  // namespace pcm::net

@@ -18,7 +18,7 @@ namespace {
 // column (dy = -1: up) by `amount`, charging the xnet and moving real data.
 template <typename T>
 void rotate(machines::MasParXnetMachine& m, std::vector<std::vector<T>>& blocks,
-            int s, int amount, bool rows, int bytes) {
+            int s, int amount, bool rows, long bytes) {
   if (amount == 0) return;
   m.xnet_offset_shift(rows ? amount : 0, rows ? 0 : amount, bytes);
   std::vector<std::vector<T>> next(blocks.size());
@@ -37,7 +37,7 @@ void rotate(machines::MasParXnetMachine& m, std::vector<std::vector<T>>& blocks,
 // (rows with bit k of i set move by 2^k). Every PE pays every step (SIMD).
 template <typename T>
 void skew(machines::MasParXnetMachine& m, std::vector<std::vector<T>>& blocks,
-          int s, bool rows, int bytes) {
+          int s, bool rows, long bytes) {
   for (int step = 1; step < s; step <<= 1) {
     m.xnet_offset_shift(rows ? step : 0, rows ? 0 : step, bytes);
     std::vector<std::vector<T>> next(blocks.size());
@@ -66,7 +66,9 @@ CannonResult<T> run_cannon(machines::MasParXnetMachine& m,
   const int s = cannon_side(m);
   assert(n % s == 0 && "N must be divisible by the grid side");
   const int M = n / s;
-  const int block_bytes = M * M * static_cast<int>(sizeof(T));
+  // w*M^2 overflows int once M >= 16384/sqrt(w): widen before multiplying.
+  const long block_bytes =
+      static_cast<long>(M) * M * static_cast<long>(sizeof(T));
 
   m.reset();
 
@@ -138,7 +140,7 @@ sim::Micros predict_cannon(const machines::MasParXnetMachine& m, long n,
                            int word_bytes) {
   const int s = cannon_side(m);
   const long M = n / s;
-  const int block_bytes = static_cast<int>(M * M * word_bytes);
+  const long block_bytes = M * M * word_bytes;
   const auto& xnet = m.xnet();
   sim::Micros skew_cost = 0.0;
   for (int step = 1; step < s; step <<= 1) {

@@ -27,11 +27,11 @@ MasParXnetMachine::MasParXnetMachine(std::uint64_t seed, int procs,
               seed),
       xnet_(procs, fitted(procs, xnet_params)) {}
 
-void MasParXnetMachine::xnet_shift(int distance, int bytes) {
+void MasParXnetMachine::xnet_shift(int distance, long bytes) {
   charge_all(xnet_.shift_cost(distance, bytes) * xnet_fault_multiplier());
 }
 
-void MasParXnetMachine::xnet_offset_shift(int dx, int dy, int bytes) {
+void MasParXnetMachine::xnet_offset_shift(int dx, int dy, long bytes) {
   charge_all(xnet_.offset_cost(dx, dy, bytes) * xnet_fault_multiplier());
 }
 

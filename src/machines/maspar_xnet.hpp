@@ -23,10 +23,10 @@ class MasParXnetMachine final : public Machine {
 
   /// One SIMD xnet shift: every (active) PE moves `bytes` by `distance`
   /// hops. Lock-step: all clocks advance together.
-  void xnet_shift(int distance, int bytes);
+  void xnet_shift(int distance, long bytes);
 
   /// A shift by an arbitrary (dx, dy) offset (power-of-two decomposition).
-  void xnet_offset_shift(int dx, int dy, int bytes);
+  void xnet_offset_shift(int dx, int dy, long bytes);
 
  private:
   net::XNet xnet_;

@@ -54,6 +54,7 @@ DeltaRouter::StepCost DeltaRouter::simulate(const CommPattern& pattern) const {
   // ascending by sender, so each cluster's FIFO is a contiguous subrange of
   // the canonical span — one walk builds every queue.
   active_.clear();
+  active_.reserve(static_cast<std::size_t>(clusters_));
   for (std::size_t i = 0; i < msgs.size();) {
     if (auditing && i > 0 && msgs[i].src < msgs[i - 1].src) {
       audit::fail("packet-conservation", "delta-network",

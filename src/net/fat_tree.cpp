@@ -32,7 +32,10 @@ void FatTree::PortQueue::inc(std::int32_t sender) {
   if (it != per_sender.end() && it->first == sender) {
     ++it->second;
   } else {
-    per_sender.insert(it, {sender, 1});
+    // Sorted insert into the per-port arbitration window: bounded by the
+    // distinct senders in flight at one port, and the capacity persists
+    // across drains.
+    per_sender.insert(it, {sender, 1});  // pcm-lint:allow(hot-path-alloc)
   }
 }
 
@@ -74,6 +77,8 @@ void FatTree::route(const CommPattern& pattern, sim::ClockSet& clocks,
   // order), seeded from the ascending active-sender view.
   using Item = std::pair<sim::Micros, int>;  // (candidate injection start, src)
   heap_.clear();
+  heap_.reserve(senders.size());  // one live entry per active sender
+  touched_queues_.reserve(pattern.receivers().size());
   for (const int p : senders) {
     cursor_[static_cast<std::size_t>(p)] = 0;
     const sim::Micros cpu = std::max(cpu_avail(p), clocks.at(p));
@@ -123,7 +128,10 @@ void FatTree::route(const CommPattern& pattern, sim::ClockSet& clocks,
     const sim::Micros admission_end = admission_begin + service;
     port = admission_end;
     q.inc(m.src);
-    q.entries.emplace_back(admission_end, m.src);
+    // Pending-window append: bounded by arrivals in flight at one port,
+    // capacity persists across drains.
+    q.entries.emplace_back(  // pcm-lint:allow(hot-path-alloc)
+        admission_end, m.src);
     if (queue_stamp_[static_cast<std::size_t>(m.dst)] != queue_epoch_) {
       queue_stamp_[static_cast<std::size_t>(m.dst)] = queue_epoch_;
       touched_queues_.push_back(m.dst);

@@ -62,6 +62,9 @@ void MeshRouter::route(const CommPattern& pattern, sim::ClockSet& clocks,
 
   const auto senders = pattern.senders();
   const auto receivers = pattern.receivers();
+  // Each message claims at least one link; after the first superstep the
+  // capacity persists and claim_link() appends without allocating.
+  touched_links_.reserve(pattern.size());
 
   // Desynchronisation spread among the processors that take part in this
   // step. Excess over what PVM's buffering tolerates surcharges every

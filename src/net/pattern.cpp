@@ -26,6 +26,13 @@ void CommPattern::add(int src, int dst, int bytes) {
 
 void CommPattern::add(const Message& m) { add(m.src, m.dst, m.bytes); }
 
+void CommPattern::reserve(std::size_t expected_messages) {
+  stage_.reserve(expected_messages);
+  const auto p = static_cast<std::size_t>(procs_);
+  senders_.reserve(std::min(expected_messages, p));
+  receivers_.reserve(std::min(expected_messages, p));
+}
+
 void CommPattern::ensure_canonical() const {
   if (canonical_ready_) return;
   std::sort(senders_.begin(), senders_.end());

@@ -43,6 +43,11 @@ class CommPattern {
   void add(int src, int dst, int bytes);
   void add(const Message& m);
 
+  /// Pre-size the staging buffers for `expected_messages` add() calls so a
+  /// hot loop stages without reallocating (capacity persists across
+  /// clear()). Purely an optimisation; add() works without it.
+  void reserve(std::size_t expected_messages);
+
   /// Number of messages queued in total.
   [[nodiscard]] std::size_t size() const { return stage_.size(); }
   [[nodiscard]] bool empty() const { return stage_.empty(); }

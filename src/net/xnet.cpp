@@ -12,7 +12,7 @@ XNet::XNet(int procs, XNetParams params) : procs_(procs), params_(params) {
   assert(params_.width * params_.height == procs);
 }
 
-sim::Micros XNet::shift_cost(int distance, int bytes) const {
+sim::Micros XNet::shift_cost(int distance, long bytes) const {
   assert(distance >= 0);
   assert(bytes >= 0);
   if (audit::enabled() && (distance < 0 || bytes < 0)) {
@@ -36,7 +36,7 @@ sim::Micros XNet::shift_cost(int distance, int bytes) const {
   return cost;
 }
 
-sim::Micros XNet::offset_cost(int dx, int dy, int bytes) const {
+sim::Micros XNet::offset_cost(int dx, int dy, long bytes) const {
   // Decompose each axis offset into power-of-two shifts (set bits).
   auto axis = [&](int d) {
     sim::Micros acc = 0.0;

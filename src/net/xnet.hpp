@@ -35,12 +35,13 @@ class XNet {
 
   /// Cost of one SIMD shift moving `bytes` per active PE over `distance`
   /// hops in any of the eight directions (masking does not change the cost:
-  /// the ACU issues the same instruction stream).
-  [[nodiscard]] sim::Micros shift_cost(int distance, int bytes) const;
+  /// the ACU issues the same instruction stream). `bytes` is a long: block
+  /// algorithms pass w*M^2, which overflows int for N >= 16384 block sides.
+  [[nodiscard]] sim::Micros shift_cost(int distance, long bytes) const;
 
   /// Cost of a shift by an arbitrary offset realised as a sequence of
   /// power-of-two shifts (the standard xnetp idiom): sum over the set bits.
-  [[nodiscard]] sim::Micros offset_cost(int dx, int dy, int bytes) const;
+  [[nodiscard]] sim::Micros offset_cost(int dx, int dy, long bytes) const;
 
   /// Toroidal neighbour arithmetic for algorithms that move real data.
   [[nodiscard]] int neighbour(int pe, int dx, int dy) const;

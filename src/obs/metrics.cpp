@@ -44,8 +44,10 @@ MetricId register_metric(std::string_view name, MetricKind kind) {
     }
     return i;
   }
-  r.names.emplace_back(name);
-  r.kinds.push_back(kind);
+  // Registration happens once per metric name for the whole process, not
+  // per superstep; the hot path only ever hits the early-return above.
+  r.names.emplace_back(name);     // pcm-lint:allow(hot-path-alloc)
+  r.kinds.push_back(kind);        // pcm-lint:allow(hot-path-alloc)
   return r.names.size() - 1;
 }
 

@@ -161,6 +161,7 @@ class Exchange {
     // its element; a duplicated one arrives again after the parcel body.
     const std::size_t n = s.data.size();
     std::vector<T> dups;
+    dups.reserve(faults.duplicated.size());
     for (const auto& f : faults.duplicated) {
       if (f.src == s.src && f.qpos >= s.first_qpos &&
           f.qpos < s.first_qpos + n) {
@@ -169,6 +170,7 @@ class Exchange {
       }
     }
     std::vector<std::size_t> drops;  // ascending (injector walks in order)
+    drops.reserve(faults.dropped.size());
     for (const auto& f : faults.dropped) {
       if (f.src == s.src && f.qpos >= s.first_qpos &&
           f.qpos < s.first_qpos + n) {
@@ -179,6 +181,7 @@ class Exchange {
     for (auto it = drops.rbegin(); it != drops.rend(); ++it) {
       s.data.erase(s.data.begin() + static_cast<std::ptrdiff_t>(*it));
     }
+    s.data.reserve(s.data.size() + dups.size());
     s.data.insert(s.data.end(), dups.begin(), dups.end());
     return s.data.empty() ? 0 : 1;
   }

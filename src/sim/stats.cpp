@@ -51,7 +51,11 @@ double mean_abs_relative_error(std::span<const double> measured,
   return acc / static_cast<double>(measured.size());
 }
 
-void Accumulator::add(double x) { values_.push_back(x); }
+// Measurement-side sample sink (calibration/report), not the router hot
+// path — it only shares the simple name `add` with CommPattern::add.
+void Accumulator::add(double x) {
+  values_.push_back(x);  // pcm-lint:allow(hot-path-alloc)
+}
 
 Summary Accumulator::summary() const {
   return summarize(std::span<const double>(values_));

@@ -86,6 +86,35 @@ TEST(Cannon, PredictionTracksMeasurement) {
   EXPECT_LT(std::abs(pred - r.time) / r.time, 0.05);
 }
 
+TEST(XNet, ShiftCostSurvivesBlockSizesPastIntRange) {
+  // Regression for the int byte path: at N = 2^17 on a 32-wide grid the
+  // per-PE block is 4 * (N/32)^2 = 2^26 bytes per word... and at N = 2^20
+  // it is 4 * 32768^2 = 2^32 bytes, which wrapped the old int parameter to
+  // 0 (cost silently collapsed to t_setup + hops). The widened path must
+  // keep the cost strictly increasing in bytes.
+  net::XNet x(1024);
+  const long wrap = 1L << 32;  // == 0 as a truncated int
+  EXPECT_GT(x.shift_cost(1, wrap), x.shift_cost(1, wrap - 1024));
+  EXPECT_GT(x.shift_cost(1, wrap), 1e6);  // far above setup+hop overhead
+  EXPECT_DOUBLE_EQ(x.offset_cost(5, 0, wrap),
+                   x.shift_cost(4, wrap) + x.shift_cost(1, wrap));
+}
+
+TEST(Cannon, PredictionMonotoneAtOverflowScale) {
+  // predict_cannon is closed-form, so the overflow regime is cheap to probe:
+  // N = 2^20 on the 32x32 grid gives M = 32768 and w*M^2 = 2^32 bytes per
+  // block shift. The old int block_bytes wrapped to 0 there, making the
+  // "bigger problem" prediction *smaller* than the N = 2^19 one.
+  auto m = machines::make_maspar_xnet(9, 1024);
+  const auto t19 = algos::predict_cannon(*m, 1L << 19, 4);
+  const auto t20 = algos::predict_cannon(*m, 1L << 20, 4);
+  EXPECT_GT(t20, t19);
+  // Communication alone must also dwarf the sub-overflow case: the skew +
+  // rotation terms scale linearly in block bytes.
+  const auto t16 = algos::predict_cannon(*m, 1L << 16, 4);
+  EXPECT_GT(t20, 8.0 * t16);
+}
+
 TEST(Cannon, BeatsTheRouterBasedMatmul) {
   // The extension's headline: locality pays on the MasPar, and no
   // router-based (BSP/BPRAM-expressible) variant can match it.

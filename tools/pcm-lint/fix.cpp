@@ -1,0 +1,104 @@
+#include "fix.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pcm::lint::fix {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : s) {
+    if (c == '\n') {
+      lines.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  lines.push_back(std::move(cur));
+  return lines;
+}
+
+std::string indent_of(const std::string& line) {
+  std::size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  return line.substr(0, i);
+}
+
+}  // namespace
+
+FixStats apply_fixes(const std::filesystem::path& root,
+                     const std::vector<Diagnostic>& diags) {
+  FixStats stats;
+  std::map<std::string, std::vector<FixHint>> by_file;
+  for (const Diagnostic& d : diags) {
+    for (const FixHint& f : d.fixes) by_file[d.file].push_back(f);
+  }
+
+  for (auto& [rel, hints] : by_file) {
+    const std::filesystem::path path = root / rel;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      stats.skipped += hints.size();
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string contents = buf.str();
+    const bool had_final_newline =
+        !contents.empty() && contents.back() == '\n';
+    std::vector<std::string> lines = split_lines(contents);
+    if (had_final_newline && !lines.empty() && lines.back().empty()) {
+      lines.pop_back();
+    }
+
+    // Bottom-up, inserts after replaces on the same line, so applied edits
+    // never shift the line numbers of hints still pending.
+    std::stable_sort(hints.begin(), hints.end(),
+                     [](const FixHint& a, const FixHint& b) {
+                       if (a.line != b.line) return a.line > b.line;
+                       return a.find.empty() < b.find.empty();
+                     });
+    bool changed = false;
+    for (const FixHint& h : hints) {
+      if (h.line < 1 || h.line > static_cast<int>(lines.size())) {
+        ++stats.skipped;
+        continue;
+      }
+      std::string& target = lines[static_cast<std::size_t>(h.line - 1)];
+      if (h.find.empty()) {
+        const std::string inserted = indent_of(target) + h.replace;
+        lines.insert(lines.begin() + (h.line - 1), inserted);
+        ++stats.edits;
+        changed = true;
+        continue;
+      }
+      const std::size_t pos = target.find(h.find);
+      if (pos == std::string::npos) {
+        ++stats.skipped;
+        continue;
+      }
+      target = target.substr(0, pos) + h.replace +
+               target.substr(pos + h.find.size());
+      ++stats.edits;
+      changed = true;
+    }
+    if (!changed) continue;
+    std::ofstream outf(path, std::ios::binary | std::ios::trunc);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      outf << lines[i];
+      if (i + 1 < lines.size() || had_final_newline) outf << '\n';
+    }
+    ++stats.files;
+  }
+  return stats;
+}
+
+}  // namespace pcm::lint::fix

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "lint.hpp"
+
+// pcm::lint::fix — the --fix engine.
+//
+// Applies the FixHints carried by (suppression-filtered) diagnostics to the
+// files on disk under `root`. Per file, hints apply bottom-up so earlier
+// edits never shift later lines. An insert hint (empty `find`) copies the
+// target line's indentation; a replace hint is skipped when its `find` text
+// no longer occurs on the line (the code moved since analysis — never guess).
+//
+// Idempotency is by construction, not bookkeeping: every fix removes the
+// condition its rule fires on (a widened type no longer narrows, an inserted
+// reserve() de-flags the receiver, a release call clears the resource state
+// before the throw), so re-running the analysis after a fix pass yields no
+// hints for the fixed sites and the second --fix run writes nothing.
+
+namespace pcm::lint::fix {
+
+struct FixStats {
+  std::size_t edits = 0;    ///< hints applied
+  std::size_t skipped = 0;  ///< hints whose `find` no longer matched
+  std::size_t files = 0;    ///< files rewritten
+};
+
+/// Apply every fix carried by `diags` to the corresponding files under
+/// `root` (diagnostic paths are root-relative). Returns what happened.
+FixStats apply_fixes(const std::filesystem::path& root,
+                     const std::vector<Diagnostic>& diags);
+
+}  // namespace pcm::lint::fix

@@ -85,6 +85,8 @@ std::vector<Token> lex(const std::string& stripped) {
         const char d = stripped[j];
         if (is_ident_char(d) || d == '.') {
           ++j;
+        } else if (d == '\'' && j + 1 < n && is_ident_char(stripped[j + 1])) {
+          ++j;  // digit separator: 1'000'000, 0xFFFF'FFFF
         } else if ((d == '+' || d == '-') &&
                    (stripped[j - 1] == 'e' || stripped[j - 1] == 'E' ||
                     stripped[j - 1] == 'p' || stripped[j - 1] == 'P')) {

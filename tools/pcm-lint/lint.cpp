@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "callgraph.hpp"
+#include "flow.hpp"
 #include "lexer.hpp"
 #include "sema.hpp"
 
@@ -431,8 +432,21 @@ std::string strip_comments_and_strings(const std::string& src) {
           blank(c);
           ++i;
         } else if (c == '\'') {
-          state = State::Char;
-          blank(c);
+          // Digit separator (1'000'000, 0xFFFF'FFFF) vs char literal: a
+          // quote glued between identifier characters whose run starts
+          // with a digit is part of a pp-number, not a literal opener.
+          // L'x' / u8'c' runs start with a letter and still open a char.
+          std::size_t run = i;
+          while (run > 0 && is_ident(src[run - 1])) --run;
+          const bool separator =
+              run < i && i + 1 < n && is_ident(src[i + 1]) &&
+              std::isdigit(static_cast<unsigned char>(src[run])) != 0;
+          if (separator) {
+            emit(c);
+          } else {
+            state = State::Char;
+            blank(c);
+          }
           ++i;
         } else {
           emit(c);
@@ -618,6 +632,7 @@ std::vector<Diagnostic> lint_files(const std::vector<FileContent>& files) {
   tus.reserve(analyses.size());
   for (auto& fa : analyses) tus.push_back(fa.tu);
   auto taint = callgraph::determinism_taint(tus);
+  auto flowed = flow::run_flow_rules(tus);
 
   std::map<std::string, const FileAnalysis*> by_path;
   for (const auto& fa : analyses) by_path[fa.rel_path] = &fa;
@@ -628,10 +643,14 @@ std::vector<Diagnostic> lint_files(const std::vector<FileContent>& files) {
       if (!fa.sup.allows(d.line, d.rule)) all.push_back(std::move(d));
     }
   }
-  for (auto& d : taint) {
-    const auto it = by_path.find(d.file);
-    if (it != by_path.end() && it->second->sup.allows(d.line, d.rule)) continue;
-    all.push_back(std::move(d));
+  for (auto& cross : {&taint, &flowed}) {
+    for (auto& d : *cross) {
+      const auto it = by_path.find(d.file);
+      if (it != by_path.end() && it->second->sup.allows(d.line, d.rule)) {
+        continue;
+      }
+      all.push_back(std::move(d));
+    }
   }
 
   std::stable_sort(all.begin(), all.end(),

@@ -62,6 +62,19 @@
 
 namespace pcm::lint {
 
+/// One textual rewrite a rule proposes for its finding. `line` is 1-based in
+/// the diagnosed file. With a non-empty `find`, the first occurrence of
+/// `find` on that line is replaced by `replace`; with an empty `find`,
+/// `replace` is inserted as a new line above `line` (copying its
+/// indentation). Fixes are advisory: --fix skips any hint whose `find` no
+/// longer matches, and a fixed site no longer fires its rule, which is what
+/// makes a second --fix run a guaranteed no-op.
+struct FixHint {
+  int line = 0;
+  std::string find;
+  std::string replace;
+};
+
 struct Diagnostic {
   std::string file;  ///< Path as given (repo-relative when walking a tree).
   int line = 0;      ///< 1-based.
@@ -71,6 +84,8 @@ struct Diagnostic {
   /// source line with whitespace collapsed, occurrence index). Stable across
   /// unrelated code motion, so baselines don't churn on line-number shifts.
   std::string fingerprint;
+  /// Machine-applicable rewrites (flow rules only); empty for most rules.
+  std::vector<FixHint> fixes;
 };
 
 /// One file handed to the linter: repo-relative forward-slash path + bytes.

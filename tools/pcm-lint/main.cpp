@@ -1,7 +1,7 @@
 // pcm-lint CLI. Usage:
 //
 //   pcm-lint [--root=DIR] [--sarif=FILE] [--baseline=FILE]
-//            [--write-baseline=FILE] [subdir...]
+//            [--write-baseline=FILE] [--fix] [subdir...]
 //
 // Lints *.hpp / *.cpp under the given subdirs (default: src bench tests)
 // relative to --root (default: the current directory). Prints one
@@ -15,6 +15,11 @@
 //                          findings fail the run.
 //   --write-baseline=FILE  write the current findings as the new baseline
 //                          and exit 0 (the accept-current-state workflow).
+//   --fix                  apply the machine-applicable rewrites the flow
+//                          rules propose (widen a narrow accumulator, insert
+//                          a reserve(), release before a throw) and exit 0.
+//                          Idempotent: a fixed site no longer fires its
+//                          rule, so a second --fix run writes nothing.
 
 #include <filesystem>
 #include <fstream>
@@ -25,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "fix.hpp"
 #include "lint.hpp"
 #include "sarif.hpp"
 
@@ -44,6 +50,7 @@ int main(int argc, char** argv) {
   std::string sarif_path;
   std::string baseline_path;
   std::string write_baseline_path;
+  bool fix = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--root=", 0) == 0) {
@@ -54,9 +61,12 @@ int main(int argc, char** argv) {
       baseline_path = arg.substr(11);
     } else if (arg.rfind("--write-baseline=", 0) == 0) {
       write_baseline_path = arg.substr(17);
+    } else if (arg == "--fix") {
+      fix = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: pcm-lint [--root=DIR] [--sarif=FILE] "
-                   "[--baseline=FILE] [--write-baseline=FILE] [subdir...]\n"
+                   "[--baseline=FILE] [--write-baseline=FILE] [--fix] "
+                   "[subdir...]\n"
                    "lints *.hpp/*.cpp for determinism hazards; default "
                    "subdirs: src bench tests\n";
       return 0;
@@ -88,6 +98,20 @@ int main(int argc, char** argv) {
   }
 
   const auto diags = pcm::lint::lint_tree(root, subdirs);
+
+  if (fix) {
+    const auto stats = pcm::lint::fix::apply_fixes(root, diags);
+    std::cout << "pcm-lint: applied " << stats.edits << " fix"
+              << (stats.edits == 1 ? "" : "es") << " in " << stats.files
+              << " file" << (stats.files == 1 ? "" : "s");
+    if (stats.skipped > 0) {
+      std::cout << " (" << stats.skipped << " hint"
+                << (stats.skipped == 1 ? "" : "s")
+                << " skipped: code moved since analysis)";
+    }
+    std::cout << "\n";
+    return 0;
+  }
 
   if (!write_baseline_path.empty()) {
     if (!write_file(write_baseline_path, pcm::lint::format_baseline(diags))) {

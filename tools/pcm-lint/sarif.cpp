@@ -49,6 +49,18 @@ const std::map<std::string, std::string>& rule_table() {
       {"deprecated-api",
        "Call to a removed accessor on the deprecation denylist "
        "(flatten/send_counts/receive_counts)."},
+      {"cost-overflow",
+       "Product/shift whose interval at p<=2^20 provably exceeds the "
+       "destination's narrow integer type; widen the accumulator."},
+      {"narrowing-flow",
+       "Implicit wide->narrow copy of a value whose interval provably does "
+       "not fit the destination type."},
+      {"hot-path-alloc",
+       "Allocation or un-reserved container growth reachable from a "
+       "route()/exchange()/barrier()/charge*() hot root."},
+      {"throw-leak",
+       "Tracked resource (fopen/open/watch/lock/acquire) still held when a "
+       "throw escapes the function; release or use a RAII guard."},
   };
   return rules;
 }
@@ -95,7 +107,7 @@ std::string to_sarif(const std::vector<Diagnostic>& diags,
       "      \"tool\": {\n"
       "        \"driver\": {\n"
       "          \"name\": \"pcm-lint\",\n"
-      "          \"version\": \"2.0.0\",\n"
+      "          \"version\": \"3.0.0\",\n"
       "          \"informationUri\": "
       "\"https://example.invalid/pcm-lint\",\n"
       "          \"rules\": [\n";

@@ -1,0 +1,52 @@
+// throw-leak fixtures: a manually-paired resource still held when a throw
+// escapes the function. Release-before-throw and caught throws are fine;
+// RAII-only code never names the release side and stays silent.
+
+namespace pcm::fault {
+
+struct Watcher {
+  void watch(int ch);
+  void unwatch(int ch);
+  bool saturated() const;
+};
+
+struct PlanError {};
+
+// FIRING: wd is still watching channel 7 when the throw escapes.
+void install_plan(Watcher& wd) {
+  wd.watch(7);
+  if (wd.saturated()) {
+    throw PlanError{};
+  }
+  wd.unwatch(7);
+}
+
+// SUPPRESSED: teardown happens in the caller, reviewed.
+void install_plan_reviewed(Watcher& wd) {
+  wd.watch(9);
+  if (wd.saturated()) {
+    throw PlanError{};  // pcm-lint:allow(throw-leak)
+  }
+  wd.unwatch(9);
+}
+
+// CLEAN x2: release before the throw, and a throw that never escapes.
+void install_plan_careful(Watcher& wd) {
+  wd.watch(11);
+  if (wd.saturated()) {
+    wd.unwatch(11);
+    throw PlanError{};
+  }
+  wd.unwatch(11);
+}
+
+void install_plan_contained(Watcher& wd) {
+  try {
+    wd.watch(13);
+    throw PlanError{};
+  } catch (const PlanError&) {
+    wd.unwatch(13);
+  }
+}
+
+}  // namespace pcm::fault

@@ -1,0 +1,46 @@
+// hot-path-alloc fixtures: allocation on the clean superstep path of a hot
+// root (route/exchange/barrier/charge*) or of anything a root reaches
+// through the call graph. Cold (diagnostics-gated) branches, pre-reserved
+// receivers and functions outside the hot set stay silent.
+
+namespace pcm::machines {
+
+struct ToyExchange {
+  // FIRING (in the root itself): un-reserved growth per message.
+  void exchange(int messages) {
+    for (int m = 0; m < messages; ++m) {
+      backlog_.push_back(m);
+    }
+    stash_arrival(messages);
+    if (audit_on()) {
+      note_ = std::to_string(messages);  // clean: diagnostics-gated branch
+    }
+  }
+
+  // FIRING ('new', one callgraph hop below the root).
+  void stash_arrival(int m) {
+    scratch_ = new int[8];
+    staged_.push_back(m);  // clean: staged_ is reserved below
+  }
+
+  // SUPPRESSED: once-per-trial growth, reviewed.
+  void charge_setup(int trials) {
+    ledger_.push_back(trials);  // pcm-lint:allow(hot-path-alloc)
+  }
+
+  // CLEAN: not reachable from any hot root.
+  void configure_names(int n) {
+    names_.push_back(n);
+    staged_.reserve(64);
+  }
+
+  bool audit_on();
+  int* scratch_ = nullptr;
+  Text note_;
+  IntVec backlog_;
+  IntVec staged_;
+  IntVec ledger_;
+  IntVec names_;
+};
+
+}  // namespace pcm::machines

@@ -1,0 +1,29 @@
+// narrowing-flow fixtures: a wide flow-tracked value assigned to a 32-bit
+// destination without an explicit cast. static_cast declares the
+// truncation intentional and silences the rule.
+
+namespace pcm::net {
+
+// FIRING: byte_budget's range [1, 2^40] cannot fit an int.
+int stage_budget(int procs) {
+  const long byte_budget = static_cast<long>(procs) * procs;
+  int staged = byte_budget;
+  return staged;
+}
+
+// SUPPRESSED: reviewed, only the low bits matter here.
+int masked_budget(int procs) {
+  const long byte_budget = static_cast<long>(procs) * procs;
+  int low = byte_budget;  // pcm-lint:allow(narrowing-flow)
+  return low;
+}
+
+// CLEAN x2: an explicit cast, and a value that provably fits.
+int declared_budget(int procs) {
+  const long byte_budget = static_cast<long>(procs) * procs;
+  int declared = static_cast<int>(byte_budget);
+  int pe_count = procs;
+  return declared + pe_count;
+}
+
+}  // namespace pcm::net

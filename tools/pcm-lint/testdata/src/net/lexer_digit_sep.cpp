@@ -1,0 +1,19 @@
+// lexer coverage: digit-separated literals, hex floats and `if constexpr`
+// must lex as single numbers / structured branches and fire nothing.
+
+namespace pcm::net {
+
+template <typename T>
+long staging_capacity() {
+  const long ceiling = 1'048'576;
+  const long window = 0xFF'FF;
+  const double scale = 0x1.8p3;
+  const double drift = 16'384.0e-2;
+  if constexpr (sizeof(T) == 8) {
+    return ceiling + window + static_cast<long>(scale + drift);
+  } else {
+    return ceiling / 2;
+  }
+}
+
+}  // namespace pcm::net

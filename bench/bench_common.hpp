@@ -20,6 +20,7 @@
 #include "core/validation.hpp"
 #include "exec/sweep.hpp"
 #include "report/table.hpp"
+#include "shard/shard.hpp"
 #include "sim/stats.hpp"
 
 // Shared scaffolding for the figure/table reproduction binaries. Every bench
@@ -34,11 +35,15 @@
 // --fault=SPEC (deterministic fault injection, e.g. drop:rate=0.05:seed=7),
 // --retries=K / --cell-timeout-ms=T (per-cell resilience policy),
 // --checkpoint=DIR / --resume (crash-safe journal + resumption), --metrics
-// (superstep-resolved metric summary) and --trace-out=FILE (Chrome
+// (superstep-resolved metric summary), --trace-out=FILE (Chrome
 // trace-event JSON of one representative cell; needs -DPCM_OBS=ON, like
-// --metrics). Sweeps run
+// --metrics) and --shard-workers=N (run the sweep across N supervised
+// worker *processes* via pcm::shard — crash-tolerant, byte-identical
+// output; the PCM_PROCESS_CHAOS environment variable injects a seeded
+// worker kill/stall schedule for testing the supervisor). Sweeps run
 // through the exec engine (exec/sweep.hpp): one fresh machine per (x, trial)
-// cell, seeded per cell, so output is bit-identical at any --jobs value.
+// cell, seeded per cell, so output is bit-identical at any --jobs value —
+// and at any --shard-workers value, under any schedule of worker deaths.
 //
 // All numeric flag values are parsed strictly (std::from_chars): trailing
 // garbage, signs where they make no sense, and out-of-range values are
@@ -47,10 +52,10 @@
 namespace pcm::bench {
 
 // The sweep vocabulary lives in the engine; benches keep their old names.
+// (run_sweep is wrapped below so --shard-workers can reroute it.)
 using exec::Predictor;
 using exec::SweepSpec;
 using exec::TrialContext;
-using exec::run_sweep;
 
 struct Env {
   bool quick = false;
@@ -67,6 +72,7 @@ struct Env {
   bool resume = false;      ///< Resume from the checkpoint journal.
   bool metrics = false;     ///< Collect and print the metrics summary.
   std::string trace_out;    ///< Chrome trace-event JSON path (empty = none).
+  int shard_workers = 0;    ///< Worker processes; <= 1 = in-process sweep.
 };
 
 [[noreturn]] inline void usage(const char* argv0, const std::string& error) {
@@ -75,6 +81,7 @@ struct Env {
             << " [--quick] [--trials=K] [--jobs=N] [--seed=S] [--procs=P] [--audit]\n"
             << "       [--race] [--fault=SPEC] [--retries=K] [--cell-timeout-ms=T]\n"
             << "       [--checkpoint=DIR] [--resume] [--metrics] [--trace-out=FILE]\n"
+            << "       [--shard-workers=N]\n"
             << "  --quick      run a smaller sweep\n"
             << "  --trials=K   trials per data point (K > 0)\n"
             << "  --jobs=N     parallel sweep workers; 0 = all hardware threads\n"
@@ -103,7 +110,15 @@ struct Env {
             << "               and print the sweep summary; needs -DPCM_OBS=ON\n"
             << "  --trace-out=FILE     write a Chrome trace-event JSON of one\n"
             << "               representative cell (largest x, trial 0);\n"
-            << "               open in Perfetto or chrome://tracing\n";
+            << "               open in Perfetto or chrome://tracing\n"
+            << "  --shard-workers=N    run the sweep across N supervised\n"
+            << "               worker processes (crash-tolerant; output stays\n"
+            << "               byte-identical to an in-process run). Workers\n"
+            << "               that die are restarted with backoff and their\n"
+            << "               unfinished cells reassigned. Set\n"
+            << "               PCM_PROCESS_CHAOS=seed=S:kill=P[:stall=P]\n"
+            << "               [:stall-ms=M][:max=K] to inject a seeded\n"
+            << "               worker kill/stall schedule\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -120,6 +135,13 @@ inline bool parse_number(std::string_view text, T* out) {
   const char* last = first + text.size();
   const auto [ptr, ec] = std::from_chars(first, last, *out);
   return ec == std::errc() && ptr == last;
+}
+
+/// The --shard-workers value, stashed by apply_env so the run_sweep wrapper
+/// below can reroute without every bench threading it through.
+inline int& shard_workers() {
+  static int workers = 0;
+  return workers;
 }
 
 }  // namespace detail
@@ -193,6 +215,13 @@ inline Env parse_env(int argc, char** argv) {
               "--trace-out requires a build with -DPCM_OBS=ON (the "
               "observability plane was compiled out)");
       }
+    } else if (arg.rfind("--shard-workers=", 0) == 0) {
+      if (!detail::parse_number(arg.substr(16), &env.shard_workers) ||
+          env.shard_workers < 0) {
+        usage(argv[0],
+              "--shard-workers expects a non-negative integer, got '" + arg +
+                  "'");
+      }
     } else if (arg == "--audit") {
       env.audit = true;
       if (!audit::set_enabled(true)) {
@@ -233,6 +262,27 @@ inline void apply_env(SweepSpec& spec, const Env& env,
   spec.checkpoint_dir = env.checkpoint;
   spec.resume = env.resume;
   spec.trace_out = env.trace_out;
+  detail::shard_workers() = env.shard_workers;
+}
+
+/// The bench-facing sweep entry point: exec::run_sweep in-process, or the
+/// supervised multi-process shard runner when --shard-workers=N (N > 1) was
+/// given. Either way the result is byte-identical — that's the shard
+/// layer's merge invariant — so benches call this unconditionally.
+inline exec::SweepResult run_sweep(const SweepSpec& spec) {
+  const int workers = detail::shard_workers();
+  if (workers <= 1) return exec::run_sweep(spec);
+  shard::ShardOptions opts;
+  opts.workers = workers;
+  opts.worker_jobs = spec.jobs;
+  shard::ShardReport rep;
+  exec::SweepResult result = shard::run_sharded_sweep(spec, opts, &rep);
+  std::cerr << spec.experiment << ": sharded across " << rep.workers_requested
+            << " workers — " << rep.workers_spawned << " spawned, "
+            << rep.workers_restarted << " restarted, " << rep.workers_lost
+            << " lost; " << rep.cells_reassigned << " cells reassigned, "
+            << rep.cells_fallback << " run in-process\n";
+  return result;
 }
 
 /// Print everything for one experiment. `scale` converts µs to the unit in

@@ -12,7 +12,8 @@ namespace pcm::exec {
 
 namespace {
 
-constexpr const char* kMagic = "pcm-sweep-journal v1 ";
+constexpr const char* kMagicV1 = "pcm-sweep-journal v1 ";
+constexpr const char* kMagicV2 = "pcm-sweep-journal v2 ";
 
 std::string sanitize(const std::string& name) {
   std::string out;
@@ -33,14 +34,21 @@ std::string journal_filename(const std::string& experiment,
   return os.str();
 }
 
-/// Parse one "cell ..." line; returns false on any malformation (the torn
-/// final line of a killed run looks like this, so malformed = ignore).
+std::string checksum_hex(std::uint64_t h) {
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0') << h;
+  return os.str();
+}
+
+/// Parse one "cell ..." payload (the line with any checksum column already
+/// stripped); returns false on any malformation.
 bool parse_entry(const std::string& line, JournalEntry* e) {
   std::istringstream is(line);
   std::string word;
   if (!(is >> word) || word != "cell") return false;
   if (!(is >> e->cell)) return false;
   if (!(is >> word)) return false;
+  e->obs.clear();
   if (word == "ok") {
     e->ok = true;
     std::string value;
@@ -52,6 +60,10 @@ bool parse_entry(const std::string& line, JournalEntry* e) {
     if (end == nullptr || *end != '\0' || end == value.c_str()) return false;
     e->kind.clear();
     e->message.clear();
+    // Optional trailing metrics snapshot: "obs <token>".
+    if (is >> word) {
+      if (word != "obs" || !(is >> e->obs)) return false;
+    }
     return true;
   }
   if (word == "fail") {
@@ -77,11 +89,103 @@ std::string one_line(const std::string& text) {
   return out;
 }
 
+/// Parse one record line of a `version` journal. Returns false when the
+/// line is malformed or (v2) fails its checksum.
+bool parse_line(const std::string& line, int version, JournalEntry* e) {
+  if (version < 2) return parse_entry(line, e);
+  // v2: "<fnv16> <payload>"; the checksum covers the payload verbatim.
+  const auto space = line.find(' ');
+  if (space != 16 || line.size() < 18) return false;
+  std::uint64_t want = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const char c = line[i];
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    want = want << 4 | static_cast<std::uint64_t>(digit);
+  }
+  const std::string payload = line.substr(space + 1);
+  if (fnv1a64(payload) != want) return false;
+  return parse_entry(payload, e);
+}
+
+std::string render_entry(const JournalEntry& entry, int version) {
+  std::ostringstream line;
+  line << "cell " << entry.cell;
+  if (entry.ok) {
+    line << " ok " << entry.attempts << ' ' << std::hexfloat << entry.us;
+    if (!entry.obs.empty()) line << " obs " << entry.obs;
+  } else {
+    line << " fail " << entry.attempts << ' '
+         << (entry.kind.empty() ? "unknown" : one_line(entry.kind)) << ' '
+         << one_line(entry.message);
+  }
+  if (version < 2) return line.str();
+  return checksum_hex(fnv1a64(line.str())) + ' ' + line.str();
+}
+
 }  // namespace
+
+std::string journal_path(const std::string& dir, const std::string& experiment,
+                         const std::string& header) {
+  return (std::filesystem::path(dir) / journal_filename(experiment, header))
+      .string();
+}
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+JournalLoad read_journal(const std::string& path, const std::string& header) {
+  JournalLoad load;
+  std::ifstream in(path);
+  if (!in) return load;
+  load.exists = true;
+
+  std::string line;
+  if (!std::getline(in, line)) return load;
+  const std::string stripped = one_line(header);
+  if (line == kMagicV2 + stripped) {
+    load.version = 2;
+  } else if (line == kMagicV1 + stripped) {
+    load.version = 1;
+  } else {
+    return load;
+  }
+  load.header_matches = true;
+
+  // A malformed line is only *corrupt* if a well-formed line follows it —
+  // the last bad line of the file is the torn write of a killed process and
+  // stays silently ignored, as it always has been.
+  std::size_t bad_pending = 0;
+  JournalEntry e;
+  while (std::getline(in, line)) {
+    if (parse_line(line, load.version, &e)) {
+      load.corrupt_lines += bad_pending;
+      bad_pending = 0;
+      load.entries[e.cell] = e;
+    } else {
+      ++bad_pending;
+    }
+  }
+  load.corrupt_lines += bad_pending > 0 ? bad_pending - 1 : 0;
+  return load;
+}
 
 CheckpointJournal::CheckpointJournal(const std::string& dir,
                                      const std::string& experiment,
-                                     const std::string& header, bool resume) {
+                                     const std::string& header, bool resume,
+                                     const std::string& suffix) {
   const std::filesystem::path root(dir);
   std::error_code ec;
   std::filesystem::create_directories(root, ec);
@@ -89,23 +193,18 @@ CheckpointJournal::CheckpointJournal(const std::string& dir,
     throw std::runtime_error("checkpoint: cannot create directory '" + dir +
                              "': " + ec.message());
   }
-  path_ = (root / journal_filename(experiment, header)).string();
-  const std::string header_line = kMagic + one_line(header);
+  path_ = (root / journal_filename(experiment, header)).string() + suffix;
 
   if (resume) {
-    std::ifstream in(path_);
-    if (in) {
-      std::string line;
-      if (!std::getline(in, line) || line != header_line) {
-        throw std::runtime_error(
-            "checkpoint: journal '" + path_ +
-            "' belongs to a different sweep definition; refusing to resume");
-      }
-      JournalEntry e;
-      while (std::getline(in, line)) {
-        if (parse_entry(line, &e)) loaded_[e.cell] = e;
-      }
+    JournalLoad load = read_journal(path_, header);
+    if (load.exists && !load.header_matches) {
+      throw std::runtime_error(
+          "checkpoint: journal '" + path_ +
+          "' belongs to a different sweep definition; refusing to resume");
     }
+    if (load.header_matches) version_ = load.version;
+    loaded_ = std::move(load.entries);
+    corrupt_lines_ = load.corrupt_lines;
     // Missing file on resume is fine: first run with --resume just starts.
   }
 
@@ -131,22 +230,21 @@ CheckpointJournal::CheckpointJournal(const std::string& dir,
                              "' for writing");
   }
   if (needs_newline) out_ << '\n';
-  if (!append_mode) out_ << header_line << '\n';
+  if (!append_mode) {
+    version_ = 2;  // fresh journals always use the current format
+    out_ << (version_ < 2 ? kMagicV1 : kMagicV2) << one_line(header) << '\n';
+  }
   out_ << std::flush;
 }
 
 void CheckpointJournal::append(const JournalEntry& entry) {
-  std::ostringstream line;
-  line << "cell " << entry.cell;
-  if (entry.ok) {
-    line << " ok " << entry.attempts << ' ' << std::hexfloat << entry.us;
-  } else {
-    line << " fail " << entry.attempts << ' '
-         << (entry.kind.empty() ? "unknown" : one_line(entry.kind)) << ' '
-         << one_line(entry.message);
-  }
+  const std::string line = render_entry(entry, version_);
   const std::lock_guard<std::mutex> lock(mu_);
-  out_ << line.str() << '\n' << std::flush;
+  out_ << line << '\n' << std::flush;
+}
+
+std::string CheckpointJournal::shard_path(int shard) const {
+  return path_ + ".shard-" + std::to_string(shard);
 }
 
 }  // namespace pcm::exec

@@ -49,6 +49,13 @@
 // attempt. With a checkpoint directory configured every finished cell is
 // journalled (crash-safe, append-only), and a killed sweep resumed with
 // resume=true skips journalled cells and reassembles bit-identical output.
+//
+// The per-cell attempt loop (detail::run_cell) and the serial assembly
+// (detail::assemble) are deliberately factored out of run_sweep: the
+// multi-process sharded runner (src/shard/) drives the *same* code from
+// worker processes and from the supervisor's merge step, which is what
+// makes "sharded output == threaded output == serial output" a structural
+// property instead of a parallel-maintenance promise.
 
 namespace pcm::exec {
 
@@ -103,6 +110,13 @@ struct SweepSpec {
   /// trial 0) to this path. Empty = no trace. Forces observability on for
   /// that cell; resumed (journalled) cells cannot be re-traced.
   std::string trace_out;
+
+  [[nodiscard]] std::size_t resolved_trials() const {
+    return trials > 0 ? static_cast<std::size_t>(trials) : 1;
+  }
+  [[nodiscard]] std::size_t cell_count() const {
+    return xs.size() * resolved_trials();
+  }
 };
 
 /// What a sweep produces: the measured series plus the failure ledger.
@@ -123,7 +137,8 @@ namespace detail {
 
 /// The identity header a checkpoint journal is keyed on: everything that
 /// changes a cell's outcome. Two sweeps agreeing on this string would write
-/// identical journals cell-for-cell.
+/// identical journals cell-for-cell. Deliberately excludes jobs and shard
+/// topology — those change *who* runs a cell, never what it computes.
 inline std::string journal_header(const SweepSpec& spec) {
   std::string h = "exp=" + spec.experiment +
                   " machine=" + machines::to_string(spec.machine) +
@@ -137,6 +152,169 @@ inline std::string journal_header(const SweepSpec& spec) {
   return h;
 }
 
+/// Per-cell outcome slot: workers write disjoint entries, assembly reads
+/// them serially in cell order afterwards.
+struct CellState {
+  bool done = false;
+  bool ok = false;
+  double us = 0.0;
+  int attempts = 0;
+  std::string kind;
+  std::string message;
+  obs::MetricsSnapshot snapshot;  ///< Touched metrics; empty when obs off.
+};
+
+/// The one representative cell that carries an exported trace.
+struct TraceCapture {
+  std::string machine_name;
+  std::vector<obs::Span> spans;
+};
+
+/// The sweep's per-cell seed root.
+inline sim::Rng seed_root(const SweepSpec& spec) {
+  return sim::Rng(spec.seed != 0 ? spec.seed : spec.machine.seed);
+}
+
+/// Run one cell's full attempt sequence into `st`. This is THE cell
+/// execution path: run_sweep's thread workers, the shard layer's worker
+/// processes and the supervisor's in-process fallback all funnel through
+/// here, so a cell's outcome is a pure function of (spec, c) no matter
+/// which process computed it. `capture` (nullable) receives the trace spans
+/// when `c == trace_cell` and tracing is requested.
+inline void run_cell(const SweepSpec& spec, const sim::Rng& root,
+                     std::size_t c, Watchdog& watchdog, bool tracing,
+                     std::size_t trace_cell,
+                     std::optional<TraceCapture>* capture, CellState& st) {
+  const std::size_t trials = spec.resolved_trials();
+  const double x = spec.xs[c / trials];
+  const int trial = static_cast<int>(c % trials);
+  const int max_attempts = spec.max_attempts > 1 ? spec.max_attempts : 1;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    st.attempts = attempt + 1;
+    // Attempt 0 keeps the historical per-cell seed (existing sweep outputs
+    // are unchanged); each retry re-seeds through a further split, so the
+    // attempt sequence is deterministic but decorrelated.
+    const std::uint64_t cell_seed =
+        attempt == 0 ? root.split(c).next_u64()
+                     : root.split(c)
+                           .split(static_cast<std::uint64_t>(attempt))
+                           .next_u64();
+    try {
+      machines::MachineSpec mspec = spec.machine;
+      mspec.seed = cell_seed;
+      const auto machine = machines::make_machine(mspec);
+      if (tracing && c == trace_cell) machine->set_observing(true);
+      std::atomic<bool> cancelled{false};
+      machine->set_cancel(&cancelled);
+      // Each attempt arms its own fresh deadline: a retried cell gets the
+      // full wall-clock budget again, never the remainder of the attempt
+      // it replaced.
+      auto guard = watchdog.watch(&cancelled);
+      TrialContext ctx{*machine, x, trial, cell_seed, attempt};
+      const double us = spec.measure(ctx);
+      guard.release();
+      st.done = true;
+      st.ok = true;
+      st.us = us;
+      st.kind.clear();
+      st.message.clear();
+      if (machine->metrics().on()) st.snapshot = machine->metrics().snapshot();
+      if (tracing && c == trace_cell && capture != nullptr) {
+        capture->emplace(TraceCapture{
+            std::string(machine->name()),
+            machine->spans().tiled(machine->now(), machine->superstep())});
+      }
+      return;
+    } catch (const fault::CancelledError& e) {
+      st.kind = "timeout";
+      st.message = e.what();
+    } catch (const audit::AuditError& e) {
+      st.kind = "audit";
+      st.message = e.what();
+    } catch (const race::RaceError& e) {
+      st.kind = "race";
+      st.message = e.what();
+    } catch (const std::exception& e) {
+      st.kind = "exception";
+      st.message = e.what();
+    } catch (...) {
+      st.kind = "unknown";
+      st.message = "non-standard exception escaped measure()";
+    }
+  }
+  st.done = true;
+}
+
+/// A finished cell as its journal record (the snapshot rides along encoded,
+/// so a resumed or sharded sweep reassembles metrics too).
+inline JournalEntry journal_entry_of(std::size_t c, const CellState& st) {
+  return JournalEntry{c,       st.ok,      st.us, st.attempts, st.kind,
+                      st.message, obs::encode_metrics_snapshot(st.snapshot)};
+}
+
+/// The inverse of journal_entry_of: a journal record back into a state slot.
+inline CellState state_from_entry(const JournalEntry& e) {
+  CellState st;
+  st.done = true;
+  st.ok = e.ok;
+  st.us = e.us;
+  st.attempts = e.attempts;
+  st.kind = e.kind;
+  st.message = e.message;
+  st.snapshot = obs::decode_metrics_snapshot(e.obs);
+  return st;
+}
+
+/// Serial, cell-order assembly of the result from a fully populated state
+/// vector: statistics, failure ledger, predictions, metric totals. Shared
+/// verbatim by run_sweep and the shard supervisor's merge, which is the
+/// merge-invariant: identical states in, byte-identical SweepResult out.
+inline void assemble(const SweepSpec& spec,
+                     const std::vector<CellState>& state, SweepResult* out) {
+  core::ValidationSeries& s = out->series;
+  const std::size_t trials = spec.resolved_trials();
+  // Assembly is serial and in cell order, so the statistics (and any
+  // floating-point accumulation inside them) are independent of scheduling.
+  // Failed cells contribute nothing; an x whose every trial failed yields an
+  // empty (zeroed) summary.
+  for (std::size_t xi = 0; xi < spec.xs.size(); ++xi) {
+    sim::Accumulator acc;
+    for (std::size_t t = 0; t < trials; ++t) {
+      const CellState& st = state[xi * trials + t];
+      if (st.ok) acc.add(st.us);
+    }
+    s.points.push_back({spec.xs[xi], acc.summary()});
+  }
+  for (std::size_t c = 0; c < state.size(); ++c) {
+    const CellState& st = state[c];
+    if (st.ok) continue;
+    out->failures.push_back(CellFailure{c, spec.xs[c / trials],
+                                        static_cast<int>(c % trials),
+                                        st.attempts, st.kind, st.message});
+  }
+  for (const auto& p : spec.predictors) {
+    core::PredictedSeries pred{p.model, {}};
+    for (const double x : spec.xs) pred.ys.push_back(p.fn(x));
+    s.predictions.push_back(std::move(pred));
+  }
+  // Metric aggregation follows the same rule as the statistics above:
+  // serial, in cell order, so the totals are independent of scheduling.
+  for (const CellState& st : state) {
+    if (st.snapshot.empty()) continue;
+    out->metrics.totals.merge(st.snapshot);
+    ++out->metrics.cells;
+  }
+}
+
+/// Report journal corruption to the operator: the cells re-run anyway, but
+/// skipped lines are data loss worth a visible trace.
+inline void warn_corrupt_lines(const std::string& path, std::size_t lines) {
+  if (lines == 0) return;
+  std::cerr << "checkpoint: skipped " << lines << " corrupt journal line"
+            << (lines == 1 ? "" : "s") << " in '" << path
+            << "' (affected cells will re-run)\n";
+}
+
 }  // namespace detail
 
 inline SweepResult run_sweep(const SweepSpec& spec) {
@@ -146,24 +324,12 @@ inline SweepResult run_sweep(const SweepSpec& spec) {
   s.x_label = spec.x_label;
   s.y_label = spec.y_label;
 
-  const std::size_t trials = spec.trials > 0 ? static_cast<std::size_t>(spec.trials) : 1;
-  const std::size_t cells = spec.xs.size() * trials;
+  const std::size_t trials = spec.resolved_trials();
+  const std::size_t cells = spec.cell_count();
   out.cells_total = cells;
-  const sim::Rng root(spec.seed != 0 ? spec.seed : spec.machine.seed);
-  const int max_attempts = spec.max_attempts > 1 ? spec.max_attempts : 1;
+  const sim::Rng root = detail::seed_root(spec);
 
-  // Per-cell outcome slots: workers write disjoint entries, assembly reads
-  // them serially in cell order afterwards.
-  struct CellState {
-    bool done = false;
-    bool ok = false;
-    double us = 0.0;
-    int attempts = 0;
-    std::string kind;
-    std::string message;
-    obs::MetricsSnapshot snapshot;  ///< Touched metrics; empty when obs off.
-  };
-  std::vector<CellState> state(cells);
+  std::vector<detail::CellState> state(cells);
 
   // One representative cell carries the exported trace: the largest x at
   // trial 0 — the cell a reader of the figure would zoom into first. Only
@@ -171,25 +337,16 @@ inline SweepResult run_sweep(const SweepSpec& spec) {
   // run perturbs nothing else.
   const bool tracing = !spec.trace_out.empty() && !spec.xs.empty();
   const std::size_t trace_cell = tracing ? (spec.xs.size() - 1) * trials : 0;
-  struct TraceCapture {
-    std::string machine_name;
-    std::vector<obs::Span> spans;
-  };
-  std::optional<TraceCapture> capture;  // written by at most one cell
+  std::optional<detail::TraceCapture> capture;  // written by at most one cell
 
   std::optional<CheckpointJournal> journal;
   if (!spec.checkpoint_dir.empty()) {
     journal.emplace(spec.checkpoint_dir, spec.experiment,
                     detail::journal_header(spec), spec.resume);
+    detail::warn_corrupt_lines(journal->path(), journal->corrupt_lines());
     for (const auto& [cell, e] : journal->loaded()) {
       if (cell >= cells) continue;  // stale tail from a shrunk definition
-      CellState& st = state[cell];
-      st.done = true;
-      st.ok = e.ok;
-      st.us = e.us;
-      st.attempts = e.attempts;
-      st.kind = e.kind;
-      st.message = e.message;
+      state[cell] = detail::state_from_entry(e);
       ++out.cells_resumed;
     }
   }
@@ -205,72 +362,18 @@ inline SweepResult run_sweep(const SweepSpec& spec) {
   ParallelRunner runner(spec.jobs);
   const auto escaped = runner.for_each_collect(pending.size(), [&](std::size_t i) {
     const std::size_t c = pending[i];
-    CellState& st = state[c];
-    const double x = spec.xs[c / trials];
-    const int trial = static_cast<int>(c % trials);
-    for (int attempt = 0; attempt < max_attempts; ++attempt) {
-      st.attempts = attempt + 1;
-      // Attempt 0 keeps the historical per-cell seed (existing sweep outputs
-      // are unchanged); each retry re-seeds through a further split, so the
-      // attempt sequence is deterministic but decorrelated.
-      const std::uint64_t cell_seed =
-          attempt == 0 ? root.split(c).next_u64()
-                       : root.split(c)
-                             .split(static_cast<std::uint64_t>(attempt))
-                             .next_u64();
-      try {
-        machines::MachineSpec mspec = spec.machine;
-        mspec.seed = cell_seed;
-        const auto machine = machines::make_machine(mspec);
-        if (tracing && c == trace_cell) machine->set_observing(true);
-        std::atomic<bool> cancelled{false};
-        machine->set_cancel(&cancelled);
-        auto guard = watchdog.watch(&cancelled);
-        TrialContext ctx{*machine, x, trial, cell_seed, attempt};
-        const double us = spec.measure(ctx);
-        guard.release();
-        st.done = true;
-        st.ok = true;
-        st.us = us;
-        st.kind.clear();
-        st.message.clear();
-        if (machine->metrics().on()) st.snapshot = machine->metrics().snapshot();
-        if (tracing && c == trace_cell) {
-          capture.emplace(TraceCapture{
-              std::string(machine->name()),
-              machine->spans().tiled(machine->now(), machine->superstep())});
-        }
-        break;
-      } catch (const fault::CancelledError& e) {
-        st.kind = "timeout";
-        st.message = e.what();
-      } catch (const audit::AuditError& e) {
-        st.kind = "audit";
-        st.message = e.what();
-      } catch (const race::RaceError& e) {
-        st.kind = "race";
-        st.message = e.what();
-      } catch (const std::exception& e) {
-        st.kind = "exception";
-        st.message = e.what();
-      } catch (...) {
-        st.kind = "unknown";
-        st.message = "non-standard exception escaped measure()";
-      }
-    }
-    st.done = true;
-    if (journal) {
-      journal->append(JournalEntry{c, st.ok, st.us, st.attempts, st.kind,
-                                   st.message});
-    }
-    progress.cell_done(x, trial);
+    detail::CellState& st = state[c];
+    detail::run_cell(spec, root, c, watchdog, tracing, trace_cell, &capture,
+                     st);
+    if (journal) journal->append(detail::journal_entry_of(c, st));
+    progress.cell_done(spec.xs[c / trials], static_cast<int>(c % trials));
   });
   // An exception that escaped even the attempt loop (progress/journal I/O,
   // bad_alloc while classifying, ...) is an engine failure — still recorded
   // rather than rethrown, so one broken cell cannot sink the sweep.
   for (std::size_t i = 0; i < escaped.size(); ++i) {
     if (!escaped[i]) continue;
-    CellState& st = state[pending[i]];
+    detail::CellState& st = state[pending[i]];
     st.done = true;
     st.ok = false;
     if (st.kind.empty()) st.kind = "engine";
@@ -283,37 +386,7 @@ inline SweepResult run_sweep(const SweepSpec& spec) {
     }
   }
 
-  // Assembly is serial and in cell order, so the statistics (and any
-  // floating-point accumulation inside them) are independent of scheduling.
-  // Failed cells contribute nothing; an x whose every trial failed yields an
-  // empty (zeroed) summary.
-  for (std::size_t xi = 0; xi < spec.xs.size(); ++xi) {
-    sim::Accumulator acc;
-    for (std::size_t t = 0; t < trials; ++t) {
-      const CellState& st = state[xi * trials + t];
-      if (st.ok) acc.add(st.us);
-    }
-    s.points.push_back({spec.xs[xi], acc.summary()});
-  }
-  for (std::size_t c = 0; c < cells; ++c) {
-    const CellState& st = state[c];
-    if (st.ok) continue;
-    out.failures.push_back(CellFailure{c, spec.xs[c / trials],
-                                       static_cast<int>(c % trials),
-                                       st.attempts, st.kind, st.message});
-  }
-  for (const auto& p : spec.predictors) {
-    core::PredictedSeries pred{p.model, {}};
-    for (const double x : spec.xs) pred.ys.push_back(p.fn(x));
-    s.predictions.push_back(std::move(pred));
-  }
-  // Metric aggregation follows the same rule as the statistics above:
-  // serial, in cell order, so the totals are independent of scheduling.
-  for (std::size_t c = 0; c < cells; ++c) {
-    if (state[c].snapshot.empty()) continue;
-    out.metrics.totals.merge(state[c].snapshot);
-    ++out.metrics.cells;
-  }
+  detail::assemble(spec, state, &out);
   if (capture) {
     obs::write_chrome_trace(spec.trace_out, capture->machine_name,
                             capture->spans);

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -23,6 +24,18 @@
 // This is exec-layer code and deliberately reads the host clock; everything
 // it influences is *whether* a cell completes, never a simulated timing, so
 // the determinism contract of surviving cells is untouched.
+//
+// Deadlines are armed per ATTEMPT, not per cell: watch() is called afresh
+// inside the retry loop, so a retried cell always gets the full budget, not
+// the remainder its predecessor left behind. The guard protocol enforces
+// that with a generation token: when a deadline fires, its slot is freed
+// and may be re-armed immediately — by the same cell's retry or by another
+// worker's cell. Without the token, the *stale* guard of the timed-out
+// attempt (destroyed during unwinding, strictly after the slot was freed)
+// would clear whatever deadline had since moved into the slot, silently
+// disarming an unrelated attempt and handing it an unbounded budget. Each
+// arm therefore stamps the slot with a fresh generation, and a guard only
+// releases the slot if its own stamp still matches.
 
 namespace pcm::exec {
 
@@ -56,7 +69,7 @@ class Watchdog {
   class Guard {
    public:
     Guard() = default;
-    Guard(Guard&& o) noexcept : dog_(o.dog_), slot_(o.slot_) {
+    Guard(Guard&& o) noexcept : dog_(o.dog_), slot_(o.slot_), gen_(o.gen_) {
       o.dog_ = nullptr;
     }
     Guard& operator=(Guard&& o) noexcept {
@@ -64,6 +77,7 @@ class Watchdog {
         release();
         dog_ = o.dog_;
         slot_ = o.slot_;
+        gen_ = o.gen_;
         o.dog_ = nullptr;
       }
       return *this;
@@ -74,16 +88,18 @@ class Watchdog {
 
     void release() {
       if (dog_ != nullptr) {
-        dog_->unwatch(slot_);
+        dog_->unwatch(slot_, gen_);
         dog_ = nullptr;
       }
     }
 
    private:
     friend class Watchdog;
-    Guard(Watchdog* dog, std::size_t slot) : dog_(dog), slot_(slot) {}
+    Guard(Watchdog* dog, std::size_t slot, std::uint64_t gen)
+        : dog_(dog), slot_(slot), gen_(gen) {}
     Watchdog* dog_ = nullptr;
     std::size_t slot_ = 0;
+    std::uint64_t gen_ = 0;
   };
 
   /// Arm the configured timeout for `cancel` (not owned; must outlive the
@@ -95,25 +111,30 @@ class Watchdog {
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double, std::milli>(timeout_ms_));
     const std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t gen = ++next_gen_;
     for (std::size_t i = 0; i < slots_.size(); ++i) {
       if (slots_[i].cancel == nullptr) {
-        slots_[i] = Slot{cancel, deadline};
-        return Guard(this, i);
+        slots_[i] = Slot{cancel, deadline, gen};
+        return Guard(this, i, gen);
       }
     }
-    slots_.push_back(Slot{cancel, deadline});
-    return Guard(this, slots_.size() - 1);
+    slots_.push_back(Slot{cancel, deadline, gen});
+    return Guard(this, slots_.size() - 1, gen);
   }
 
  private:
   struct Slot {
     std::atomic<bool>* cancel = nullptr;  ///< null = free slot.
     std::chrono::steady_clock::time_point deadline;
+    std::uint64_t gen = 0;  ///< Stamp of the arm that owns this occupancy.
   };
 
-  void unwatch(std::size_t slot) {
+  void unwatch(std::size_t slot, std::uint64_t gen) {
     const std::lock_guard<std::mutex> lock(mu_);
-    slots_[slot].cancel = nullptr;
+    // A fired deadline frees the slot before the guard unwinds; by the time
+    // the stale guard gets here the slot may belong to a newer arm. Only
+    // the arm that stamped the slot may disarm it.
+    if (slots_[slot].gen == gen) slots_[slot].cancel = nullptr;
   }
 
   void scan_loop() {
@@ -136,6 +157,7 @@ class Watchdog {
   }
 
   double timeout_ms_;
+  std::uint64_t next_gen_ = 0;  ///< Guarded by mu_; 0 is never issued.
   std::mutex mu_;
   std::condition_variable cv_;
   std::vector<Slot> slots_;

@@ -1,0 +1,138 @@
+#include "fault/process_chaos.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace pcm::fault {
+
+namespace {
+
+template <typename T>
+bool parse_value(std::string_view text, T* out) {
+  if (text.empty()) return false;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last;
+}
+
+[[noreturn]] void bad(std::string_view text, const std::string& why) {
+  throw std::invalid_argument("malformed process chaos '" + std::string(text) +
+                              "': " + why);
+}
+
+}  // namespace
+
+ChaosDecision ProcessChaos::decide(int spawn_ordinal) const {
+  ChaosDecision d;
+  if (spawn_ordinal < 0 || spawn_ordinal >= max_events) return d;
+  sim::Rng rng =
+      sim::Rng(seed).split(static_cast<std::uint64_t>(spawn_ordinal));
+  // One roll decides the event class so kill and stall stay mutually
+  // exclusive: a worker that is about to die makes a poor stall subject.
+  const double roll = rng.next_double();
+  if (roll < kill_rate) {
+    d.kill = true;
+  } else if (roll < kill_rate + stall_rate) {
+    d.stall = true;
+    d.stall_ms = stall_ms;
+  }
+  return d;
+}
+
+std::string to_string(const ProcessChaos& chaos) {
+  std::ostringstream os;
+  os << "seed=" << chaos.seed;
+  if (chaos.kill_rate > 0.0) os << ":kill=" << chaos.kill_rate;
+  if (chaos.stall_rate > 0.0) {
+    os << ":stall=" << chaos.stall_rate << ":stall-ms=" << chaos.stall_ms;
+  }
+  if (chaos.max_events != ProcessChaos::kNoLimit) {
+    os << ":max=" << chaos.max_events;
+  }
+  return os.str();
+}
+
+ProcessChaos parse_process_chaos(std::string_view text) {
+  std::vector<std::string_view> parts;
+  std::string_view rest = text;
+  while (true) {
+    const auto colon = rest.find(':');
+    parts.push_back(rest.substr(0, colon));
+    if (colon == std::string_view::npos) break;
+    rest.remove_prefix(colon + 1);
+  }
+  ProcessChaos chaos;
+  for (const auto field : parts) {
+    const auto eq = field.find('=');
+    if (eq == std::string_view::npos) bad(text, "field without '='");
+    const auto key = field.substr(0, eq);
+    const auto value = field.substr(eq + 1);
+    bool ok = false;
+    if (key == "seed") {
+      ok = parse_value(value, &chaos.seed);
+    } else if (key == "kill") {
+      ok = parse_value(value, &chaos.kill_rate) && chaos.kill_rate >= 0.0 &&
+           chaos.kill_rate <= 1.0;
+    } else if (key == "stall") {
+      ok = parse_value(value, &chaos.stall_rate) && chaos.stall_rate >= 0.0 &&
+           chaos.stall_rate <= 1.0;
+    } else if (key == "stall-ms") {
+      ok = parse_value(value, &chaos.stall_ms) && chaos.stall_ms >= 0.0;
+    } else if (key == "max") {
+      ok = parse_value(value, &chaos.max_events) && chaos.max_events >= 0;
+    } else {
+      bad(text, "unknown field '" + std::string(key) + "'");
+    }
+    if (!ok) bad(text, "bad value for '" + std::string(key) + "'");
+  }
+  if (chaos.kill_rate + chaos.stall_rate > 1.0) {
+    bad(text, "kill + stall rates exceed 1");
+  }
+  return chaos;
+}
+
+namespace {
+
+struct ChaosSlot {
+  std::mutex mu;
+  std::shared_ptr<const ProcessChaos> chaos;
+  bool resolved = false;  ///< Environment consulted (or overridden) already.
+};
+
+ChaosSlot& chaos_slot() {
+  static ChaosSlot slot;
+  return slot;
+}
+
+}  // namespace
+
+std::shared_ptr<const ProcessChaos> active_process_chaos() {
+  ChaosSlot& slot = chaos_slot();
+  const std::lock_guard<std::mutex> lock(slot.mu);
+  if (!slot.resolved) {
+    slot.resolved = true;
+    if (const char* env = std::getenv("PCM_PROCESS_CHAOS");
+        env != nullptr && *env != '\0') {
+      slot.chaos = std::make_shared<const ProcessChaos>(
+          parse_process_chaos(env));
+    }
+  }
+  return slot.chaos;
+}
+
+void set_process_chaos(std::optional<ProcessChaos> chaos) {
+  ChaosSlot& slot = chaos_slot();
+  const std::lock_guard<std::mutex> lock(slot.mu);
+  slot.resolved = true;
+  slot.chaos =
+      chaos ? std::make_shared<const ProcessChaos>(*chaos) : nullptr;
+}
+
+}  // namespace pcm::fault

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+// Process-level chaos: the fault plane's hook for the sharded executor
+// (src/shard/). Where FaultPlan perturbs the *simulated* machine, a
+// ProcessChaos plan perturbs the *host* processes running it — workers are
+// killed outright (SIGKILL, no cleanup) or stalled (heartbeats stop long
+// enough to trip the supervisor's liveness deadline). The point is to
+// exercise the supervisor's crash-recovery path on demand: restart, work
+// reassignment, and the byte-identical merge must all hold under any kill
+// schedule this plan can draw.
+//
+// Determinism contract: every decision is Rng(seed).split(spawn_ordinal) —
+// a pure function of the plan and the order in which the supervisor spawned
+// the worker, never of pids, timing, or scheduling. Replaying a chaos run
+// with the same plan and worker count draws the same schedule.
+//
+// A killed worker dies only after journalling at least one cell (the worker
+// checks its own decision and exits after its first append). That keeps
+// progress monotone: every incarnation moves the sweep forward, so a
+// bounded restart budget always suffices and chaos runs terminate.
+//
+// Selected via the PCM_PROCESS_CHAOS environment variable (so it reaches
+// workers through fork() unchanged) or programmatically via
+// set_process_chaos() in tests.
+
+namespace pcm::fault {
+
+/// What chaos has decided for one worker incarnation.
+struct ChaosDecision {
+  bool kill = false;      ///< Worker exits abruptly after its first cell.
+  bool stall = false;     ///< Worker stops heartbeating for stall_ms once.
+  double stall_ms = 0.0;  ///< Stall duration (0 unless stall is set).
+
+  [[nodiscard]] bool quiet() const { return !kill && !stall; }
+};
+
+/// A process-chaos plan as a value. Serialisable
+/// ("seed=7:kill=0.5:stall=0.25:stall-ms=300:max=4") so runs can record
+/// exactly what was injected.
+struct ProcessChaos {
+  static constexpr int kNoLimit = std::numeric_limits<int>::max();
+
+  std::uint64_t seed = 1;  ///< Root of the decision stream.
+  double kill_rate = 0.0;  ///< Per-spawn probability of a kill.
+  double stall_rate = 0.0; ///< Per-spawn probability of a heartbeat stall
+                           ///< (evaluated only when the kill roll misses).
+  double stall_ms = 250.0; ///< How long a stalled worker goes silent.
+  int max_events = kNoLimit;  ///< Only spawn ordinals < max are eligible —
+                              ///< bounds total chaos so runs terminate fast.
+
+  /// The decision for the `spawn_ordinal`-th worker process the supervisor
+  /// has ever spawned (restarts advance the ordinal). Pure function of
+  /// (*this, spawn_ordinal).
+  [[nodiscard]] ChaosDecision decide(int spawn_ordinal) const;
+
+  friend bool operator==(const ProcessChaos&, const ProcessChaos&) = default;
+};
+
+/// Render as "seed=S[:kill=P][:stall=P:stall-ms=M][:max=K]" (round-trips
+/// via parse_process_chaos; zero-rate fields are omitted).
+[[nodiscard]] std::string to_string(const ProcessChaos& chaos);
+
+/// Parse "seed=S[:kill=P][:stall=P][:stall-ms=M][:max=K]" (fields in any
+/// order). Throws std::invalid_argument on an unknown field, malformed or
+/// out-of-range value (rates outside [0,1], negative stall-ms or max).
+[[nodiscard]] ProcessChaos parse_process_chaos(std::string_view text);
+
+/// The process-global active chaos plan (null when off, the default). On
+/// first call, seeds itself from the PCM_PROCESS_CHAOS environment variable
+/// if set — which is how a plan crosses fork() into workers. Thread-safe.
+[[nodiscard]] std::shared_ptr<const ProcessChaos> active_process_chaos();
+/// Programmatic override (tests). Passing nullopt turns chaos off and also
+/// suppresses the environment fallback from then on.
+void set_process_chaos(std::optional<ProcessChaos> chaos);
+
+}  // namespace pcm::fault

@@ -208,4 +208,120 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
   entries = std::move(merged);
 }
 
+std::string encode_metrics_snapshot(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const SnapshotEntry& e : snap.entries) {
+    if (!out.empty()) out.push_back(';');
+    out += e.name;
+    out.push_back('=');
+    switch (e.kind) {
+      case MetricKind::Counter:
+        out += "c:" + std::to_string(e.value);
+        break;
+      case MetricKind::Gauge:
+        out += "g:" + std::to_string(e.value);
+        break;
+      case MetricKind::Histogram: {
+        out += "h:" + std::to_string(e.hist.count) + ':' +
+               std::to_string(e.hist.sum) + ':' + std::to_string(e.hist.max);
+        std::string buckets;
+        for (std::size_t b = 0; b < e.hist.buckets.size(); ++b) {
+          if (e.hist.buckets[b] == 0) continue;
+          if (!buckets.empty()) buckets.push_back(',');
+          buckets +=
+              std::to_string(b) + '.' + std::to_string(e.hist.buckets[b]);
+        }
+        if (!buckets.empty()) out += ':' + buckets;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Strict uint64 parse of token[*pos..] up to the next delimiter; advances
+/// *pos past the number. Returns false when no digits were consumed.
+bool parse_u64(std::string_view token, std::size_t* pos, std::uint64_t* out) {
+  std::uint64_t v = 0;
+  std::size_t i = *pos;
+  bool any = false;
+  while (i < token.size() && token[i] >= '0' && token[i] <= '9') {
+    v = v * 10 + static_cast<std::uint64_t>(token[i] - '0');
+    any = true;
+    ++i;
+  }
+  *pos = i;
+  *out = v;
+  return any;
+}
+
+bool decode_entry(std::string_view field, SnapshotEntry* e) {
+  const auto eq = field.find('=');
+  if (eq == std::string_view::npos || eq == 0 || eq + 2 >= field.size()) {
+    return false;
+  }
+  e->name = std::string(field.substr(0, eq));
+  const char kind = field[eq + 1];
+  if (field[eq + 2] != ':') return false;
+  std::size_t pos = eq + 3;
+  e->hist = HistogramData{};
+  e->value = 0;
+  if (kind == 'c' || kind == 'g') {
+    e->kind = kind == 'c' ? MetricKind::Counter : MetricKind::Gauge;
+    return parse_u64(field, &pos, &e->value) && pos == field.size();
+  }
+  if (kind != 'h') return false;
+  e->kind = MetricKind::Histogram;
+  if (!parse_u64(field, &pos, &e->hist.count) || pos >= field.size() ||
+      field[pos] != ':') {
+    return false;
+  }
+  ++pos;
+  if (!parse_u64(field, &pos, &e->hist.sum)) return false;
+  if (pos >= field.size() || field[pos] != ':') return false;
+  ++pos;
+  if (!parse_u64(field, &pos, &e->hist.max)) return false;
+  if (pos == field.size()) return true;  // no non-zero buckets
+  if (field[pos] != ':') return false;
+  ++pos;
+  while (pos < field.size()) {
+    std::uint64_t bucket = 0, count = 0;
+    if (!parse_u64(field, &pos, &bucket) || pos >= field.size() ||
+        field[pos] != '.' || bucket >= e->hist.buckets.size()) {
+      return false;
+    }
+    ++pos;
+    if (!parse_u64(field, &pos, &count)) return false;
+    e->hist.buckets[bucket] = count;
+    if (pos == field.size()) break;
+    if (field[pos] != ',') return false;
+    ++pos;
+  }
+  return true;
+}
+
+}  // namespace
+
+MetricsSnapshot decode_metrics_snapshot(std::string_view token) {
+  MetricsSnapshot snap;
+  std::size_t start = 0;
+  while (start < token.size()) {
+    auto end = token.find(';', start);
+    if (end == std::string_view::npos) end = token.size();
+    SnapshotEntry e;
+    if (!decode_entry(token.substr(start, end - start), &e)) return {};
+    snap.entries.push_back(std::move(e));
+    start = end + 1;
+  }
+  // Entries were written name-sorted; re-sort defensively so merge()'s
+  // two-pointer invariant holds even for a hand-edited journal.
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const SnapshotEntry& a, const SnapshotEntry& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
 }  // namespace pcm::obs

@@ -110,6 +110,21 @@ struct MetricsSnapshot {
   friend bool operator==(const MetricsSnapshot&, const MetricsSnapshot&) = default;
 };
 
+/// Serialise a snapshot as one space-free token (metric names never contain
+/// spaces, '=' or ';'), suitable for a checkpoint-journal column: entries
+/// joined by ';', each `name=c:<v>` / `g:<v>` / `h:<count>:<sum>:<max>
+/// [:i.v,...]` with only non-zero histogram buckets listed. Empty snapshot
+/// encodes to "". This is how per-cell metrics cross the process boundary
+/// between shard workers and the supervisor (and survive --resume): a
+/// decoded snapshot compares equal to the original, so merged SweepMetrics
+/// stay bit-identical to an in-process run.
+[[nodiscard]] std::string encode_metrics_snapshot(const MetricsSnapshot& snap);
+
+/// Inverse of encode_metrics_snapshot. A malformed token decodes to an
+/// empty snapshot (the cell simply contributes no metrics) — journal
+/// checksums make silent corruption here a non-event, not a crash.
+[[nodiscard]] MetricsSnapshot decode_metrics_snapshot(std::string_view token);
+
 /// The exec-level aggregate run_sweep produces: per-cell snapshots merged
 /// serially in cell order.
 struct SweepMetrics {

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "audit/audit.hpp"
@@ -440,6 +442,167 @@ TEST(Resilience, JournalRefusesAForeignHeader) {
   }
   EXPECT_THROW(exec::CheckpointJournal(dir, "exp", "H", true),
                std::runtime_error);
+}
+
+TEST(Resilience, RetriedCellGetsAFreshWatchdogBudget) {
+  // Regression: deadlines are armed per ATTEMPT, with a generation token so
+  // the stale guard of a timed-out attempt can never disarm whatever was
+  // re-armed into its freed slot. Every cell hangs on attempt 0 and is
+  // legitimately slow on attempt 1 — slow enough that an inherited or
+  // leaked remainder of the first attempt's budget would cancel it (or,
+  // with the slot-reuse bug, let a *different* cell's first attempt hang
+  // forever). All cells completing is the proof.
+  exec::SweepSpec spec;
+  spec.experiment = "fault-test-retry-budget";
+  spec.x_label = "x";
+  spec.machine = {.platform = machines::Platform::GCel, .procs = 4,
+                  .seed = 5};
+  spec.xs = {1, 2};
+  spec.trials = 2;
+  spec.jobs = 2;
+  spec.cell_timeout_ms = 60.0;
+  spec.max_attempts = 2;
+  spec.measure = [](exec::TrialContext& ctx) -> double {
+    if (ctx.attempt == 0) {
+      while (true) ctx.machine.barrier();  // cancelled by the watchdog
+    }
+    // The watchdog's deadline is wall-clock time, so a slow-but-live
+    // attempt has to burn real wall time to prove the budget was re-armed.
+    const auto t0 = std::chrono::steady_clock::now();  // pcm-lint:allow(wallclock)
+    while (std::chrono::steady_clock::now() - t0 <  // pcm-lint:allow(wallclock)
+           std::chrono::milliseconds(30)) {
+      ctx.machine.barrier();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return ctx.x;
+  };
+  const auto r = exec::run_sweep(spec);
+  EXPECT_TRUE(r.ok()) << (r.failures.empty()
+                              ? ""
+                              : r.failures[0].kind + ": " +
+                                    r.failures[0].message);
+}
+
+TEST(Resilience, JournalSkipsAndReportsCorruptInteriorLines) {
+  const std::string dir =
+      testing::TempDir() + "pcm-fault-test-journal-corrupt";
+  std::filesystem::remove_all(dir);
+  std::string path;
+  {
+    exec::CheckpointJournal j(dir, "exp", "H", false);
+    path = j.path();
+    j.append({0, true, 1.5, 1, "", ""});
+    j.append({1, true, 2.5, 1, "", ""});
+    j.append({2, true, 3.5, 1, "", ""});
+  }
+  {
+    // Corrupt the INTERIOR record for cell 1 in place: flip one payload
+    // character so the line still parses shape-wise but fails its checksum.
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    for (std::string l; std::getline(in, l);) lines.push_back(l);
+    in.close();
+    ASSERT_EQ(lines.size(), 4u);  // header + 3 records
+    const auto pos = lines[2].find("cell 1");
+    ASSERT_NE(pos, std::string::npos);
+    lines[2][pos] = 'x';
+    std::ofstream out(path, std::ios::trunc);
+    for (const auto& l : lines) out << l << '\n';
+  }
+  exec::CheckpointJournal j(dir, "exp", "H", true);
+  EXPECT_EQ(j.corrupt_lines(), 1u);
+  EXPECT_EQ(j.loaded().size(), 2u);  // cells 0 and 2 survive, 1 re-runs
+  EXPECT_TRUE(j.loaded().count(0));
+  EXPECT_TRUE(j.loaded().count(2));
+}
+
+TEST(Resilience, JournalRefusesATruncatedHeader) {
+  const std::string dir =
+      testing::TempDir() + "pcm-fault-test-journal-trunchdr";
+  std::filesystem::remove_all(dir);
+  std::string path;
+  {
+    exec::CheckpointJournal j(dir, "exp", "H", false);
+    path = j.path();
+    j.append({0, true, 1.0, 1, "", ""});
+  }
+  {
+    // A header torn mid-write identifies no sweep: refusing beats guessing.
+    std::ofstream out(path, std::ios::trunc);
+    out << "pcm-sweep-jour";
+  }
+  EXPECT_THROW(exec::CheckpointJournal(dir, "exp", "H", true),
+               std::runtime_error);
+}
+
+TEST(Resilience, JournalDuplicateCellLaterWins) {
+  const std::string dir = testing::TempDir() + "pcm-fault-test-journal-dup";
+  std::filesystem::remove_all(dir);
+  {
+    exec::CheckpointJournal j(dir, "exp", "H", false);
+    j.append({4, false, 0.0, 1, "exception", "first try"});
+    j.append({4, true, 7.25, 2, "", ""});
+  }
+  exec::CheckpointJournal j(dir, "exp", "H", true);
+  ASSERT_EQ(j.loaded().size(), 1u);
+  const auto& e = j.loaded().at(4);
+  EXPECT_TRUE(e.ok);
+  EXPECT_EQ(e.us, 7.25);
+  EXPECT_EQ(e.attempts, 2);
+}
+
+TEST(Resilience, LegacyV1JournalStillResumesAndStaysV1) {
+  const std::string dir = testing::TempDir() + "pcm-fault-test-journal-v1";
+  std::filesystem::remove_all(dir);
+  // Find the path the journal would use, then hand-write a v1 file there.
+  std::string path;
+  {
+    exec::CheckpointJournal j(dir, "exp", "H", false);
+    path = j.path();
+  }
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "pcm-sweep-journal v1 H\n"
+        << "cell 0 ok 1 0x1.8p+0\n"
+        << "cell 1 fail 2 audit packet lost\n";
+  }
+  {
+    exec::CheckpointJournal j(dir, "exp", "H", true);
+    ASSERT_EQ(j.loaded().size(), 2u);
+    EXPECT_EQ(j.loaded().at(0).us, 1.5);
+    EXPECT_EQ(j.loaded().at(1).kind, "audit");
+    j.append({2, true, 4.5, 1, "", ""});
+  }
+  // The append went out in the file's own (v1, checksum-free) format, so
+  // the journal stays uniformly parseable...
+  {
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    for (std::string l; std::getline(in, l);) lines.push_back(l);
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_EQ(lines[3].rfind("cell 2 ok", 0), 0u);
+  }
+  // ...and a further resume sees all three cells.
+  exec::CheckpointJournal again(dir, "exp", "H", true);
+  EXPECT_EQ(again.loaded().size(), 3u);
+}
+
+TEST(Resilience, JournalCarriesTheObsTokenThroughARoundTrip) {
+  const std::string dir = testing::TempDir() + "pcm-fault-test-journal-obs";
+  std::filesystem::remove_all(dir);
+  exec::JournalEntry e;
+  e.cell = 9;
+  e.ok = true;
+  e.us = 2.5;
+  e.attempts = 1;
+  e.obs = "machine.barriers=c:12;machine.exchanges=c:5";
+  {
+    exec::CheckpointJournal j(dir, "exp", "H", false);
+    j.append(e);
+  }
+  exec::CheckpointJournal j(dir, "exp", "H", true);
+  ASSERT_EQ(j.loaded().size(), 1u);
+  EXPECT_EQ(j.loaded().at(9).obs, e.obs);
 }
 
 TEST(Resilience, CheckpointedSweepResumesBitIdentically) {

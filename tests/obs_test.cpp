@@ -168,6 +168,37 @@ TEST(ObsMetrics, MergeAddsCountersMaxesGaugesFoldsHistograms) {
   EXPECT_EQ(merged.find("test.m.ctr")->value, 7u);
 }
 
+TEST(ObsMetrics, SnapshotEncodeDecodeRoundTripsExactly) {
+  const auto c = obs::register_metric("test.enc.ctr", obs::MetricKind::Counter);
+  const auto g = obs::register_metric("test.enc.gauge", obs::MetricKind::Gauge);
+  const auto h =
+      obs::register_metric("test.enc.hist", obs::MetricKind::Histogram);
+  obs::Metrics m;
+  m.set_on(true);
+  m.add(c, 12345678901234ull);
+  m.peak(g, 42);
+  m.observe(h, 0);  // bucket 0: the v == 0 edge case
+  m.observe(h, 3);
+  m.observe(h, 1ull << 40);
+  const auto snap = m.snapshot();
+  const std::string token = obs::encode_metrics_snapshot(snap);
+  // One space-free token (it rides a whitespace-delimited journal column).
+  EXPECT_EQ(token.find(' '), std::string::npos);
+  EXPECT_EQ(obs::decode_metrics_snapshot(token), snap);
+  // Empty round-trips to empty.
+  EXPECT_EQ(obs::encode_metrics_snapshot({}), "");
+  EXPECT_TRUE(obs::decode_metrics_snapshot("").empty());
+}
+
+TEST(ObsMetrics, DecodeRejectsMalformedTokensAsEmpty) {
+  const char* bad[] = {"noequals",     "x=q:1",  "x=c:",      "x=c:1junk",
+                       "x=h:1:2",      "x=h:1:2:3:99.1,",     "=c:1",
+                       "a=c:1;;b=c:2", "x=h:1:2:3:65.1"};
+  for (const char* text : bad) {
+    EXPECT_TRUE(obs::decode_metrics_snapshot(text).empty()) << text;
+  }
+}
+
 // ------------------------------------------------------------- span recorder
 
 TEST(ObsSpans, RecorderTilesWithGapFill) {

@@ -34,7 +34,7 @@ PID=$!
 KILLED=0
 i=0
 while [ "$i" -lt 2000 ]; do
-  if grep -q "^cell " "$WORK/journal"/*.journal 2>/dev/null; then
+  if grep -Eq "^([0-9a-f]{16} )?cell " "$WORK/journal"/*.journal 2>/dev/null; then
     if kill -KILL "$PID" 2>/dev/null; then
       KILLED=1
     fi
@@ -53,7 +53,7 @@ if [ -z "$JOURNAL" ]; then
   echo "FAIL: no journal file was written" >&2
   exit 1
 fi
-DONE_BEFORE="$(grep -c "^cell " "$JOURNAL" || true)"
+DONE_BEFORE="$(grep -Ec "^([0-9a-f]{16} )?cell " "$JOURNAL" || true)"
 if [ "$KILLED" -eq 1 ]; then
   echo "   killed mid-sweep with $DONE_BEFORE cells journalled"
 else

@@ -1,0 +1,62 @@
+// Process-plumbing throw-leak fixtures: pipe()/close and fork()/waitpid are
+// manual acquire/release pairs in the shard supervisor, and an escaping
+// throw between the two sides strands a descriptor or a zombie child.
+// Release-before-throw and caught throws stay silent.
+
+namespace pcm::shard {
+
+struct SpawnError {};
+
+int pipe(int* fds);
+int close(int fd);
+int fork();
+int waitpid(int pid, int* st, int flags);
+bool doomed();
+
+// FIRING: both pipe ends are still open when the throw escapes.
+void plumb(int* fds) {
+  pipe(fds);
+  if (doomed()) {
+    throw SpawnError{};
+  }
+  close(fds);
+}
+
+// FIRING: the child is never reaped on the throwing path.
+void spawn_worker(int* st) {
+  int pid = fork();
+  if (doomed()) {
+    throw SpawnError{};
+  }
+  waitpid(pid, st, 0);
+}
+
+// SUPPRESSED: the supervisor's exit path reaps every child, reviewed.
+void spawn_reviewed(int* st) {
+  int pid = fork();
+  if (doomed()) {
+    throw SpawnError{};  // pcm-lint:allow(throw-leak)
+  }
+  waitpid(pid, st, 0);
+}
+
+// CLEAN x2: close before the throw, and a throw that never escapes.
+void plumb_careful(int* fds) {
+  pipe(fds);
+  if (doomed()) {
+    close(fds);
+    throw SpawnError{};
+  }
+  close(fds);
+}
+
+void spawn_contained(int* st) {
+  try {
+    int pid = fork();
+    throw SpawnError{};
+    waitpid(pid, st, 0);
+  } catch (const SpawnError&) {
+  }
+}
+
+}  // namespace pcm::shard

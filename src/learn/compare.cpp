@@ -1,0 +1,85 @@
+#include "learn/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace pcm::learn {
+
+std::string_view to_string(Agreement a) {
+  switch (a) {
+    case Agreement::Agree: return "AGREE";
+    case Agreement::Conflict: return "CONFLICT";
+    case Agreement::Inconclusive: return "INCONCLUSIVE";
+  }
+  return "?";
+}
+
+Verdict compare(const ScalingModel& fitted, const ScalingModel& reference,
+                std::span<const double> xs, const CompareOptions& opts) {
+  Verdict v;
+  v.fitted = fitted;
+  v.reference = reference;
+  if (!fitted.ok || !reference.ok) {
+    v.agreement = Agreement::Inconclusive;
+    v.detail = !fitted.ok ? "no feasible fit for the measured series"
+                          : "no feasible fit for the closed-form curve";
+    return v;
+  }
+
+  const Term& df = fitted.dominant();
+  const Term& dr = reference.dominant();
+  bool exponents_conflict = false;
+  if (opts.metric == ExponentMetric::Terms) {
+    v.exponent_gap = std::abs(df.a - dr.a);
+    exponents_conflict = v.exponent_gap > opts.exponent_tol || df.b != dr.b;
+  } else {
+    // Effective local exponent of c*x^a*log^b(x) at the top of the probed
+    // range: d(log f)/d(log x) = a + b/ln(x).
+    double x_max = 1.0;
+    for (const double x : xs) x_max = std::max(x_max, x);
+    const double lnx = std::log(std::max(x_max, 2.0));
+    v.exponent_gap = std::abs((df.a + df.b / lnx) - (dr.a + dr.b / lnx));
+    exponents_conflict = v.exponent_gap > opts.exponent_tol;
+  }
+  for (const double x : xs) {
+    const double want = reference(x);
+    const double got = fitted(x);
+    const double rel =
+        std::abs(got - want) / std::max(std::abs(want), 1e-300);
+    v.max_rel_err = std::max(v.max_rel_err, rel);
+  }
+
+  std::ostringstream os;
+  os.precision(3);
+  if (exponents_conflict) {
+    v.agreement = Agreement::Conflict;
+    os << "dominant term drifted: fitted " << learn::to_string(df)
+       << " vs closed-form " << learn::to_string(dr);
+  } else if (v.max_rel_err > opts.envelope_tol) {
+    v.agreement = Agreement::Conflict;
+    os << "dominant exponents agree (n^" << df.a << " log^" << df.b
+       << ") but the curves diverge: max pointwise relative error "
+       << v.max_rel_err << " > " << opts.envelope_tol;
+  } else {
+    v.agreement = Agreement::Agree;
+    os << "dominant " << learn::to_string(df) << " ~ "
+       << learn::to_string(dr) << ", max pointwise relative error "
+       << v.max_rel_err;
+  }
+  v.detail = os.str();
+  return v;
+}
+
+Verdict compare_series(std::span<const double> xs, std::span<const double> ys,
+                       const std::function<double(double)>& predictor,
+                       const CompareOptions& opts) {
+  std::vector<double> ref(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) ref[i] = predictor(xs[i]);
+  const ScalingModel fitted = fit(xs, ys, opts.fit);
+  const ScalingModel reference = fit(xs, ref, opts.fit);
+  return compare(fitted, reference, xs, opts);
+}
+
+}  // namespace pcm::learn

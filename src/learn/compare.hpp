@@ -1,0 +1,78 @@
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "learn/fit.hpp"
+
+// The agreement check between an empirically fitted scaling model and the
+// closed-form predictor for the same (algorithm, machine, model) — the
+// predict-then-verify discipline of the BSF/BSP validation studies in
+// PAPERS.md, mechanised. Two curves "agree" when
+//
+//   (1) their dominant exponents match on the hypothesis grid: equal log
+//       power, polynomial exponents within `exponent_tol` (half a default
+//       grid step, so n^3 never rounds to n^2.5), and
+//   (2) the pointwise relative gap between the two curves over the probed
+//       x range stays inside `envelope_tol` (set it to infinity to gate on
+//       shape only — the right setting for simulator-measured series,
+//       where the paper itself reports constant-factor model error).
+//
+// Anything else is a CONFLICT; a fit that never converged (degenerate
+// series, no feasible candidate) is INCONCLUSIVE, never silently green.
+
+namespace pcm::learn {
+
+enum class Agreement { Agree, Conflict, Inconclusive };
+
+[[nodiscard]] std::string_view to_string(Agreement a);
+
+/// How the dominant terms of the two models are compared.
+enum class ExponentMetric {
+  /// Strict term identity: equal log power, polynomial exponents within
+  /// `exponent_tol`. The right metric for exact curves (baseline checks),
+  /// where the same fit options on the same xs must reproduce the same
+  /// term.
+  Terms,
+  /// Effective local exponent d(log f)/d(log x) = a + b/ln(x) of the
+  /// dominant term, evaluated at the largest probed x. The right metric
+  /// for short simulator-measured series, where CV may legitimately trade
+  /// a small constant offset for a log factor — n^3·log n and n^3 are
+  /// within 0.2 of each other at n = 384, and the gate should not care
+  /// which of the two the fitter picked.
+  LocalSlope,
+};
+
+struct CompareOptions {
+  double exponent_tol = 0.26;  ///< Dominant-exponent gap tolerance.
+  double envelope_tol = 0.25;  ///< Max pointwise |rel. gap| between curves.
+  ExponentMetric metric = ExponentMetric::Terms;
+  FitOptions fit;              ///< How the reference curve is (re)fitted.
+};
+
+struct Verdict {
+  Agreement agreement = Agreement::Inconclusive;
+  ScalingModel fitted;     ///< From the measured / probed series.
+  ScalingModel reference;  ///< From the closed-form curve.
+  double exponent_gap = 0.0;  ///< |a_fitted - a_reference| of the dominants.
+  double max_rel_err = 0.0;   ///< Worst pointwise gap, fitted vs reference.
+  std::string detail;         ///< One-line human-readable explanation.
+
+  [[nodiscard]] bool agree() const { return agreement == Agreement::Agree; }
+};
+
+/// Compare two already-fitted models over the probe points `xs` (the
+/// envelope is evaluated there, not extrapolated).
+Verdict compare(const ScalingModel& fitted, const ScalingModel& reference,
+                std::span<const double> xs, const CompareOptions& opts = {});
+
+/// Fit `ys` over `xs`, sample the closed-form `predictor` at the same xs
+/// and fit it too, then compare. This is the whole learn::compare flow the
+/// drift gate and the scoreboard bench run per probe.
+Verdict compare_series(std::span<const double> xs, std::span<const double> ys,
+                       const std::function<double(double)>& predictor,
+                       const CompareOptions& opts = {});
+
+}  // namespace pcm::learn

@@ -1,0 +1,407 @@
+#include "learn/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+#include "algos/bitonic.hpp"
+#include "algos/matmul.hpp"
+#include "algos/samplesort.hpp"
+#include "models/params.hpp"
+#include "predict/apsp_predict.hpp"
+#include "predict/bitonic_predict.hpp"
+#include "predict/matmul_predict.hpp"
+#include "predict/samplesort_predict.hpp"
+#include "sim/rng.hpp"
+
+namespace pcm::learn {
+
+namespace {
+
+using machines::LocalCompute;
+using machines::MachineSpec;
+using machines::Platform;
+using models::MachineModelParams;
+
+std::vector<std::uint32_t> random_keys(std::size_t count,
+                                       std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::uint32_t> keys(count);
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_u64());
+  return keys;
+}
+
+/// The per-machine probe family. The closed forms capture the canonical
+/// Table 1 parameters by value — the probes watch the published model, not
+/// a recalibrated one, so a drift verdict always means "the tree changed",
+/// never "the calibration wandered".
+void add_probes(std::vector<DriftProbe>* out, Platform platform) {
+  const std::string machine{machines::to_string(platform)};
+  const MachineModelParams params =
+      platform == Platform::MasPar ? models::table1::maspar()
+      : platform == Platform::GCel ? models::table1::gcel()
+                                   : models::table1::cm5();
+  const LocalCompute lc = platform == Platform::MasPar
+                              ? machines::maspar_compute()
+                          : platform == Platform::GCel
+                              ? machines::gcel_compute()
+                              : machines::cm5_compute();
+  const MachineSpec mspec{.platform = platform, .procs = 0, .seed = 1105};
+  const bool maspar = platform == Platform::MasPar;
+  // q^3 <= P: the matmul processor-grid side used by the predictors and
+  // (as q^2 | n) by the workload grids below.
+  const int q = maspar ? 10 : 4;
+
+  // --- matmul, T(n) at fixed P: dominant alpha*n^3/P --------------------
+  {
+    DriftProbe p;
+    p.id = "matmul-" + std::string(maspar ? "mp-bsp" : "bsp") + "-vs-n";
+    p.machine = machine;
+    p.kernel = "matmul";
+    p.x_name = "n";
+    p.xs = {128, 256, 512, 768, 1024, 1536, 2048, 3072, 4096};
+    p.expected = {0.0, 3.0, 0};
+    const auto bsp = params.bsp;
+    if (maspar) {
+      p.closed_form = [bsp, lc, q](double n) {
+        return predict::matmul_mp_bsp(bsp, lc, static_cast<long>(n), q);
+      };
+    } else {
+      p.closed_form = [bsp, lc, q](double n) {
+        return predict::matmul_bsp(bsp, lc, static_cast<long>(n), q);
+      };
+    }
+    // Measured side everywhere but the GCel: the matmul exchange pattern
+    // concentrates traffic on mesh rows/columns, and the simulated GCel's
+    // congestion grows superlinearly in the per-step volume at these block
+    // sizes, so its measured curve genuinely leaves the flat-g closed form
+    // (measured/predicted climbs from ~0.9 at n=64 to ~4.7 at n=384 —
+    // exactly the regime the paper's staggered variant exists to soften).
+    // The probe stays analytic there.
+    if (platform != Platform::GCel) {
+      p.mspec = mspec;
+      // n must be a multiple of q^2 for the executable decomposition.
+      p.measured_xs =
+          maspar ? std::vector<double>{100, 200, 300, 400, 500, 600}
+                 : std::vector<double>{64, 128, 192, 256, 320, 384};
+      const auto variant = maspar ? algos::MatmulVariant::MpBsp
+                                  : algos::MatmulVariant::BspStaggered;
+      p.measure = [variant](exec::TrialContext& ctx) {
+        const int n = static_cast<int>(ctx.x);
+        sim::Rng rng(ctx.cell_seed);
+        std::vector<float> a(static_cast<std::size_t>(n) * n);
+        std::vector<float> b(a.size());
+        for (auto& v : a) {
+          v = static_cast<float>(rng.next_double() * 2.0 - 1.0);
+        }
+        for (auto& v : b) {
+          v = static_cast<float>(rng.next_double() * 2.0 - 1.0);
+        }
+        return algos::run_matmul<float>(ctx.machine, a, b, n, variant).time;
+      };
+    }
+    out->push_back(std::move(p));
+  }
+
+  // --- bitonic, T(m) at fixed P: dominant c*m -------------------------
+  {
+    DriftProbe p;
+    p.kernel = "bitonic";
+    p.machine = machine;
+    p.x_name = "m";
+    p.xs = {16, 32, 64, 128, 256, 512, 1024, 2048, 4096};
+    p.expected = {0.0, 1.0, 0};
+    const auto bsp = params.bsp;
+    const auto bpram = params.bpram;
+    algos::BitonicVariant variant = algos::BitonicVariant::Bsp;
+    if (platform == Platform::MasPar) {
+      p.id = "bitonic-mp-bsp-vs-m";
+      p.closed_form = [bsp, lc](double m) {
+        return predict::bitonic_mp_bsp(bsp, lc, static_cast<long>(m));
+      };
+      variant = algos::BitonicVariant::MpBsp;
+    } else if (platform == Platform::GCel) {
+      p.id = "bitonic-bsp-vs-m";
+      p.closed_form = [bsp, lc](double m) {
+        return predict::bitonic_bsp(bsp, lc, static_cast<long>(m));
+      };
+      variant = algos::BitonicVariant::Bsp;
+    } else {
+      p.id = "bitonic-bpram-vs-m";
+      const int w = lc.word_bytes;
+      const int procs = params.bsp.P;
+      p.closed_form = [bpram, lc, w, procs](double m) {
+        return predict::bitonic_bpram(bpram, lc, static_cast<long>(m), w,
+                                      procs);
+      };
+      variant = algos::BitonicVariant::Bpram;
+    }
+    p.mspec = mspec;
+    // The GCel mesh hits a congestion knee past m = 128 (per-key cost
+    // climbs ~7% by 256 and the curve jumps ~5x between 256 and 512 while
+    // the closed form merely doubles), so its grid stops where the
+    // simulator still follows the model's shape.
+    p.measured_xs = platform == Platform::GCel
+                        ? std::vector<double>{8, 16, 32, 64, 128}
+                        : std::vector<double>{16, 32, 64, 128, 256, 512};
+    p.measure = [variant](exec::TrialContext& ctx) {
+      const auto keys = random_keys(
+          static_cast<std::size_t>(ctx.x) *
+              static_cast<std::size_t>(ctx.machine.procs()),
+          ctx.cell_seed);
+      return algos::run_bitonic(ctx.machine, keys, variant).time;
+    };
+    out->push_back(std::move(p));
+  }
+
+  // --- bitonic, T(p) at fixed m: dominant c*log2(p)^2 ------------------
+  // The merge-stage count 0.5*log2(P)*(log2(P)+1) is the only log-power
+  // curve in the paper's closed forms; probing it keeps the learner's log
+  // axis honest (analytic only: P is baked into a simulator instance).
+  {
+    DriftProbe p;
+    p.id = "bitonic-steps-vs-p";
+    p.machine = machine;
+    p.kernel = "bitonic";
+    p.x_name = "p";
+    p.xs = {16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192};
+    p.expected = {0.0, 0.0, 2};
+    const auto bsp = params.bsp;
+    p.closed_form = [bsp, lc](double procs) {
+      models::BspParams at_p = bsp;
+      at_p.P = static_cast<int>(procs);
+      return predict::bitonic_bsp(at_p, lc, 1024);
+    };
+    out->push_back(std::move(p));
+  }
+
+  // --- sample sort, T(m) at fixed P: dominant c*m -----------------------
+  {
+    DriftProbe p;
+    p.machine = machine;
+    p.kernel = "samplesort";
+    p.x_name = "m";
+    p.xs = {256, 512, 1024, 2048, 3072, 4096, 6144, 8192};
+    p.expected = {0.0, 1.0, 0};
+    const auto bsp = params.bsp;
+    const auto bpram = params.bpram;
+    const int w = lc.word_bytes;
+    if (platform == Platform::CM5) {
+      p.id = "samplesort-bpram-vs-m";
+      p.closed_form = [bpram, lc, w](double m) {
+        const long keys = static_cast<long>(m);
+        return predict::samplesort_bpram(bpram, lc, keys, 64,
+                                         keys + keys / 4, w)
+            .total();
+      };
+    } else {
+      p.id = "samplesort-bsp-vs-m";
+      p.closed_form = [bsp, lc](double m) {
+        const long keys = static_cast<long>(m);
+        return predict::samplesort_bsp(bsp, lc, keys, 64, keys + keys / 4)
+            .total();
+      };
+    }
+    if (platform == Platform::GCel) {
+      p.mspec = mspec;
+      p.measured_xs = {256, 512, 1024, 1536, 2048, 3072};
+      p.measure = [](exec::TrialContext& ctx) {
+        const auto keys = random_keys(
+            static_cast<std::size_t>(ctx.x) *
+                static_cast<std::size_t>(ctx.machine.procs()),
+            ctx.cell_seed);
+        return algos::run_samplesort(ctx.machine, keys, 64,
+                                     algos::SampleSortVariant::Bpram)
+            .time;
+      };
+    }
+    out->push_back(std::move(p));
+  }
+
+  // --- APSP, T(n) at fixed P: dominant alpha*n^3/P ----------------------
+  // x grid stays inside the M >= sqrt(P) regime so the closed form is one
+  // smooth piece (the doubling term of the other regime is a different
+  // curve, not noise). Analytic only: the executable Floyd sweep at these
+  // n is host-side O(n^3) per cell.
+  {
+    DriftProbe p;
+    p.id = std::string("apsp-") + (maspar ? "mp-bsp" : "bsp") + "-vs-n";
+    p.machine = machine;
+    p.kernel = "apsp";
+    p.x_name = "n";
+    p.xs = maspar
+               ? std::vector<double>{1024, 1280, 1536, 2048, 2560, 3072,
+                                     3584, 4096}
+               : std::vector<double>{128, 192, 256, 384, 512, 768, 1024,
+                                     1536};
+    p.expected = {0.0, 3.0, 0};
+    const auto bsp = params.bsp;
+    if (maspar) {
+      p.closed_form = [bsp, lc](double n) {
+        return predict::apsp_mp_bsp(bsp, lc, static_cast<long>(n));
+      };
+    } else {
+      p.closed_form = [bsp, lc](double n) {
+        return predict::apsp_bsp(bsp, lc, static_cast<long>(n));
+      };
+    }
+    out->push_back(std::move(p));
+  }
+}
+
+}  // namespace
+
+const std::vector<DriftProbe>& drift_probes() {
+  static const std::vector<DriftProbe> probes = [] {
+    std::vector<DriftProbe> out;
+    add_probes(&out, Platform::MasPar);
+    add_probes(&out, Platform::GCel);
+    add_probes(&out, Platform::CM5);
+    return out;
+  }();
+  return probes;
+}
+
+std::vector<DriftProbe> drift_probes_for(const std::string& machine) {
+  std::vector<DriftProbe> out;
+  for (const DriftProbe& p : drift_probes()) {
+    if (p.machine == machine) out.push_back(p);
+  }
+  return out;
+}
+
+ScalingModel analytic_model(const DriftProbe& probe, const FitOptions& opts) {
+  std::vector<double> ys(probe.xs.size());
+  for (std::size_t i = 0; i < probe.xs.size(); ++i) {
+    ys[i] = probe.closed_form(probe.xs[i]);
+  }
+  return fit(probe.xs, ys, opts);
+}
+
+Baseline make_baseline(const std::string& machine, const FitOptions& opts) {
+  const std::vector<DriftProbe> probes = drift_probes_for(machine);
+  if (probes.empty()) {
+    throw std::invalid_argument("make_baseline: unknown machine '" + machine +
+                                "'");
+  }
+  Baseline b;
+  b.machine = machine;
+  for (const DriftProbe& p : probes) {
+    const ScalingModel model = analytic_model(p, opts);
+    if (!model.ok) {
+      throw std::runtime_error("make_baseline: no feasible fit for probe '" +
+                               p.id + "'");
+    }
+    b.entries.push_back({p.id, p.xs, model.terms, model.cv_error});
+  }
+  return b;
+}
+
+std::vector<ProbeVerdict> check_baseline(const Baseline& baseline,
+                                         const CompareOptions& opts) {
+  const std::vector<DriftProbe> probes = drift_probes_for(baseline.machine);
+  std::vector<ProbeVerdict> out;
+
+  for (const BaselineEntry& entry : baseline.entries) {
+    ProbeVerdict pv;
+    pv.probe = entry.probe;
+    const auto it =
+        std::find_if(probes.begin(), probes.end(),
+                     [&](const DriftProbe& p) { return p.id == entry.probe; });
+    if (it == probes.end()) {
+      pv.drifted = true;
+      pv.verdict.agreement = Agreement::Conflict;
+      pv.verdict.detail =
+          "baseline entry has no probe in the current tree (renamed or "
+          "deleted probe? regenerate with --write-baseline)";
+      out.push_back(std::move(pv));
+      continue;
+    }
+    // Re-fit on the baseline's own x grid, so an old baseline stays
+    // comparable even after the registry's default grid moves.
+    std::vector<double> ys(entry.xs.size());
+    for (std::size_t i = 0; i < entry.xs.size(); ++i) {
+      ys[i] = it->closed_form(entry.xs[i]);
+    }
+    ScalingModel current = fit(entry.xs, ys, opts.fit);
+    ScalingModel recorded;
+    recorded.ok = true;
+    recorded.terms = entry.terms;
+    recorded.cv_error = entry.cv_error;
+    pv.verdict = compare(current, recorded, entry.xs, opts);
+    pv.drifted = pv.verdict.agreement != Agreement::Agree;
+    out.push_back(std::move(pv));
+  }
+
+  // The inverse direction: a probe the baseline never mentions.
+  for (const DriftProbe& p : probes) {
+    const bool listed =
+        std::any_of(baseline.entries.begin(), baseline.entries.end(),
+                    [&](const BaselineEntry& e) { return e.probe == p.id; });
+    if (listed) continue;
+    ProbeVerdict pv;
+    pv.probe = p.id;
+    pv.drifted = true;
+    pv.verdict.agreement = Agreement::Conflict;
+    pv.verdict.detail =
+        "probe exists in the tree but not in the baseline (regenerate with "
+        "--write-baseline)";
+    out.push_back(std::move(pv));
+  }
+  return out;
+}
+
+Verdict measured_verdict(const DriftProbe& probe, int jobs, bool quick) {
+  if (!probe.has_measured()) {
+    throw std::invalid_argument("measured_verdict: probe '" + probe.id +
+                                "' is analytic-only");
+  }
+  exec::SweepSpec spec;
+  spec.experiment = "drift-" + probe.id;
+  spec.x_label = probe.x_name;
+  spec.y_label = "time (us)";
+  spec.xs = probe.measured_xs;
+  if (quick && spec.xs.size() > 4) {
+    // Subsample to 4 points but keep both endpoints: exponent
+    // identifiability lives in the x *range*, not the point count.
+    const std::vector<double> all = spec.xs;
+    spec.xs.clear();
+    for (std::size_t i = 0; i < 4; ++i) {
+      spec.xs.push_back(all[i * (all.size() - 1) / 3]);
+    }
+  }
+  spec.trials = 1;
+  spec.jobs = jobs;
+  spec.machine = probe.mspec;
+  spec.measure = probe.measure;
+  const exec::SweepResult result = exec::run_sweep(spec);
+  if (!result.ok()) {
+    Verdict v;
+    v.agreement = Agreement::Inconclusive;
+    v.detail = std::to_string(result.failures.size()) +
+               " cell(s) failed in the measured sweep";
+    return v;
+  }
+  CompareOptions opts;
+  // The paper's own model error is a constant factor (Fig 5: ~2x); the
+  // measured gate is about the *shape*, so the envelope is off.
+  opts.envelope_tol = std::numeric_limits<double>::infinity();
+  // Simulated series are short (a handful of x values) and carry genuine
+  // non-model structure (MIMD clock drift, cache effects, congestion), so
+  // an unconstrained 3-term fit over the full grid can chase that structure
+  // into absurd dominants. Two terms is exactly the shape every closed form
+  // has over these ranges (dominant + one correction), and the reference
+  // curve is refitted under the same constraint, so the comparison stays
+  // symmetric. The gate compares effective local exponents rather than
+  // term identity for the same reason: on a short series CV may trade a
+  // constant offset for a log factor, and n^3 log n vs n^3 is not a drift.
+  opts.fit.grid.max_terms = 2;
+  opts.metric = ExponentMetric::LocalSlope;
+  const std::vector<double> xs = result.series.xs();
+  const std::vector<double> ys = result.series.measured_means();
+  return compare_series(xs, ys, probe.closed_form, opts);
+}
+
+}  // namespace pcm::learn

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/sweep.hpp"
+#include "learn/compare.hpp"
+#include "learn/model_io.hpp"
+#include "machines/machine.hpp"
+
+// The model-drift probe registry: the fixed set of (kernel, machine, model)
+// scaling curves the drift gate watches, shared by tools/model_drift, the
+// bench/ext_fitted_vs_closed_form scoreboard and tests/model_drift_test.
+//
+// Every probe has an *analytic* side — the closed-form pcm::predict curve
+// with the canonical Table 1 parameters, sampled on a fixed x grid and
+// fitted with learn::fit; its fitted terms are what MODELS_*.json pins
+// down. Probes whose kernel is cheap to simulate also carry a *measured*
+// side — an exec sweep of the real simulator — so learn::compare can
+// verify that the machine's empirical scaling still agrees with the
+// closed form (dominant exponent; the envelope is deliberately loose or
+// off there, because the paper itself reports constant-factor model error,
+// e.g. the factor ~2 of Fig 5).
+
+namespace pcm::learn {
+
+struct DriftProbe {
+  std::string id;       ///< e.g. "matmul-mp-bsp-vs-n"; unique.
+  std::string machine;  ///< "maspar", "gcel" or "cm5".
+  std::string kernel;   ///< "matmul", "bitonic", "samplesort", "apsp".
+  std::string x_name;   ///< What x sweeps: "n", "m", "p".
+  std::vector<double> xs;
+  std::function<double(double)> closed_form;  ///< x -> predicted µs.
+  Term expected;  ///< Theoretical dominant term (c unused).
+
+  // Measured side; absent (empty measure) for analytic-only probes.
+  std::function<double(exec::TrialContext&)> measure;
+  machines::MachineSpec mspec;
+  std::vector<double> measured_xs;  ///< Usually a cheaper prefix of xs.
+
+  [[nodiscard]] bool has_measured() const { return measure != nullptr; }
+};
+
+/// The full registry, in deterministic registration order.
+const std::vector<DriftProbe>& drift_probes();
+
+/// The registry filtered to one machine name ("maspar", "gcel", "cm5").
+std::vector<DriftProbe> drift_probes_for(const std::string& machine);
+
+/// Fit the probe's sampled closed form on its x grid.
+ScalingModel analytic_model(const DriftProbe& probe,
+                            const FitOptions& opts = {});
+
+/// Regenerate the baseline for one machine: every probe of that machine,
+/// fitted from the current closed forms.
+Baseline make_baseline(const std::string& machine,
+                       const FitOptions& opts = {});
+
+/// One probe's drift-check outcome.
+struct ProbeVerdict {
+  std::string probe;
+  Verdict verdict;
+  bool drifted = false;  ///< True unless the verdict is Agree.
+};
+
+/// Check a loaded baseline against the current closed forms: each entry is
+/// re-fitted on the baseline's own x grid and compared (dominant exponent
+/// + pointwise envelope) against the baseline's recorded terms. A baseline
+/// entry naming an unknown probe, or a current probe missing from the
+/// baseline, is reported as drift too — a gate that silently shrinks is no
+/// gate.
+std::vector<ProbeVerdict> check_baseline(const Baseline& baseline,
+                                         const CompareOptions& opts = {});
+
+/// Run the probe's measured side (an exec sweep; honours the active
+/// fault/audit/race configuration like any sweep) and compare the fitted
+/// empirical model against the closed form, gating on the dominant
+/// exponent only (envelope off). `jobs` is forwarded to the sweep engine.
+/// Requires probe.has_measured().
+Verdict measured_verdict(const DriftProbe& probe, int jobs = 1,
+                         bool quick = false);
+
+}  // namespace pcm::learn

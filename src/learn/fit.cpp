@@ -1,0 +1,327 @@
+#include "learn/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/fit.hpp"
+
+namespace pcm::learn {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Absolute floor of the Occam slack window: two candidates whose CV
+/// errors both sit below numerical noise are "tied" regardless of ratio.
+constexpr double kSlackFloor = 1e-9;
+
+struct Basis {
+  double a = 0.0;
+  int b = 0;
+};
+
+double basis_value(const Basis& f, double x) {
+  double v = std::pow(x, f.a);
+  const double lg = std::log2(x);
+  for (int k = 0; k < f.b; ++k) v *= lg;
+  return v;
+}
+
+/// The grid's basis functions in deterministic (a, b)-sorted order.
+std::vector<Basis> make_basis(const HypothesisGrid& grid) {
+  std::vector<Basis> basis;
+  basis.reserve(grid.basis_size());
+  std::vector<double> as = grid.exponents;
+  std::vector<int> bs = grid.log_powers;
+  std::sort(as.begin(), as.end());
+  as.erase(std::unique(as.begin(), as.end()), as.end());
+  std::sort(bs.begin(), bs.end());
+  bs.erase(std::unique(bs.begin(), bs.end()), bs.end());
+  for (const double a : as) {
+    for (const int b : bs) basis.push_back({a, b});
+  }
+  return basis;
+}
+
+/// Weighted, column-equilibrated least squares for one candidate subset on
+/// the point range [rows]. Returns false when the system is
+/// underdetermined or singular (the flagged-failure path).
+bool solve_subset(const std::vector<std::vector<double>>& phi,  // [basis][pt]
+                  const std::vector<double>& wy,                // w*y
+                  const std::vector<std::size_t>& rows,
+                  std::span<const int> subset, double* coef) {
+  const std::size_t k = subset.size();
+  if (rows.size() < k) return false;
+  // Per-column equilibration: n^3 next to a constant spans ~20 orders of
+  // magnitude; normal equations square that. Scaling each column to unit
+  // max keeps solve_dense's pivoting meaningful.
+  double scale[8];
+  for (std::size_t j = 0; j < k; ++j) {
+    double m = 0.0;
+    for (const std::size_t i : rows) {
+      m = std::max(m, std::abs(phi[static_cast<std::size_t>(subset[j])][i]));
+    }
+    if (m <= 0.0 || !std::isfinite(m)) return false;
+    scale[j] = 1.0 / m;
+  }
+  double ata[64] = {};
+  double atb[8] = {};
+  for (const std::size_t i : rows) {
+    double row[8];
+    for (std::size_t j = 0; j < k; ++j) {
+      row[j] = phi[static_cast<std::size_t>(subset[j])][i] * scale[j];
+    }
+    for (std::size_t r = 0; r < k; ++r) {
+      atb[r] += row[r] * wy[i];
+      for (std::size_t c = 0; c < k; ++c) ata[r * k + c] += row[r] * row[c];
+    }
+  }
+  if (!sim::solve_dense(ata, atb, static_cast<int>(k))) return false;
+  for (std::size_t j = 0; j < k; ++j) {
+    coef[j] = atb[j] * scale[j];
+    if (!std::isfinite(coef[j])) return false;
+  }
+  return true;
+}
+
+double predict_subset(const std::vector<Basis>& basis,
+                      std::span<const int> subset, const double* coef,
+                      double x) {
+  double v = 0.0;
+  for (std::size_t j = 0; j < subset.size(); ++j) {
+    v += coef[j] * basis_value(basis[static_cast<std::size_t>(subset[j])], x);
+  }
+  return v;
+}
+
+}  // namespace
+
+double ScalingModel::operator()(double n) const {
+  double v = 0.0;
+  for (const Term& t : terms) v += t.c * basis_value({t.a, t.b}, n);
+  return v;
+}
+
+std::string to_string(const Term& t) {
+  std::ostringstream os;
+  os.precision(3);
+  os << t.c;
+  if (t.a != 0.0) os << "*n^" << t.a;
+  if (t.b == 1) {
+    os << "*log2(n)";
+  } else if (t.b > 1) {
+    os << "*log2(n)^" << t.b;
+  }
+  return os.str();
+}
+
+std::string ScalingModel::to_string() const {
+  if (!ok) return "<no fit>";
+  std::string s;
+  // Dominant term first: that is what a reader (and the drift gate) cares
+  // about; terms are stored in ascending growth order.
+  for (auto it = terms.rbegin(); it != terms.rend(); ++it) {
+    if (!s.empty()) s += " + ";
+    s += learn::to_string(*it);
+  }
+  return s;
+}
+
+ScalingModel fit(std::span<const double> x, std::span<const double> y,
+                 const FitOptions& opts) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("learn::fit: x/y size mismatch");
+  }
+  for (const double xi : x) {
+    if (!(xi > 0.0)) {
+      throw std::invalid_argument(
+          "learn::fit: every x must be positive (log2(x) basis)");
+    }
+  }
+
+  ScalingModel model;
+  const std::size_t n = x.size();
+  if (n < 2) return model;
+
+  // Determinism anchor: sort the point multiset. Everything after this
+  // line sees the same sequence no matter how the caller ordered it.
+  std::vector<std::pair<double, double>> pts(n);
+  for (std::size_t i = 0; i < n; ++i) pts[i] = {x[i], y[i]};
+  std::sort(pts.begin(), pts.end());
+  if (pts.front().first == pts.back().first) return model;  // one distinct x
+
+  double ymax = 0.0;
+  for (const auto& [xi, yi] : pts) ymax = std::max(ymax, std::abs(yi));
+  if (ymax <= 0.0) return model;  // identically-zero series: nothing to fit
+  const double tiny = ymax * 1e-12;
+
+  const std::vector<Basis> basis = make_basis(opts.grid);
+  const int nb = static_cast<int>(basis.size());
+  const int max_terms =
+      std::min(std::max(opts.grid.max_terms, 1), std::min(nb, 8));
+
+  // Precompute the weighted design matrix once: phi[j][i] = w_i * f_j(x_i)
+  // with the relative-error weights w_i = 1/max(|y_i|, tiny).
+  std::vector<double> w(n), wy(n), ys(n);
+  std::vector<std::vector<double>> phi(basis.size(), std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& [xi, yi] = pts[i];
+    w[i] = 1.0 / std::max(std::abs(yi), tiny);
+    wy[i] = w[i] * yi;
+    ys[i] = yi;
+    for (std::size_t j = 0; j < basis.size(); ++j) {
+      phi[j][i] = w[i] * basis_value(basis[j], xi);
+    }
+  }
+
+  std::vector<std::size_t> all_rows(n);
+  for (std::size_t i = 0; i < n; ++i) all_rows[i] = i;
+
+  const int folds = std::max(2, std::min(opts.folds, static_cast<int>(n)));
+  std::vector<std::vector<std::size_t>> train(folds), held(folds);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int f = static_cast<int>(i) % folds;
+    held[f].push_back(i);
+    for (int g = 0; g < folds; ++g) {
+      if (g != f) train[g].push_back(i);
+    }
+  }
+
+  struct Candidate {
+    std::vector<int> subset;
+    double coef[8];
+    double cv = kInf;
+    double se = 0.0;  ///< Standard error of the per-fold means.
+  };
+  std::vector<Candidate> feasible;
+
+  // Deterministic lexicographic enumeration of subsets, sizes 1..max_terms.
+  std::vector<int> subset;
+  auto consider = [&](const std::vector<int>& s) {
+    Candidate cand;
+    cand.subset = s;
+    // Full-data fit first: feasibility (solvable, finite, positive dominant
+    // coefficient) is a property of the candidate, not of a fold.
+    if (!solve_subset(phi, wy, all_rows, s, cand.coef)) return;
+    if (cand.coef[s.size() - 1] <= 0.0) return;  // basis order == growth order
+    std::vector<double> fold_err;
+    fold_err.reserve(static_cast<std::size_t>(folds));
+    int cv_folds = 0;
+    for (int f = 0; f < folds; ++f) {
+      if (held[f].empty()) continue;
+      double coef[8];
+      if (!solve_subset(phi, wy, train[f], s, coef)) return;  // infeasible
+      double err = 0.0;
+      for (const std::size_t i : held[f]) {
+        const double pred = predict_subset(basis, s, coef, pts[i].first);
+        err += std::abs(pred - ys[i]) / std::max(std::abs(ys[i]), tiny);
+      }
+      fold_err.push_back(err / static_cast<double>(held[f].size()));
+      ++cv_folds;
+    }
+    if (cv_folds == 0) return;
+    double cv_sum = 0.0;
+    for (const double e : fold_err) cv_sum += e;
+    cand.cv = cv_sum / cv_folds;
+    if (!std::isfinite(cand.cv)) return;
+    if (cv_folds > 1) {
+      double var = 0.0;
+      for (const double e : fold_err) {
+        const double d = e - cand.cv;
+        var += d * d;
+      }
+      cand.se = std::sqrt(var / (cv_folds - 1)) /
+                std::sqrt(static_cast<double>(cv_folds));
+    }
+    feasible.push_back(std::move(cand));
+  };
+  auto enumerate = [&](auto&& self, int next, int remaining) -> void {
+    if (!subset.empty()) consider(subset);
+    if (remaining == 0) return;
+    for (int j = next; j < nb; ++j) {
+      subset.push_back(j);
+      self(self, j + 1, remaining - 1);
+      subset.pop_back();
+    }
+  };
+  enumerate(enumerate, 0, max_terms);
+
+  if (feasible.empty()) return model;
+
+  // The Occam window: everything statistically indistinguishable from the
+  // best CV score. The one-standard-error rule supplies the statistical
+  // slack (fold-to-fold variance of the best candidate — on a noisy series
+  // CV scores of rival shapes differ by chance amounts far beyond any fixed
+  // percentage), `occam_slack` a multiplicative floor for noise-free fits.
+  const Candidate* best = &feasible.front();
+  for (const Candidate& c : feasible) {
+    if (c.cv < best->cv) best = &c;
+  }
+  const double threshold =
+      best->cv * (1.0 + opts.occam_slack) + best->se + kSlackFloor;
+  // Within the window, prefer (1) fewer terms, then (2) the slower-growing
+  // dominant — the weakest asymptotic claim the data supports; this is what
+  // stops +-5% noise from upgrading n^3 to n^3*log^2(n) — then (3) the
+  // smaller score; enumeration order breaks exact ties.
+  const Candidate* winner = nullptr;
+  for (const Candidate& c : feasible) {
+    if (c.cv > threshold) continue;
+    if (winner == nullptr) {
+      winner = &c;
+      continue;
+    }
+    if (c.subset.size() != winner->subset.size()) {
+      if (c.subset.size() < winner->subset.size()) winner = &c;
+      continue;
+    }
+    const Basis& cd = basis[static_cast<std::size_t>(c.subset.back())];
+    const Basis& wd = basis[static_cast<std::size_t>(winner->subset.back())];
+    if (cd.a != wd.a || cd.b != wd.b) {
+      if (cd.a < wd.a || (cd.a == wd.a && cd.b < wd.b)) winner = &c;
+      continue;
+    }
+    if (c.cv < winner->cv) winner = &c;
+  }
+
+  model.ok = true;
+  model.cv_error = winner->cv;
+  for (std::size_t j = 0; j < winner->subset.size(); ++j) {
+    const Basis& f = basis[static_cast<std::size_t>(winner->subset[j])];
+    model.terms.push_back({winner->coef[j], f.a, f.b});
+  }
+  double ss_res = 0.0, ss_tot = 0.0, rel = 0.0, mean_y = 0.0, ss_yy = 0.0;
+  for (const double yi : ys) {
+    mean_y += yi;
+    ss_yy += yi * yi;
+  }
+  mean_y /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pred = model(pts[i].first);
+    const double e = ys[i] - pred;
+    ss_res += e * e;
+    const double d = ys[i] - mean_y;
+    ss_tot += d * d;
+    const double r = e / std::max(std::abs(ys[i]), tiny);
+    rel += r * r;
+  }
+  model.train_error = std::sqrt(rel / static_cast<double>(n));
+  // Constant y (ss_tot == 0): r2 is 1 when the model reproduces it to
+  // within solver rounding, 0 otherwise — never the 0/0 NaN.
+  model.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot
+                          : (ss_res <= ss_yy * 1e-24 ? 1.0 : 0.0);
+  return model;
+}
+
+ScalingModel fit(const core::ValidationSeries& series, const FitOptions& opts) {
+  std::vector<double> x, y;
+  for (const core::MeasuredPoint& p : series.points) {
+    if (p.measured.n == 0) continue;  // every trial of this x failed
+    x.push_back(p.x);
+    y.push_back(p.measured.mean);
+  }
+  return fit(x, y, opts);
+}
+
+}  // namespace pcm::learn

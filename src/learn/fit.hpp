@@ -1,0 +1,88 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/series.hpp"
+#include "exec/sweep.hpp"
+#include "learn/grid.hpp"
+
+// Cross-validated multi-term scaling-model fitting, layered on the
+// sim::fit least-squares core (sim::solve_dense). The inverse of
+// src/predict/: where the predictors go from a closed form to a curve,
+// learn::fit goes from a sweep series back to the closed form's shape.
+//
+// Method (the Extra-P recipe adapted to this repo's determinism rules):
+//
+//   1. Sort the (x, y) points by (x, y). Every later step runs in that
+//      order, so the fit is a pure function of the point *set* — permuting
+//      the input, or producing it with a different --jobs value, yields a
+//      bit-identical model.
+//   2. Enumerate every subset of the hypothesis grid with 1..max_terms
+//      terms, in deterministic lexicographic order.
+//   3. For each subset, solve the relative-error-weighted least squares
+//      (weights 1/max(|y|, eps): a ±5% multiplicative noise floor is the
+//      measurement model, not an additive one) via the normal equations
+//      and sim::solve_dense, with per-column equilibration so n^3 next to
+//      a constant term stays solvable in doubles.
+//   4. Score each subset by k-fold cross-validation: folds are assigned
+//      round-robin over the sorted points (no RNG — determinism again),
+//      each fold is predicted by a model trained on the others, and the
+//      score is the mean relative error on held-out points.
+//   5. Select with an Occam window around the best CV score (the one-
+//      standard-error rule: best score + the SE of its fold means, plus
+//      `occam_slack` as a multiplicative floor for noise-free series).
+//      Within the window prefer fewer terms, then the slower-growing
+//      dominant term (the weakest asymptotic claim the data supports),
+//      then the smaller score, then the lexicographically smaller subset.
+//
+// Candidates with a non-finite coefficient, a non-positive dominant
+// coefficient, or a singular/underdetermined training system are rejected
+// outright — a flagged failure, never garbage coefficients.
+
+namespace pcm::learn {
+
+/// A fitted scaling model: terms in ascending growth order (terms.back()
+/// is the dominant one), plus the selection diagnostics.
+struct ScalingModel {
+  std::vector<Term> terms;
+  double cv_error = 0.0;     ///< Mean held-out relative error of the winner.
+  double train_error = 0.0;  ///< RMS relative residual on all points.
+  double r2 = 0.0;           ///< Unweighted coefficient of determination.
+  bool ok = false;           ///< False: no feasible candidate (degenerate input).
+
+  [[nodiscard]] double operator()(double n) const;
+  /// The asymptotically dominant term. Requires ok.
+  [[nodiscard]] const Term& dominant() const { return terms.back(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct FitOptions {
+  HypothesisGrid grid;
+  int folds = 5;  ///< k in k-fold CV; capped at the point count.
+  /// Relative slack on the best CV score inside which a simpler candidate
+  /// (fewer terms, then slower dominant) wins. Added on top of the best
+  /// candidate's one-standard-error band; an absolute floor of 1e-9 keeps
+  /// exact (zero-error) fits comparable.
+  double occam_slack = 0.05;
+};
+
+/// Fit a model to raw points. Throws std::invalid_argument when sizes
+/// mismatch or any x <= 0 (log2 must be evaluable); returns ok=false when
+/// fewer than two distinct x values or no feasible candidate survive.
+ScalingModel fit(std::span<const double> x, std::span<const double> y,
+                 const FitOptions& opts = {});
+
+/// Fit the measured means of a validation series (points whose trials all
+/// failed — empty summaries — are skipped).
+ScalingModel fit(const core::ValidationSeries& series,
+                 const FitOptions& opts = {});
+
+/// Fit a sweep result's measured series directly.
+inline ScalingModel fit(const exec::SweepResult& result,
+                        const FitOptions& opts = {}) {
+  return fit(result.series, opts);
+}
+
+}  // namespace pcm::learn

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+// The discrete hypothesis space of the empirical scaling-model learner
+// (Extra-P's "performance model normal form", PAPERS.md): a candidate model
+// is a sum of at most `max_terms` distinct basis functions
+//
+//   f(n) = sum_i  c_i * n^a_i * log2(n)^b_i
+//
+// with the polynomial exponents a and the log powers b drawn from small
+// explicit grids. Keeping the space discrete is what makes "the dominant
+// exponent changed" a crisp, gateable statement: a fit never reports
+// n^2.93, it reports the grid member that survives cross-validation.
+
+namespace pcm::learn {
+
+/// One model term c * n^a * log2(n)^b. Identity within a grid is (a, b);
+/// c is the fitted coefficient.
+struct Term {
+  double c = 0.0;
+  double a = 0.0;  ///< Polynomial exponent (grid member).
+  int b = 0;       ///< Power of log2(n) (grid member).
+
+  /// Asymptotic-growth order: lexicographic in (a, b). log factors only
+  /// break ties between equal polynomial exponents.
+  [[nodiscard]] friend bool grows_slower(const Term& lhs, const Term& rhs) {
+    if (lhs.a != rhs.a) return lhs.a < rhs.a;
+    return lhs.b < rhs.b;
+  }
+};
+
+/// The exponent grids candidate terms are drawn from. Defaults cover every
+/// closed form in src/predict/: constants, the linear per-key costs, the
+/// n^2 / n^3 matmul and APSP terms, the half-integer sqrt(P) shapes of
+/// T_unb, and the log^2(P) bitonic merge-stage count.
+struct HypothesisGrid {
+  std::vector<double> exponents = {0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0};
+  std::vector<int> log_powers = {0, 1, 2};
+  int max_terms = 3;  ///< Largest candidate term count enumerated.
+
+  /// Number of basis functions (|exponents| * |log_powers|).
+  [[nodiscard]] std::size_t basis_size() const {
+    return exponents.size() * log_powers.size();
+  }
+};
+
+/// Render "c*n^a*log2(n)^b" with trivial factors elided.
+std::string to_string(const Term& t);
+
+}  // namespace pcm::learn

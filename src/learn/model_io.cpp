@@ -1,0 +1,280 @@
+#include "learn/model_io.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace pcm::learn {
+
+namespace {
+
+// --- writing ----------------------------------------------------------------
+
+/// Shortest decimal form that round-trips a double exactly.
+std::string num(double v) {
+  char buf[40];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) break;
+  }
+  return buf;
+}
+
+// --- a minimal JSON reader --------------------------------------------------
+
+struct Json {
+  enum class Kind { Null, Number, String, Array, Object } kind = Kind::Null;
+  double number = 0.0;
+  std::string string;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;  // sorted: key order never matters
+
+  [[nodiscard]] const Json* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing garbage after the document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < pos_ && i < s_.size(); ++i) {
+      if (s_[i] == '\n') ++line;
+    }
+    throw std::invalid_argument("baseline JSON, line " + std::to_string(line) +
+                                ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  Json value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        Json v;
+        v.kind = Json::Kind::String;
+        v.string = string();
+        return v;
+      }
+      default: return number();
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("unterminated escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default: fail("unsupported escape in string");
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= s_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a JSON value");
+    Json v;
+    v.kind = Json::Kind::Number;
+    try {
+      std::size_t used = 0;
+      v.number = std::stod(s_.substr(start, pos_ - start), &used);
+      if (used != pos_ - start) fail("malformed number");
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+    if (!std::isfinite(v.number)) fail("non-finite number");
+    return v;
+  }
+
+  Json array() {
+    expect('[');
+    Json v;
+    v.kind = Json::Kind::Array;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  Json object() {
+    expect('{');
+    Json v;
+    v.kind = Json::Kind::Object;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      const std::string key = string();
+      expect(':');
+      v.object[key] = value();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+const Json& require(const Json* v, const char* key) {
+  if (v == nullptr) {
+    throw std::invalid_argument(std::string("baseline JSON: missing key '") +
+                                key + "'");
+  }
+  return *v;
+}
+
+double require_number(const Json& parent, const char* key) {
+  const Json& v = require(parent.find(key), key);
+  if (v.kind != Json::Kind::Number) {
+    throw std::invalid_argument(std::string("baseline JSON: '") + key +
+                                "' must be a number");
+  }
+  return v.number;
+}
+
+}  // namespace
+
+std::string write_baseline_json(const Baseline& baseline) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"comment\": [\n"
+     << "    \"Fitted scaling-model baseline for the " << baseline.machine
+     << " drift probes.\",\n"
+     << "    \"Terms are c*n^a*log2(n)^b in ascending growth order; the "
+        "last\",\n"
+     << "    \"term of each probe is its dominant exponent. Regenerate "
+        "with\",\n"
+     << "    \"tools/model_drift --write-baseline after an intentional "
+        "cost-model\",\n"
+     << "    \"change; CI runs tools/model_drift --check against this "
+        "file.\"\n"
+     << "  ],\n";
+  os << "  \"machine\": \"" << baseline.machine << "\",\n";
+  os << "  \"probes\": {";
+  for (std::size_t e = 0; e < baseline.entries.size(); ++e) {
+    const BaselineEntry& entry = baseline.entries[e];
+    os << (e == 0 ? "\n" : ",\n");
+    os << "    \"" << entry.probe << "\": {\n";
+    os << "      \"xs\": [";
+    for (std::size_t i = 0; i < entry.xs.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << num(entry.xs[i]);
+    }
+    os << "],\n";
+    os << "      \"cv_error\": " << num(entry.cv_error) << ",\n";
+    os << "      \"terms\": [";
+    for (std::size_t i = 0; i < entry.terms.size(); ++i) {
+      const Term& t = entry.terms[i];
+      os << (i == 0 ? "\n" : ",\n");
+      os << "        {\"c\": " << num(t.c) << ", \"a\": " << num(t.a)
+         << ", \"b\": " << t.b << "}";
+    }
+    os << "\n      ]\n";
+    os << "    }";
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+Baseline parse_baseline_json(const std::string& text) {
+  const Json doc = Parser(text).parse();
+  if (doc.kind != Json::Kind::Object) {
+    throw std::invalid_argument("baseline JSON: document must be an object");
+  }
+  Baseline b;
+  const Json& machine = require(doc.find("machine"), "machine");
+  if (machine.kind != Json::Kind::String) {
+    throw std::invalid_argument("baseline JSON: 'machine' must be a string");
+  }
+  b.machine = machine.string;
+  const Json& probes = require(doc.find("probes"), "probes");
+  if (probes.kind != Json::Kind::Object) {
+    throw std::invalid_argument("baseline JSON: 'probes' must be an object");
+  }
+  for (const auto& [id, body] : probes.object) {
+    BaselineEntry entry;
+    entry.probe = id;
+    const Json& xs = require(body.find("xs"), "xs");
+    for (const Json& x : xs.array) entry.xs.push_back(x.number);
+    entry.cv_error = require_number(body, "cv_error");
+    const Json& terms = require(body.find("terms"), "terms");
+    for (const Json& t : terms.array) {
+      Term term;
+      term.c = require_number(t, "c");
+      term.a = require_number(t, "a");
+      term.b = static_cast<int>(require_number(t, "b"));
+      entry.terms.push_back(term);
+    }
+    if (entry.terms.empty()) {
+      throw std::invalid_argument("baseline JSON: probe '" + id +
+                                  "' has no terms");
+    }
+    b.entries.push_back(std::move(entry));
+  }
+  return b;
+}
+
+}  // namespace pcm::learn

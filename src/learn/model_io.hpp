@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "learn/fit.hpp"
+
+// (De)serialisation of fitted scaling models as the checked-in MODELS_*.json
+// baselines — the scaling analogue of BENCH_hotloop.json. A baseline file
+// records, per drift probe, the x grid the fit was made on and the fitted
+// terms in ascending growth order; `tools/model_drift --check` re-derives
+// the same fits from the current tree and fails on disagreement, and
+// `--write-baseline` regenerates the files after an intentional change.
+//
+// The JSON subset used is deliberately tiny (objects, arrays, strings,
+// finite numbers) and both directions live here so the round-trip is
+// testable without the tool binary.
+
+namespace pcm::learn {
+
+struct BaselineEntry {
+  std::string probe;        ///< Probe id, e.g. "matmul-mp-bsp-vs-n".
+  std::vector<double> xs;   ///< The x grid the model was fitted on.
+  std::vector<Term> terms;  ///< Ascending growth order; back() dominant.
+  double cv_error = 0.0;
+};
+
+struct Baseline {
+  std::string machine;  ///< "MasPar", "GCel" or "CM-5".
+  std::vector<BaselineEntry> entries;
+};
+
+/// Render a baseline as pretty-printed JSON (stable key order, '\n' line
+/// ends, round-trippable doubles).
+std::string write_baseline_json(const Baseline& baseline);
+
+/// Parse a baseline written by write_baseline_json (or by hand). Throws
+/// std::invalid_argument with a one-line diagnostic on malformed input.
+Baseline parse_baseline_json(const std::string& text);
+
+}  // namespace pcm::learn

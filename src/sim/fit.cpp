@@ -1,6 +1,5 @@
 #include "sim/fit.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <cstring>
 
@@ -24,8 +23,58 @@ bool normal_solve(std::span<const double> x, std::span<const double> y,
     }
   }
   if (!solve_dense(ata, atb, K)) return false;
+  for (int r = 0; r < K; ++r) {
+    if (!std::isfinite(atb[r])) return false;
+  }
   std::memcpy(out, atb, sizeof(atb));
   return true;
+}
+
+/// Shared degenerate-input screen: matched sizes, at least `min_points` of
+/// them, and at least `min_points` DISTINCT x values (K basis functions of
+/// one variable cannot be told apart on fewer abscissae — the normal matrix
+/// would be singular, so reject up front instead of relying on the pivot
+/// threshold).
+bool fittable(std::span<const double> x, std::span<const double> y,
+              std::size_t min_points) {
+  if (x.size() != y.size() || x.size() < min_points) return false;
+  std::size_t distinct = 0;
+  for (std::size_t i = 0; i < x.size() && distinct < min_points; ++i) {
+    bool seen = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (x[j] == x[i]) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) ++distinct;
+  }
+  return distinct >= min_points;
+}
+
+/// R² with the degenerate cases pinned down: constant y (ss_tot == 0) is
+/// exactly 1.0 when the model reproduces it and exactly 0.0 otherwise —
+/// never the 0/0 NaN. "Reproduces" is judged relative to the data's own
+/// magnitude: the normal-equation round trip leaves residuals of a few ulps
+/// even on a perfectly constant series.
+template <typename Model>
+double r_squared(std::span<const double> x, std::span<const double> y,
+                 const Model& f) {
+  double mean_y = 0.0, ss_yy = 0.0;
+  for (double v : y) {
+    mean_y += v;
+    ss_yy += v * v;
+  }
+  mean_y /= static_cast<double>(y.size());
+  double ss_tot = 0.0, ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = y[i] - mean_y;
+    ss_tot += d * d;
+    const double e = y[i] - f(x[i]);
+    ss_res += e * e;
+  }
+  if (ss_tot > 0.0) return 1.0 - ss_res / ss_tot;
+  return ss_res <= ss_yy * 1e-24 ? 1.0 : 0.0;
 }
 
 }  // namespace
@@ -58,26 +107,18 @@ bool solve_dense(double* a, double* b, int n) {
 }
 
 LineFit fit_line(std::span<const double> x, std::span<const double> y) {
-  assert(x.size() == y.size() && x.size() >= 2);
-  double coef[2] = {};
-  const bool ok = normal_solve<2>(
-      x, y, [](double xi, double* row) { row[0] = xi; row[1] = 1.0; }, coef);
   LineFit f;
-  if (!ok) return f;
+  if (!fittable(x, y, 2)) return f;
+  double coef[2] = {};
+  if (!normal_solve<2>(
+          x, y, [](double xi, double* row) { row[0] = xi; row[1] = 1.0; },
+          coef)) {
+    return f;
+  }
   f.slope = coef[0];
   f.intercept = coef[1];
-
-  double mean_y = 0.0;
-  for (double v : y) mean_y += v;
-  mean_y /= static_cast<double>(y.size());
-  double ss_tot = 0.0, ss_res = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double d = y[i] - mean_y;
-    ss_tot += d * d;
-    const double e = y[i] - f(x[i]);
-    ss_res += e * e;
-  }
-  f.r2 = (ss_tot > 0.0) ? 1.0 - ss_res / ss_tot : 1.0;
+  f.r2 = r_squared(x, y, f);
+  f.ok = true;
   return f;
 }
 
@@ -86,42 +127,44 @@ double SqrtPolyFit::operator()(double p) const {
 }
 
 SqrtPolyFit fit_sqrt_poly(std::span<const double> p, std::span<const double> t) {
-  assert(p.size() == t.size() && p.size() >= 3);
-  double coef[3] = {};
-  const bool ok = normal_solve<3>(
-      p, t,
-      [](double pi, double* row) {
-        row[0] = pi;
-        row[1] = std::sqrt(pi);
-        row[2] = 1.0;
-      },
-      coef);
   SqrtPolyFit f;
-  if (ok) {
-    f.a = coef[0];
-    f.b = coef[1];
-    f.c = coef[2];
+  if (!fittable(p, t, 3)) return f;
+  double coef[3] = {};
+  if (!normal_solve<3>(
+          p, t,
+          [](double pi, double* row) {
+            row[0] = pi;
+            row[1] = std::sqrt(pi);
+            row[2] = 1.0;
+          },
+          coef)) {
+    return f;
   }
+  f.a = coef[0];
+  f.b = coef[1];
+  f.c = coef[2];
+  f.ok = true;
   return f;
 }
 
 QuadFit fit_quadratic(std::span<const double> x, std::span<const double> y) {
-  assert(x.size() == y.size() && x.size() >= 3);
-  double coef[3] = {};
-  const bool ok = normal_solve<3>(
-      x, y,
-      [](double xi, double* row) {
-        row[0] = xi * xi;
-        row[1] = xi;
-        row[2] = 1.0;
-      },
-      coef);
   QuadFit f;
-  if (ok) {
-    f.a = coef[0];
-    f.b = coef[1];
-    f.c = coef[2];
+  if (!fittable(x, y, 3)) return f;
+  double coef[3] = {};
+  if (!normal_solve<3>(
+          x, y,
+          [](double xi, double* row) {
+            row[0] = xi * xi;
+            row[1] = xi;
+            row[2] = 1.0;
+          },
+          coef)) {
+    return f;
   }
+  f.a = coef[0];
+  f.b = coef[1];
+  f.c = coef[2];
+  f.ok = true;
   return f;
 }
 

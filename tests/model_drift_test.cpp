@@ -1,0 +1,157 @@
+#include "learn/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+// The golden scaling oracle: every drift probe's fitted dominant exponent
+// must match the theoretical dominant of its pcm::predict closed form, for
+// all four kernels on all three machines — plus the gate mechanics (a
+// deliberately perturbed cost model turns the verdict red, stale or missing
+// baseline entries are drift, the baseline workflow round-trips).
+
+namespace pcm::learn {
+namespace {
+
+TEST(DriftRegistry, CoversAllKernelsOnAllMachines) {
+  std::set<std::string> machines;
+  std::set<std::string> kernels;
+  std::set<std::string> ids;
+  for (const DriftProbe& p : drift_probes()) {
+    machines.insert(p.machine);
+    kernels.insert(p.kernel);
+    // Probe ids are the per-machine baseline keys: unique within a machine
+    // (the same probe id recurs across machines by design).
+    EXPECT_TRUE(ids.insert(p.machine + "/" + p.id).second)
+        << "duplicate probe id " << p.machine << "/" << p.id;
+    EXPECT_FALSE(p.xs.empty());
+    EXPECT_TRUE(p.closed_form != nullptr);
+    if (p.has_measured()) {
+      EXPECT_FALSE(p.measured_xs.empty());
+    }
+  }
+  EXPECT_EQ(machines,
+            (std::set<std::string>{"maspar", "gcel", "cm5"}));
+  EXPECT_EQ(kernels, (std::set<std::string>{"matmul", "bitonic",
+                                            "samplesort", "apsp"}));
+  for (const std::string& m : machines) {
+    EXPECT_EQ(drift_probes_for(m).size(), 5u) << m;
+  }
+  EXPECT_TRUE(drift_probes_for("t800").empty());
+}
+
+TEST(DriftOracle, FittedDominantsMatchClosedForms) {
+  for (const DriftProbe& p : drift_probes()) {
+    const ScalingModel m = analytic_model(p);
+    ASSERT_TRUE(m.ok) << p.machine << "/" << p.id;
+    EXPECT_DOUBLE_EQ(m.dominant().a, p.expected.a)
+        << p.machine << "/" << p.id << " fitted " << m.to_string();
+    EXPECT_EQ(m.dominant().b, p.expected.b)
+        << p.machine << "/" << p.id << " fitted " << m.to_string();
+    EXPECT_GT(m.dominant().c, 0.0);
+    EXPECT_GT(m.r2, 0.999) << p.machine << "/" << p.id;
+  }
+}
+
+TEST(DriftOracle, PerturbedCostModelTurnsConflict) {
+  // The acceptance experiment: multiply each closed form by sqrt(n) (a
+  // plausible accidental drift: an extra factor riding on the dominant
+  // term) and the verdict must flip to CONFLICT for every probe.
+  for (const DriftProbe& p : drift_probes()) {
+    const ScalingModel reference = analytic_model(p);
+    ASSERT_TRUE(reference.ok);
+    std::vector<double> perturbed(p.xs.size());
+    for (std::size_t i = 0; i < p.xs.size(); ++i) {
+      perturbed[i] = p.closed_form(p.xs[i]) * std::sqrt(p.xs[i]);
+    }
+    const ScalingModel drifted = fit(p.xs, perturbed);
+    ASSERT_TRUE(drifted.ok) << p.id;
+    const Verdict v = compare(drifted, reference, p.xs);
+    EXPECT_EQ(v.agreement, Agreement::Conflict)
+        << p.machine << "/" << p.id << ": " << v.detail;
+  }
+}
+
+TEST(DriftBaseline, MakeThenCheckIsClean) {
+  for (const std::string machine : {"maspar", "gcel", "cm5"}) {
+    const Baseline b = make_baseline(machine);
+    EXPECT_EQ(b.machine, machine);
+    EXPECT_EQ(b.entries.size(), 5u);
+    const auto verdicts = check_baseline(b);
+    ASSERT_EQ(verdicts.size(), b.entries.size());
+    for (const ProbeVerdict& pv : verdicts) {
+      EXPECT_FALSE(pv.drifted) << machine << "/" << pv.probe << ": "
+                               << pv.verdict.detail;
+      EXPECT_EQ(pv.verdict.agreement, Agreement::Agree);
+    }
+  }
+}
+
+TEST(DriftBaseline, RoundTripsThroughJson) {
+  const Baseline b = make_baseline("gcel");
+  const Baseline back = parse_baseline_json(write_baseline_json(b));
+  const auto verdicts = check_baseline(back);
+  for (const ProbeVerdict& pv : verdicts) {
+    EXPECT_FALSE(pv.drifted) << pv.probe << ": " << pv.verdict.detail;
+  }
+}
+
+TEST(DriftBaseline, TamperedExponentIsDrift) {
+  Baseline b = make_baseline("cm5");
+  bool tampered = false;
+  for (BaselineEntry& e : b.entries) {
+    if (e.probe != "matmul-bsp-vs-n") continue;
+    e.terms.back().a = 2.5;  // the recorded dominant claims n^2.5
+    tampered = true;
+  }
+  ASSERT_TRUE(tampered);
+  int drifts = 0;
+  for (const ProbeVerdict& pv : check_baseline(b)) {
+    if (!pv.drifted) continue;
+    ++drifts;
+    EXPECT_EQ(pv.probe, "matmul-bsp-vs-n");
+    EXPECT_EQ(pv.verdict.agreement, Agreement::Conflict);
+  }
+  EXPECT_EQ(drifts, 1);
+}
+
+TEST(DriftBaseline, UnknownAndMissingProbesAreDrift) {
+  Baseline b = make_baseline("maspar");
+  // Rename one entry: the stale name is unknown to the registry AND the
+  // real probe is now missing from the baseline — two findings.
+  b.entries.front().probe = "renamed-away";
+  const auto verdicts = check_baseline(b);
+  int drifted = 0;
+  for (const ProbeVerdict& pv : verdicts) {
+    if (pv.drifted) ++drifted;
+  }
+  EXPECT_EQ(drifted, 2);
+  EXPECT_EQ(verdicts.size(), 6u);  // 5 entries + 1 missing-probe finding
+}
+
+TEST(DriftMeasured, AnalyticOnlyProbeThrows) {
+  for (const DriftProbe& p : drift_probes()) {
+    if (p.has_measured()) continue;
+    EXPECT_THROW(measured_verdict(p), std::invalid_argument);
+    break;
+  }
+}
+
+TEST(DriftMeasured, SimulatedBitonicAgreesWithClosedFormShape) {
+  // One representative end-to-end measured probe in the test tier (the
+  // full set runs in the model-drift CI job via tools/model_drift
+  // --measure): the cheapest machine's bitonic sweep, quick grid.
+  for (const DriftProbe& p : drift_probes_for("cm5")) {
+    if (p.kernel != "bitonic" || !p.has_measured()) continue;
+    const Verdict v = measured_verdict(p, /*jobs=*/2, /*quick=*/true);
+    EXPECT_EQ(v.agreement, Agreement::Agree) << v.detail;
+    return;
+  }
+  FAIL() << "no measured cm5 bitonic probe in the registry";
+}
+
+}  // namespace
+}  // namespace pcm::learn

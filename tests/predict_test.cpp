@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "learn/fit.hpp"
 #include "machines/machine.hpp"
 #include "predict/apsp_predict.hpp"
 #include "predict/bitonic_predict.hpp"
@@ -241,6 +244,77 @@ TEST(ApspPredict, MonotonicInN) {
   for (long n = 1024; n <= 8192; n *= 2) {
     EXPECT_LT(apsp_bcast_ebsp(ebsp, n), apsp_bcast_ebsp(ebsp, 2 * n)) << n;
   }
+}
+
+// Asymptotic cross-check via the empirical learner: sample each closed form
+// on a geometric grid and confirm learn::fit recovers the dominant exponent
+// the formula was derived to have. This is the analytic half of the
+// model-drift gate (tools/model_drift) inlined into the predictor tests.
+
+std::vector<double> geometric(double first, int count) {
+  std::vector<double> xs;
+  for (int i = 0; i < count; ++i, first *= 2.0) xs.push_back(first);
+  return xs;
+}
+
+template <typename F>
+learn::ScalingModel fit_curve(const std::vector<double>& xs, F&& f) {
+  std::vector<double> ys;
+  ys.reserve(xs.size());
+  for (const double x : xs) ys.push_back(f(x));
+  return learn::fit(xs, ys);
+}
+
+TEST(PredictAsymptotics, MatmulBspIsCubic) {
+  BspParams bsp{64, 9.1, 45.0, 8};
+  const auto m = fit_curve(geometric(64, 8), [&](double n) {
+    return matmul_bsp(bsp, kCm5, static_cast<long>(n), 4);
+  });
+  ASSERT_TRUE(m.ok);
+  EXPECT_DOUBLE_EQ(m.dominant().a, 3.0);
+  EXPECT_EQ(m.dominant().b, 0);
+}
+
+TEST(PredictAsymptotics, BitonicIsLinearTimesLogSquaredOfP) {
+  BspParams bsp{1024, 32.2, 1400.0, 4};
+  // In m (keys per processor) at fixed P, the paper's formula is linear...
+  const auto in_m = fit_curve(geometric(16, 9), [&](double m) {
+    return bitonic_bsp(bsp, kMasPar, static_cast<long>(m));
+  });
+  ASSERT_TRUE(in_m.ok);
+  EXPECT_DOUBLE_EQ(in_m.dominant().a, 1.0);
+  EXPECT_EQ(in_m.dominant().b, 0);
+  // ...while the step count in P (at fixed m) carries the log^2 signature
+  // of the bitonic merge network.
+  const auto in_p = fit_curve(geometric(16, 10), [&](double p) {
+    BspParams b = bsp;
+    b.P = static_cast<long>(p);
+    return bitonic_bsp(b, kMasPar, 64);
+  });
+  ASSERT_TRUE(in_p.ok);
+  EXPECT_DOUBLE_EQ(in_p.dominant().a, 0.0);
+  EXPECT_EQ(in_p.dominant().b, 2);
+}
+
+TEST(PredictAsymptotics, SampleSortIsLinearInKeysPerProcessor) {
+  BpramParams bpram{64, 9.3, 6900.0};
+  const auto m = fit_curve(geometric(256, 7), [&](double keys) {
+    const long k = static_cast<long>(keys);
+    return samplesort_bpram(bpram, kGcel, k, 64, k + k / 4, 4).total();
+  });
+  ASSERT_TRUE(m.ok);
+  EXPECT_DOUBLE_EQ(m.dominant().a, 1.0);
+  EXPECT_EQ(m.dominant().b, 0);
+}
+
+TEST(PredictAsymptotics, ApspIsCubic) {
+  BspParams bsp{1024, 32.2, 1400.0, 4};
+  const auto m = fit_curve(geometric(1024, 6), [&](double n) {
+    return apsp_bsp(bsp, kMasPar, static_cast<long>(n));
+  });
+  ASSERT_TRUE(m.ok);
+  EXPECT_DOUBLE_EQ(m.dominant().a, 3.0);
+  EXPECT_EQ(m.dominant().b, 0);
 }
 
 }  // namespace

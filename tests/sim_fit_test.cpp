@@ -94,5 +94,80 @@ TEST(SolveDense, PivotsWhenNeeded) {
   EXPECT_NEAR(b[1], 3.0, 1e-12);
 }
 
+// --- degenerate inputs: flagged failure, never NaN or garbage --------------
+
+TEST(FitLine, SuccessIsFlagged) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{2, 4, 6};
+  EXPECT_TRUE(fit_line(x, y).ok);
+}
+
+TEST(FitLine, ConstantYIsPerfectFitWithFiniteR2) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{5, 5, 5, 5};
+  const auto f = fit_line(x, y);
+  EXPECT_TRUE(f.ok);
+  EXPECT_NEAR(f.slope, 0.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 5.0, 1e-12);
+  // ss_tot == 0 and residuals at solver-rounding scale: explicitly r2 = 1,
+  // not 0/0 and not a 0 verdict from a few ulps of normal-equation noise.
+  EXPECT_DOUBLE_EQ(f.r2, 1.0);
+  EXPECT_TRUE(std::isfinite(f.r2));
+}
+
+TEST(FitLine, DuplicateXIsFlaggedNotGarbage) {
+  // All x equal: slope is undefined, the normal matrix is singular.
+  std::vector<double> x{3, 3, 3, 3};
+  std::vector<double> y{1, 2, 3, 4};
+  const auto f = fit_line(x, y);
+  EXPECT_FALSE(f.ok);
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  EXPECT_DOUBLE_EQ(f.intercept, 0.0);
+  EXPECT_TRUE(std::isfinite(f.r2));
+}
+
+TEST(FitLine, UnderdeterminedIsFlagged) {
+  std::vector<double> one_x{1.0};
+  std::vector<double> one_y{2.0};
+  EXPECT_FALSE(fit_line(one_x, one_y).ok);
+  EXPECT_FALSE(fit_line({}, {}).ok);
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{1, 2};
+  EXPECT_FALSE(fit_line(x, y).ok);  // size mismatch
+}
+
+TEST(FitSqrtPoly, TwoDistinctAbscissaeIsFlagged) {
+  // Four points but only two distinct p values: {p, sqrt(p), 1} cannot be
+  // told apart on two abscissae.
+  std::vector<double> p{4, 4, 16, 16};
+  std::vector<double> t{10, 10, 20, 20};
+  const auto f = fit_sqrt_poly(p, t);
+  EXPECT_FALSE(f.ok);
+  EXPECT_DOUBLE_EQ(f.a, 0.0);
+  EXPECT_DOUBLE_EQ(f.b, 0.0);
+  EXPECT_DOUBLE_EQ(f.c, 0.0);
+}
+
+TEST(FitQuadratic, DegenerateInputsFlagged) {
+  std::vector<double> x2{1, 2};
+  std::vector<double> y2{1, 4};
+  EXPECT_FALSE(fit_quadratic(x2, y2).ok);  // too few points
+  std::vector<double> xd{1, 1, 2, 2};
+  std::vector<double> yd{1, 1, 4, 4};
+  EXPECT_FALSE(fit_quadratic(xd, yd).ok);  // two distinct abscissae
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y;
+  for (double v : x) y.push_back(2.0 * v * v - v + 3.0);
+  EXPECT_TRUE(fit_quadratic(x, y).ok);
+}
+
+TEST(FitQuadratic, ConstantYExactWithFiniteR2) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{7, 7, 7, 7, 7};
+  const auto f = fit_quadratic(x, y);
+  EXPECT_TRUE(f.ok);
+  EXPECT_NEAR(f(2.5), 7.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace pcm::sim

@@ -203,13 +203,16 @@ int layer_of(const std::string& dir) {
   if (dir == "models" || dir == "runtime") return 4;
   if (dir == "algos" || dir == "predict" || dir == "calibrate") return 5;
   if (dir == "vendor" || dir == "exec") return 6;
-  if (dir == "shard") return 7;
+  // shard and learn are sibling consumers of the exec engine: shard farms
+  // sweeps out to worker processes, learn fits scaling models to their
+  // results. Nothing below the engine may reach up into either.
+  if (dir == "shard" || dir == "learn") return 7;
   return -1;
 }
 
 constexpr const char* kLayerOrder =
     "sim -> report -> audit/net/race/obs/core/fault -> machines -> "
-    "models/runtime -> algos/predict/calibrate -> vendor/exec -> shard";
+    "models/runtime -> algos/predict/calibrate -> vendor/exec -> shard/learn";
 
 /// A physical-line run spliced at backslash-newlines into one logical line,
 /// remembering where it started so diagnostics land on the directive.

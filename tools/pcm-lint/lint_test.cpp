@@ -323,6 +323,23 @@ TEST(IncludeLayer, ObsSitsBesideNet) {
                   "src/obs/x.cpp", 1, "include-layer"));
 }
 
+TEST(IncludeLayer, LearnSitsBesideShard) {
+  // The empirical learner consumes the exec engine and the predictors
+  // beneath it (downward edges)...
+  EXPECT_TRUE(of_rule(lint_file("src/learn/x.cpp",
+                                "#include \"exec/sweep.hpp\"\n"
+                                "#include \"predict/matmul_predict.hpp\"\n"),
+                      "include-layer")
+                  .empty());
+  // ...but nothing below the engine may reach up into it.
+  EXPECT_TRUE(has(lint_file("src/exec/x.cpp",
+                            "#include \"learn/fit.hpp\"\n"),
+                  "src/exec/x.cpp", 1, "include-layer"));
+  EXPECT_TRUE(has(lint_file("src/predict/x.cpp",
+                            "#include \"learn/drift.hpp\"\n"),
+                  "src/predict/x.cpp", 1, "include-layer"));
+}
+
 TEST(IncludeLayer, ArenaScratchLayerStaysAtBottom) {
   // The arena/SoA scratch layer (src/sim) is the floor of the DAG: routers
   // carve per-superstep scratch out of sim::Arena, so sim itself must never
@@ -410,10 +427,11 @@ TEST(FixtureTree, EveryViolationClassCaught) {
   EXPECT_TRUE(has(diags, "src/net/bad_layering.cpp", 9, "include-layer"));
   EXPECT_TRUE(has(diags, "src/sim/bad_arena_upward.cpp", 7, "include-layer"));
   EXPECT_TRUE(has(diags, "src/sim/bad_arena_upward.cpp", 8, "include-layer"));
-  // 5 total: one line in each of the two dedicated fixtures is suppressed,
+  EXPECT_TRUE(has(diags, "src/predict/bad_learn_upward.cpp", 7, "include-layer"));
+  // 6 total: one line in each of the three dedicated fixtures is suppressed,
   // and the line-continuation fixture hides one backward edge behind a
   // spliced #include (sema_test.cpp asserts its exact line).
-  EXPECT_EQ(of_rule(diags, "include-layer").size(), 5u);
+  EXPECT_EQ(of_rule(diags, "include-layer").size(), 6u);
 
   // Raw strings in every prefix form are data, not code.
   for (const auto& d : diags) {
@@ -421,9 +439,10 @@ TEST(FixtureTree, EveryViolationClassCaught) {
         << d.file << ":" << d.line << " " << d.rule;
   }
 
-  // src/exec/ fixture must stay clean.
+  // src/exec/ and src/learn/ fixtures must stay clean.
   for (const auto& d : diags) {
     EXPECT_TRUE(d.file.find("src/exec/") == std::string::npos) << d.file;
+    EXPECT_TRUE(d.file.find("src/learn/") == std::string::npos) << d.file;
   }
 
   // Output is deterministically ordered by (file, line).

@@ -1,0 +1,12 @@
+// Fixture: the empirical learner consuming everything beneath it — the
+// exec engine whose sweep results it fits, the predictors whose closed
+// forms it gates against, and the sim floor. All downward edges; this file
+// must stay diagnostic-free.
+
+#include "exec/sweep.hpp"
+#include "predict/matmul_predict.hpp"
+#include "machines/machine.hpp"
+#include "core/series.hpp"
+#include "sim/fit.hpp"
+
+int learn_ok_anchor = 0;

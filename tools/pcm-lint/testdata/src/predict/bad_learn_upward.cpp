@@ -1,0 +1,14 @@
+// Fixture: a predictor reaching up into the empirical learner. predict
+// (layer 5) produces the closed forms that learn (layer 7) fits against;
+// the dependency must point down, never back up.
+
+#include "predict/matmul_predict.hpp"
+
+#include "learn/fit.hpp"
+#include "learn/compare.hpp"  // pcm-lint:allow(include-layer)
+
+namespace pcm::predict {
+
+void cross_check();
+
+}  // namespace pcm::predict
